@@ -1,0 +1,24 @@
+//! Analytical cost models for DNN accelerators — the baselines STONNE is
+//! compared against in Figure 1 of the paper.
+//!
+//! Three models are provided, mirroring the tools the paper cites:
+//!
+//! * [`scalesim`] — a SCALE-Sim-style closed-form model of an
+//!   output-stationary systolic array (rigid architectures);
+//! * [`maeri`] — the MAERI authors' analytical model of the flexible
+//!   tree-based architecture (idealized multicast reuse);
+//! * [`sigma`] — the SIGMA authors' analytical model of the sparse
+//!   architecture (perfectly balanced cluster packing).
+//!
+//! Analytical models are exact for rigid, regular executions but cannot
+//! see bandwidth conflicts (Fig. 1b) or the actual distribution of zeros
+//! (Fig. 1c); the integration tests in this workspace reproduce both
+//! effects against the cycle-level engine.
+
+pub mod maeri;
+pub mod scalesim;
+pub mod sigma;
+
+pub use maeri::maeri_cycles;
+pub use scalesim::scalesim_os_cycles;
+pub use sigma::{sigma_cycles, sigma_cycles_uniform};

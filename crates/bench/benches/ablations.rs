@@ -1,0 +1,17 @@
+//! Criterion wrapper over the design-choice ablation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne_bench::ablations::{bandwidth_sweep, format_sweep, rn_kind_sweep, tile_sweep};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("rn_kind", |b| b.iter(rn_kind_sweep));
+    g.bench_function("bandwidth", |b| b.iter(bandwidth_sweep));
+    g.bench_function("tile", |b| b.iter(tile_sweep));
+    g.bench_function("sparse_format", |b| b.iter(format_sweep));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion wrapper over the Fig. 1 harnesses at tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::ModelScale;
+use stonne_bench::fig1::{fig1a, fig1b, fig1c};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("fig1a_systolic_vs_analytical", |b| {
+        b.iter(|| fig1a(ModelScale::Tiny, &[16]))
+    });
+    g.bench_function("fig1b_maeri_vs_analytical", |b| {
+        b.iter(|| fig1b(ModelScale::Tiny, &[32]))
+    });
+    g.bench_function("fig1c_sigma_vs_analytical", |b| {
+        b.iter(|| fig1c(ModelScale::Tiny, &[0.9]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

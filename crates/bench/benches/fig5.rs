@@ -1,0 +1,22 @@
+//! Criterion wrapper over the Fig. 5 full-model comparison (tiny scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig5::{run_one, Arch};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for arch in Arch::ALL {
+        g.bench_function(format!("squeezenet_{}", arch.name()), |b| {
+            b.iter(|| run_one(ModelId::SqueezeNet, arch, ModelScale::Tiny, 21))
+        });
+    }
+    g.bench_function("mobilenet_SIGMA", |b| {
+        b.iter(|| run_one(ModelId::MobileNetV1, Arch::Sigma, ModelScale::Tiny, 21))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper over the Fig. 6 SNAPEA comparison (tiny scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig6::run_one;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for model in [ModelId::AlexNet, ModelId::SqueezeNet] {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| run_one(model, ModelScale::Tiny, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

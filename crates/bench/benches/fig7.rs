@@ -1,0 +1,17 @@
+//! Criterion wrapper over the Fig. 7 filter-mapping analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::ModelScale;
+use stonne_bench::fig7::fig7;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("all_models_256ms", |b| {
+        b.iter(|| fig7(ModelScale::Tiny, 256))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper over the Fig. 9 scheduling comparison (tiny scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig9::{run_one, Policy};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for policy in Policy::ALL {
+        g.bench_function(format!("squeezenet_{}", policy.name()), |b| {
+            b.iter(|| run_one(ModelId::SqueezeNet, policy, ModelScale::Tiny, 61))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

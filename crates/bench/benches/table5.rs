@@ -1,0 +1,18 @@
+//! Criterion wrapper over the Table V validation microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stonne::models::table5_microbenchmarks;
+use stonne_bench::table5::{run_microbenchmark, table5};
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    for mb in table5_microbenchmarks() {
+        g.bench_function(mb.name, |b| b.iter(|| run_microbenchmark(&mb, 7)));
+    }
+    g.bench_function("full_table", |b| b.iter(table5));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

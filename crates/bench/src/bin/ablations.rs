@@ -1,0 +1,23 @@
+//! Runs the design-choice ablation sweeps (beyond the paper's figures):
+//! RN kind, bandwidth, tile shape, and sparse operand format.
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin ablations`
+
+use stonne_bench::ablations::all_ablations;
+
+fn main() {
+    println!("Design-choice ablations");
+    println!(
+        "{:<15} {:<12} {:>12} {:>12}",
+        "sweep", "variant", "cycles", "util"
+    );
+    for r in all_ablations() {
+        println!(
+            "{:<15} {:<12} {:>12} {:>11.1}%",
+            r.sweep,
+            r.variant,
+            r.cycles,
+            r.utilization * 100.0
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 1a: STONNE (ST) vs the SCALE-Sim-style analytical
+//! model (AM) on output-stationary systolic arrays of 16²/32²/64² PEs.
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig1a [tiny|reduced]`
+
+use stonne::models::ModelScale;
+use stonne_bench::fig1::fig1a;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("reduced") => ModelScale::Reduced,
+        _ => ModelScale::Tiny,
+    };
+    println!("Figure 1a — OS systolic array: cycle-level (ST) vs analytical (AM)");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>8}",
+        "layer", "array", "ST cycles", "AM cycles", "diff"
+    );
+    for row in fig1a(scale, &[16, 32, 64]) {
+        println!(
+            "{:<6} {:>8} {:>12} {:>12} {:>7.2}%",
+            row.layer,
+            row.param,
+            row.stonne_cycles,
+            row.analytical_cycles,
+            row.divergence_pct()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 1b: a 128-multiplier MAERI-like architecture vs the
+//! MAERI analytical model at 128/64/32 elements/cycle bandwidth.
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig1b [tiny|reduced]`
+
+use stonne::models::ModelScale;
+use stonne_bench::fig1::fig1b;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("reduced") => ModelScale::Reduced,
+        _ => ModelScale::Tiny,
+    };
+    println!("Figure 1b — MAERI-like (128 MS): cycle-level (ST) vs analytical (AM)");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>10}",
+        "layer", "bw", "ST cycles", "AM cycles", "AM under"
+    );
+    for row in fig1b(scale, &[128, 64, 32]) {
+        println!(
+            "{:<6} {:>8} {:>12} {:>12} {:>9.1}%",
+            row.layer,
+            row.param,
+            row.stonne_cycles,
+            row.analytical_cycles,
+            row.divergence_pct()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 1c: a SIGMA-like architecture at full bandwidth vs
+//! the SIGMA analytical model, sweeping weight sparsity 0–90 %.
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig1c [tiny|reduced]`
+
+use stonne::models::ModelScale;
+use stonne_bench::fig1::fig1c;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("reduced") => ModelScale::Reduced,
+        _ => ModelScale::Tiny,
+    };
+    println!("Figure 1c — SIGMA-like (128 MS): cycle-level (ST) vs analytical (AM)");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>10}",
+        "layer", "sparsity", "ST cycles", "AM cycles", "AM under"
+    );
+    for row in fig1c(scale, &[0.0, 0.3, 0.6, 0.9]) {
+        println!(
+            "{:<6} {:>8} {:>12} {:>12} {:>9.1}%",
+            row.layer,
+            row.param,
+            row.stonne_cycles,
+            row.analytical_cycles,
+            row.divergence_pct()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates Figure 5: TPU-like vs MAERI-like vs SIGMA-like running the
+//! complete inference of the seven Table I models — cycles (5a), energy
+//! breakdown (5b) and area (5c).
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig5 [tiny|reduced]`
+
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig5::{fig5, fig5c_areas, Arch};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => ModelScale::Tiny,
+        _ => ModelScale::Reduced,
+    };
+    eprintln!("running 7 models x 3 architectures at {scale:?} scale …");
+    let rows = fig5(scale, &ModelId::ALL);
+
+    println!("\nFigure 5a — inference cycles");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "model", "TPU", "MAERI", "SIGMA", "MAERIvsTPU", "SIGMAvsMAERI"
+    );
+    for model in ModelId::ALL {
+        let get = |arch: Arch| {
+            rows.iter()
+                .find(|r| r.model == model && r.arch == arch)
+                .unwrap()
+        };
+        let (t, m, s) = (get(Arch::Tpu), get(Arch::Maeri), get(Arch::Sigma));
+        println!(
+            "{:<16} {:>14} {:>14} {:>14} {:>11.2}x {:>11.2}x",
+            model.name(),
+            t.cycles,
+            m.cycles,
+            s.cycles,
+            t.cycles as f64 / m.cycles as f64,
+            m.cycles as f64 / s.cycles as f64
+        );
+    }
+
+    println!("\nFigure 5b — energy (µJ) with component breakdown GB/DN/MN/RN");
+    println!(
+        "{:<16} {:<8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "model", "arch", "total", "GB", "DN", "MN", "RN", "RN%"
+    );
+    for r in &rows {
+        let e = &r.energy;
+        println!(
+            "{:<16} {:<8} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1}%",
+            r.model.name(),
+            r.arch.name(),
+            e.total_uj(),
+            e.gb_uj,
+            e.dn_uj,
+            e.mn_uj,
+            e.rn_uj,
+            e.rn_fraction() * 100.0
+        );
+    }
+
+    println!("\nFigure 5c — area (µm²)");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "arch", "total", "GB", "DN", "MN", "RN", "GB%"
+    );
+    for (arch, a) in fig5c_areas() {
+        println!(
+            "{:<8} {:>12.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>6.1}%",
+            arch.name(),
+            a.total(),
+            a.gb_um2,
+            a.dn_um2,
+            a.mn_um2,
+            a.rn_um2,
+            a.gb_fraction() * 100.0
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Figure 6: SNAPEA vs the baseline on the four CNN models —
+//! speedup (6a), normalized energy (6b), operations (6c), memory (6d).
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig6 [tiny|reduced] [images]`
+
+use stonne::models::ModelScale;
+use stonne_bench::fig6::fig6;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => ModelScale::Tiny,
+        _ => ModelScale::Reduced,
+    };
+    let images: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    eprintln!("running 4 CNNs x 2 modes x {images} images at {scale:?} scale …");
+    let rows = fig6(scale, images);
+    println!("\nFigure 6 — SNAPEA vs baseline (64 PEs, 64 elems/cycle)");
+    println!(
+        "{:<14} {:>9} {:>12} {:>10} {:>10}",
+        "model", "speedup", "norm energy", "ops red.", "mem red."
+    );
+    let (mut sp, mut en, mut op, mut me) = (0.0, 0.0, 0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:<14} {:>8.2}x {:>12.3} {:>9.1}% {:>9.1}%",
+            r.model.name(),
+            r.speedup(),
+            r.normalized_energy(),
+            r.ops_reduction() * 100.0,
+            r.mem_reduction() * 100.0
+        );
+        sp += r.speedup();
+        en += r.normalized_energy();
+        op += r.ops_reduction();
+        me += r.mem_reduction();
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<14} {:>8.2}x {:>12.3} {:>9.1}% {:>9.1}%   (paper: 1.35x, 0.79, 30%, 16%)",
+        "average",
+        sp / n,
+        en / n,
+        op / n * 100.0,
+        me / n * 100.0
+    );
+}

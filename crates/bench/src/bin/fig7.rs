@@ -1,0 +1,35 @@
+//! Regenerates Figure 7: average whole filters mappable on a 256-MS
+//! flexible sparse architecture (7a) and first-layer filter sizes (7b).
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig7 [tiny|reduced]`
+
+use stonne::models::ModelScale;
+use stonne_bench::fig7::fig7;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => ModelScale::Tiny,
+        _ => ModelScale::Reduced,
+    };
+    let rows = fig7(scale, 256);
+    println!("Figure 7a — avg. whole filters mappable on 256 MS (weight-pruned)");
+    println!("{:<16} {:>12}", "model", "avg filters");
+    for r in &rows {
+        println!("{:<16} {:>12.1}", r.model.name(), r.avg_filters);
+    }
+    println!("\nFigure 7b — first-layer filter sizes (nnz, capped at 256)");
+    for r in &rows {
+        let sizes = &r.first_layer_sizes;
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        let avg: f64 = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        println!(
+            "{:<16} {:>4} filters, size min {:>4} avg {:>6.1} max {:>4}",
+            r.model.name(),
+            sizes.len(),
+            min,
+            avg,
+            max
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates Figure 9: LFF / RDM / NS filter scheduling on a 256-MS
+//! SIGMA-like architecture — normalized runtime (9a), energy (9b), and
+//! the per-layer ResNet-50 sensitivity analysis (9c, pass `--layers`).
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin fig9 [tiny|reduced] [--layers]`
+
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig9::{fig9, fig9c, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "tiny") {
+        ModelScale::Tiny
+    } else {
+        ModelScale::Reduced
+    };
+    if args.iter().any(|a| a == "--layers") {
+        println!("Figure 9c — per-layer LFF sensitivity, ResNet-50 (sorted by gain)");
+        println!(
+            "{:<22} {:>12} {:>12} {:>9} {:>9}",
+            "layer", "NS cycles", "LFF cycles", "runtime", "util Δ"
+        );
+        for r in fig9c(scale) {
+            println!(
+                "{:<22} {:>12} {:>12} {:>8.1}% {:>8.1}%",
+                r.name,
+                r.baseline_cycles,
+                r.scheduled_cycles,
+                r.runtime_gain() * 100.0,
+                r.utilization_gain() * 100.0
+            );
+        }
+        return;
+    }
+    eprintln!("running 7 models x 3 policies at {scale:?} scale …");
+    let rows = fig9(scale, &ModelId::ALL);
+    println!("\nFigure 9a/9b — runtime and energy normalized to NS (256-MS SIGMA-like)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "model", "NS cyc", "RDM/NS", "LFF/NS", "NS µJ", "RDM E", "LFF E"
+    );
+    for model in ModelId::ALL {
+        let get = |p: Policy| {
+            rows.iter()
+                .find(|r| r.model == model && r.policy == p)
+                .unwrap()
+        };
+        let (ns, rdm, lff) = (get(Policy::Ns), get(Policy::Rdm), get(Policy::Lff));
+        println!(
+            "{:<16} {:>10} {:>10.3} {:>10.3} {:>10.2} {:>9.3} {:>9.3}",
+            model.name(),
+            ns.cycles,
+            rdm.cycles as f64 / ns.cycles as f64,
+            lff.cycles as f64 / ns.cycles as f64,
+            ns.energy_uj,
+            rdm.energy_uj / ns.energy_uj,
+            lff.energy_uj / ns.energy_uj
+        );
+    }
+}

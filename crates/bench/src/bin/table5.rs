@@ -1,0 +1,35 @@
+//! Regenerates Table V: timing validation against the published RTL cycle
+//! counts of MAERI (BSV), SIGMA (Verilog) and the OS-dataflow TPU.
+//!
+//! Usage: `cargo run -p stonne-bench --release --bin table5`
+
+use stonne_bench::table5::table5;
+
+fn main() {
+    println!("Table V — timing validation vs published RTL cycle counts");
+    println!(
+        "{:<9} {:>5} {:>5} {:>5} {:>10} {:>12} {:>10} {:>9} {:>11}",
+        "layer", "M", "N", "K", "RTL", "paper-ST", "ours", "our err", "paper err"
+    );
+    let rows = table5();
+    let mut total = 0.0;
+    for r in &rows {
+        println!(
+            "{:<9} {:>5} {:>5} {:>5} {:>10} {:>12} {:>10} {:>8.2}% {:>10.2}%",
+            r.name,
+            r.m,
+            r.n,
+            r.k,
+            r.rtl_cycles,
+            r.paper_stonne_cycles,
+            r.our_cycles,
+            r.error_vs_rtl_pct(),
+            r.paper_error_pct()
+        );
+        total += r.error_vs_rtl_pct();
+    }
+    println!(
+        "average error vs RTL: {:.2}% (paper: 1.53%)",
+        total / rows.len() as f64
+    );
+}

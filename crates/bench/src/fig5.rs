@@ -1,0 +1,166 @@
+//! Figure 5: full-model comparison of TPU-like, MAERI-like and
+//! SIGMA-like architectures over the seven DNN models of Table I —
+//! cycles (5a), per-component energy (5b) and area (5c).
+//!
+//! Paper setup: 256 multipliers/adders and 128 elements/cycle GB
+//! bandwidth for MAERI and SIGMA; 256 PEs at full bandwidth for the TPU;
+//! 28 nm, 1 GHz, FP8, 108-KiB GB, dual HBM2.
+
+use serde::{Deserialize, Serialize};
+use stonne::core::AcceleratorConfig;
+use stonne::energy::{area_um2, AreaBreakdown, EnergyBreakdown};
+use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::nn::runner::run_model_simulated;
+
+/// The three compared architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// 16×16 output-stationary systolic array.
+    Tpu,
+    /// 256-MS flexible tree architecture.
+    Maeri,
+    /// 256-MS flexible sparse architecture.
+    Sigma,
+}
+
+impl Arch {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [Arch; 3] = [Arch::Tpu, Arch::Maeri, Arch::Sigma];
+
+    /// The paper's use-case configuration for this architecture.
+    pub fn config(&self) -> AcceleratorConfig {
+        match self {
+            Arch::Tpu => AcceleratorConfig::tpu_like(16),
+            Arch::Maeri => AcceleratorConfig::maeri_like(256, 128),
+            Arch::Sigma => AcceleratorConfig::sigma_like(256, 128),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::Tpu => "TPU",
+            Arch::Maeri => "MAERI",
+            Arch::Sigma => "SIGMA",
+        }
+    }
+}
+
+/// One (model, architecture) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// DNN model.
+    pub model: ModelId,
+    /// Architecture.
+    pub arch: Arch,
+    /// Total inference cycles (Fig. 5a).
+    pub cycles: u64,
+    /// Energy breakdown (Fig. 5b).
+    pub energy: EnergyBreakdown,
+    /// Average multiplier utilization.
+    pub utilization: f64,
+}
+
+/// Runs one model on one architecture.
+pub fn run_one(model_id: ModelId, arch: Arch, scale: ModelScale, seed: u64) -> Fig5Row {
+    let model = zoo::build(model_id, scale);
+    let params = ModelParams::generate(&model, seed);
+    let input = generate_input(&model, seed ^ 0xf00d);
+    let run = run_model_simulated(&model, &params, &input, arch.config())
+        .expect("preset configs are valid");
+    Fig5Row {
+        model: model_id,
+        arch,
+        cycles: run.total.cycles,
+        energy: run.energy,
+        utilization: run.total.ms_utilization(),
+    }
+}
+
+/// Runs the full 7-model × 3-architecture sweep. The combinations are
+/// independent simulations, so they fan out across OS threads (results
+/// stay deterministic: every run is seeded).
+pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Vec<Fig5Row> {
+    let mut handles = Vec::new();
+    for &model in models {
+        for arch in Arch::ALL {
+            handles.push(std::thread::spawn(move || run_one(model, arch, scale, 21)));
+        }
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("simulation thread panicked"))
+        .collect()
+}
+
+/// Area estimates of the three architectures (Fig. 5c); model-independent.
+pub fn fig5c_areas() -> Vec<(Arch, AreaBreakdown)> {
+    Arch::ALL
+        .iter()
+        .map(|&a| (a, area_um2(&a.config())))
+        .collect()
+}
+
+/// Speedup of `a` over `b` computed from two rows (cycles ratio).
+pub fn speedup(a: &Fig5Row, b: &Fig5Row) -> f64 {
+    b.cycles as f64 / a.cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_wins_and_tpu_trails_on_a_pruned_model() {
+        // Fig. 5a ordering on sparse models: SIGMA < MAERI <~ TPU cycles.
+        let tpu = run_one(ModelId::SqueezeNet, Arch::Tpu, ModelScale::Tiny, 3);
+        let maeri = run_one(ModelId::SqueezeNet, Arch::Maeri, ModelScale::Tiny, 3);
+        let sigma = run_one(ModelId::SqueezeNet, Arch::Sigma, ModelScale::Tiny, 3);
+        assert!(
+            sigma.cycles < maeri.cycles,
+            "sigma {} !< maeri {}",
+            sigma.cycles,
+            maeri.cycles
+        );
+        assert!(
+            sigma.cycles < tpu.cycles,
+            "sigma {} !< tpu {}",
+            sigma.cycles,
+            tpu.cycles
+        );
+    }
+
+    #[test]
+    fn sigma_is_most_energy_efficient() {
+        // Fig. 5b: SIGMA beats MAERI and TPU in total energy.
+        let tpu = run_one(ModelId::AlexNet, Arch::Tpu, ModelScale::Tiny, 5);
+        let maeri = run_one(ModelId::AlexNet, Arch::Maeri, ModelScale::Tiny, 5);
+        let sigma = run_one(ModelId::AlexNet, Arch::Sigma, ModelScale::Tiny, 5);
+        assert!(sigma.energy.total_uj() < maeri.energy.total_uj());
+        assert!(sigma.energy.total_uj() < tpu.energy.total_uj());
+    }
+
+    #[test]
+    fn areas_are_gb_dominated_and_ordered() {
+        let areas = fig5c_areas();
+        assert_eq!(areas.len(), 3);
+        for (arch, a) in &areas {
+            assert!(
+                a.gb_fraction() > 0.6,
+                "{}: GB fraction {:.2}",
+                arch.name(),
+                a.gb_fraction()
+            );
+        }
+        let total = |arch: Arch| {
+            areas
+                .iter()
+                .find(|(a, _)| *a == arch)
+                .map(|(_, b)| b.total())
+                .unwrap()
+        };
+        assert!(total(Arch::Tpu) < total(Arch::Sigma));
+        assert!(total(Arch::Sigma) < total(Arch::Maeri));
+    }
+}

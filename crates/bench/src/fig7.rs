@@ -1,0 +1,82 @@
+//! Figure 7: filter-mapping analysis on a 256-MS flexible sparse
+//! architecture — average whole filters mappable per model (7a) and the
+//! per-filter sizes of each model's first layer (7b).
+
+use serde::{Deserialize, Serialize};
+use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::nn::params::ModelParams;
+use stonne::sched::{avg_filters_mappable, first_layer_filter_sizes};
+
+/// Per-model mapping summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// DNN model.
+    pub model: ModelId,
+    /// Average whole filters simultaneously mappable (Fig. 7a).
+    pub avg_filters: f64,
+    /// Filter sizes (nnz, capped at the array size) of the first layer
+    /// (Fig. 7b).
+    pub first_layer_sizes: Vec<usize>,
+}
+
+/// Runs the analysis for every model of Table I.
+pub fn fig7(scale: ModelScale, ms_size: usize) -> Vec<Fig7Row> {
+    ModelId::ALL
+        .iter()
+        .map(|&id| {
+            let model = zoo::build(id, scale);
+            let params = ModelParams::generate(&model, 51);
+            Fig7Row {
+                model: id,
+                avg_filters: avg_filters_mappable(&model, &params, ms_size),
+                first_layer_sizes: first_layer_filter_sizes(&model, &params, ms_size),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_models_map_multiple_filters() {
+        // Fig. 7a: "between 4 and 8 filters can be entirely mapped
+        // simultaneously in most cases", with AlexNet and BERT the
+        // large-filter exceptions.
+        let rows = fig7(ModelScale::Tiny, 256);
+        assert_eq!(rows.len(), 7);
+        let get = |id: ModelId| rows.iter().find(|r| r.model == id).unwrap().avg_filters;
+        assert!(get(ModelId::SqueezeNet) > get(ModelId::Bert));
+        assert!(get(ModelId::MobileNetV1) > 2.0);
+        for row in &rows {
+            assert!(row.avg_filters >= 1.0, "{}: {}", row.model, row.avg_filters);
+        }
+    }
+
+    #[test]
+    fn first_layer_sizes_are_bounded_by_array() {
+        for row in fig7(ModelScale::Tiny, 256) {
+            assert!(!row.first_layer_sizes.is_empty(), "{}", row.model);
+            assert!(row.first_layer_sizes.iter().all(|&s| s <= 256));
+        }
+    }
+
+    #[test]
+    fn bert_filters_are_larger_than_mobilenet() {
+        // The paper: BERT/AlexNet feature filters "up to 4.3× larger"
+        // than MobileNets'.
+        let rows = fig7(ModelScale::Tiny, 256);
+        let max_size = |id: ModelId| {
+            *rows
+                .iter()
+                .find(|r| r.model == id)
+                .unwrap()
+                .first_layer_sizes
+                .iter()
+                .max()
+                .unwrap()
+        };
+        assert!(max_size(ModelId::Bert) > max_size(ModelId::MobileNetV1));
+    }
+}

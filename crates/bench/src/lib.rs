@@ -1,0 +1,62 @@
+//! Experiment harnesses regenerating every table and figure of the STONNE
+//! paper's evaluation.
+//!
+//! Each module returns structured rows; the `src/bin/*` binaries print
+//! them in the same layout the paper reports, and the Criterion benches in
+//! `benches/` exercise the same harnesses at reduced scale so
+//! `cargo bench --workspace` covers every experiment.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`fig1`] | Fig. 1a/1b/1c — cycle-level vs analytical models |
+//! | [`table5`] | Table V — timing validation against the published RTL counts |
+//! | [`fig5`] | Fig. 5a/5b/5c — TPU vs MAERI vs SIGMA full models |
+//! | [`fig6`] | Fig. 6a–d — SNAPEA vs baseline on the CNN models |
+//! | [`fig7`] | Fig. 7a/7b — filter mappability and first-layer sizes |
+//! | [`fig9`] | Fig. 9a/9b/9c — LFF/RDM/NS filter scheduling |
+//! | [`ablations`] | design-choice sweeps (DN/RN kind, bandwidth, tiles, formats) |
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod table5;
+
+/// Formats a ratio as a percentage delta string (`+23.4%`).
+pub fn pct_delta(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:+.1}%", (new / old - 1.0) * 100.0)
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_delta_formats() {
+        assert_eq!(pct_delta(120.0, 100.0), "+20.0%");
+        assert_eq!(pct_delta(80.0, 100.0), "-20.0%");
+        assert_eq!(pct_delta(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

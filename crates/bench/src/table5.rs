@@ -1,0 +1,150 @@
+//! Table V: timing validation of the simulator against the cycle counts
+//! of the published RTL implementations (MAERI BSV, SIGMA Verilog, the
+//! SCALE-Sim TPU RTL), using the exact microbenchmark dimensions and
+//! accelerator configurations of the paper.
+
+use serde::{Deserialize, Serialize};
+use stonne::core::{AcceleratorConfig, Stonne, Tile};
+use stonne::models::workloads::ValidationDesign;
+use stonne::models::{table5_microbenchmarks, Microbenchmark};
+use stonne::tensor::{Conv2dGeom, CsrMatrix, Matrix, SeededRng, Tensor4};
+
+/// One validation row: our measured cycles against the published counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Microbenchmark name (`MAERI-1` … `TPU-4`).
+    pub name: String,
+    /// GEMM `M`.
+    pub m: usize,
+    /// GEMM `N`.
+    pub n: usize,
+    /// GEMM `K`.
+    pub k: usize,
+    /// Cycles of the RTL ground truth (published).
+    pub rtl_cycles: u64,
+    /// Cycles the original STONNE reported (published).
+    pub paper_stonne_cycles: u64,
+    /// Cycles of this reproduction.
+    pub our_cycles: u64,
+}
+
+impl Table5Row {
+    /// Our error against the RTL ground truth, in percent.
+    pub fn error_vs_rtl_pct(&self) -> f64 {
+        (self.our_cycles as f64 - self.rtl_cycles as f64).abs() / self.rtl_cycles as f64 * 100.0
+    }
+
+    /// The original STONNE's error against the RTL, in percent.
+    pub fn paper_error_pct(&self) -> f64 {
+        (self.paper_stonne_cycles as f64 - self.rtl_cycles as f64).abs() / self.rtl_cycles as f64
+            * 100.0
+    }
+}
+
+/// Runs one microbenchmark on the configuration Table V prescribes:
+/// MAERI-like 32 MS / 4 elements/cycle with the published
+/// `Tile(3,3,1,…,3,1)` (the MAERI rows are 3×3 convolutions); SIGMA-like
+/// 128 MS / 128 elements/cycle; TPU-like 16×16 full bandwidth.
+pub fn run_microbenchmark(mb: &Microbenchmark, seed: u64) -> u64 {
+    let mut rng = SeededRng::new(seed);
+    match mb.design {
+        ValidationDesign::Maeri => {
+            // M = K filters, K = 3·3·C taps, N = X'·Y' outputs (square).
+            let c = mb.dims.k / 9;
+            let xp = (mb.dims.n as f64).sqrt().round() as usize;
+            assert_eq!(xp * xp, mb.dims.n, "MAERI rows are square convs");
+            let geom = Conv2dGeom::new(c, mb.dims.m, 3, 3, 1, 0, 1);
+            let input = Tensor4::random(1, c, xp + 2, xp + 2, &mut rng);
+            let weights = Tensor4::random(mb.dims.m, c, 3, 3, &mut rng);
+            let tile = Tile {
+                t_r: 3,
+                t_s: 3,
+                t_c: 1,
+                t_g: 1,
+                t_k: 1,
+                t_n: 1,
+                t_xp: 3,
+                t_yp: 1,
+            };
+            let mut sim = Stonne::new(AcceleratorConfig::maeri_like(32, 4)).expect("valid");
+            let (_, stats) = sim.run_conv(mb.name, &input, &weights, &geom, Some(tile));
+            stats.cycles
+        }
+        ValidationDesign::Sigma => {
+            let a = Matrix::random(mb.dims.m, mb.dims.k, &mut rng);
+            let b = Matrix::random(mb.dims.k, mb.dims.n, &mut rng);
+            let mut sim = Stonne::new(AcceleratorConfig::sigma_like(128, 128)).expect("valid");
+            let (_, stats) = sim.run_spmm(mb.name, &CsrMatrix::from_dense(&a), &b);
+            stats.cycles
+        }
+        ValidationDesign::Tpu => {
+            let a = Matrix::random(mb.dims.m, mb.dims.k, &mut rng);
+            let b = Matrix::random(mb.dims.k, mb.dims.n, &mut rng);
+            let mut sim = Stonne::new(AcceleratorConfig::tpu_like(16)).expect("valid");
+            let (_, stats) = sim.run_gemm(mb.name, &a, &b);
+            stats.cycles
+        }
+    }
+}
+
+/// Reproduces the whole table.
+pub fn table5() -> Vec<Table5Row> {
+    table5_microbenchmarks()
+        .iter()
+        .map(|mb| Table5Row {
+            name: mb.name.to_owned(),
+            m: mb.dims.m,
+            n: mb.dims.n,
+            k: mb.dims.k,
+            rtl_cycles: mb.rtl_cycles,
+            paper_stonne_cycles: mb.paper_stonne_cycles,
+            our_cycles: run_microbenchmark(mb, 7),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_within_validation_band() {
+        // Without the authors' RTL we cannot reach their 1.53% average,
+        // but every row must stay within 21% of the RTL ground truth and
+        // the average within 6% (MAERI-3 is the outlier; see
+        // EXPERIMENTS.md).
+        let rows = table5();
+        assert_eq!(rows.len(), 11);
+        let mut total = 0.0;
+        for row in &rows {
+            let e = row.error_vs_rtl_pct();
+            assert!(
+                e <= 21.0,
+                "{}: error {e:.1}% (sim {} vs rtl {})",
+                row.name,
+                row.our_cycles,
+                row.rtl_cycles
+            );
+            total += e;
+        }
+        let avg = total / rows.len() as f64;
+        assert!(avg <= 6.0, "average error {avg:.2}% too high");
+    }
+
+    #[test]
+    fn tpu_rows_are_exact() {
+        for row in table5().iter().filter(|r| r.name.starts_with("TPU")) {
+            assert_eq!(row.our_cycles, row.rtl_cycles, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn cycles_are_data_independent_for_dense_rows() {
+        // Dense validation runs must not depend on the RNG seed.
+        for mb in table5_microbenchmarks() {
+            let a = run_microbenchmark(&mb, 1);
+            let b = run_microbenchmark(&mb, 2);
+            assert_eq!(a, b, "{} cycles vary with data", mb.name);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The STONNE User Interface.
+//!
+//! The paper ships a prompt-based tool "in which the user is presented
+//! with a prompt and a set of well-defined commands to load any layer and
+//! tile parameters onto a selected instance of the simulator, and run it
+//! with random weights and input values", enabling rapid prototyping
+//! without the DL-framework front-end. This binary is that interface:
+//!
+//! ```text
+//! stonne gemm --m 64 --n 128 --k 32 --arch sigma --ms 128 --bw 128
+//! stonne conv --in-c 6 --out-c 6 --hw 7 --kernel 3 --arch maeri --ms 32 --bw 4
+//! stonne model --name squeezenet --scale tiny --arch sigma
+//! stonne shell            # interactive prompt
+//! ```
+//!
+//! Tensors are filled with seeded random values (`--seed`), weights are
+//! optionally pruned (`--sparsity`), and results print as the Output
+//! Module's JSON summary (`--json`) or counter file (`--counters`).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+use stonne::core::{counter_file, summary_json, AcceleratorConfig, SimStats, Stonne};
+use stonne::energy::{area_um2, EnergyModel};
+use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::nn::runner::run_model_simulated;
+use stonne::tensor::{prune_matrix_to_sparsity, Conv2dGeom, Matrix, SeededRng, Tensor4};
+
+fn usage() -> &'static str {
+    "STONNE User Interface — cycle-level DNN accelerator simulation\n\
+     \n\
+     USAGE:\n\
+       stonne <command> [--key value]...\n\
+     \n\
+     COMMANDS:\n\
+       gemm    --m M --n N --k K           run a GEMM with random operands\n\
+       conv    --in-c C --out-c K --hw H   run a convolution\n\
+               [--kernel 3 --stride 1 --pad 0 --groups 1]\n\
+       model   --name NAME --scale SCALE   run a full DNN model\n\
+               (names: mobilenet|squeezenet|alexnet|resnet50|vgg16|ssd|bert;\n\
+                scales: standard|reduced|tiny)\n\
+       shell                               interactive prompt\n\
+       help                                this text\n\
+     \n\
+     COMMON OPTIONS:\n\
+       --arch tpu|maeri|sigma   accelerator preset        [default: maeri]\n\
+       --ms N                   multiplier switches       [default: 256]\n\
+       --bw N                   GB bandwidth (elems/cyc)  [default: 128]\n\
+       --sparsity F             prune weights to F zeros  [default: 0]\n\
+       --seed N                 RNG seed                  [default: 1]\n\
+       --json                   print the JSON stats summary\n\
+       --counters               print the counter file\n\
+       --energy                 print the energy/area estimate\n"
+}
+
+/// Parsed `--key value` arguments (flags map to "true").
+struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            let Some(key) = t.strip_prefix("--") else {
+                return Err(format!("unexpected token `{t}` (expected --key)"));
+            };
+            let flag = matches!(key, "json" | "counters" | "energy");
+            if flag {
+                map.insert(key.to_owned(), "true".to_owned());
+                i += 1;
+            } else {
+                let value = tokens
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                map.insert(key.to_owned(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Self { map })
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+fn build_config(args: &Args) -> Result<AcceleratorConfig, String> {
+    let ms = args.get_usize("ms", 256)?;
+    let bw = args.get_usize("bw", 128)?;
+    let cfg = match args.get_str("arch", "maeri").as_str() {
+        "tpu" => {
+            let dim = (ms as f64).sqrt().round() as usize;
+            if dim * dim != ms {
+                return Err(format!("--ms {ms}: TPU arrays must be square"));
+            }
+            AcceleratorConfig::tpu_like(dim)
+        }
+        "maeri" => AcceleratorConfig::maeri_like(ms, bw),
+        "sigma" => AcceleratorConfig::sigma_like(ms, bw),
+        other => return Err(format!("unknown --arch `{other}` (tpu|maeri|sigma)")),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn report(args: &Args, cfg: &AcceleratorConfig, stats: &SimStats) {
+    println!(
+        "[{}] {}: {} cycles, utilization {:.1}%, {} mults",
+        stats.accelerator,
+        stats.operation,
+        stats.cycles,
+        stats.ms_utilization() * 100.0,
+        stats.counters.multiplications
+    );
+    if args.flag("json") {
+        println!("{}", summary_json(stats));
+    }
+    if args.flag("counters") {
+        print!("{}", counter_file(stats));
+    }
+    if args.flag("energy") {
+        let e = EnergyModel::for_config(cfg).breakdown(stats);
+        let a = area_um2(cfg);
+        println!(
+            "energy: {:.3} µJ (GB {:.3} / DN {:.3} / MN {:.3} / RN {:.3} / static {:.3})",
+            e.total_uj(),
+            e.gb_uj,
+            e.dn_uj,
+            e.mn_uj,
+            e.rn_uj,
+            e.static_uj
+        );
+        println!(
+            "area: {:.0} µm² (GB {:.0}%, DN {:.0} µm², MN {:.0} µm², RN {:.0} µm²)",
+            a.total(),
+            a.gb_fraction() * 100.0,
+            a.dn_um2,
+            a.mn_um2,
+            a.rn_um2
+        );
+    }
+}
+
+fn cmd_gemm(args: &Args) -> Result<(), String> {
+    let m = args.get_usize("m", 64)?;
+    let n = args.get_usize("n", 64)?;
+    let k = args.get_usize("k", 64)?;
+    let sparsity = args.get_f64("sparsity", 0.0)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let cfg = build_config(args)?;
+    let mut rng = SeededRng::new(seed);
+    let mut a = Matrix::random(m, k, &mut rng);
+    if sparsity > 0.0 {
+        prune_matrix_to_sparsity(&mut a, sparsity);
+    }
+    let b = Matrix::random(k, n, &mut rng);
+    let mut sim = Stonne::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let (_, stats) = sim.run_gemm(&format!("gemm {m}x{n}x{k}"), &a, &b);
+    report(args, &cfg, &stats);
+    Ok(())
+}
+
+fn cmd_conv(args: &Args) -> Result<(), String> {
+    let in_c = args.get_usize("in-c", 3)?;
+    let out_c = args.get_usize("out-c", 8)?;
+    let hw = args.get_usize("hw", 16)?;
+    let kernel = args.get_usize("kernel", 3)?;
+    let stride = args.get_usize("stride", 1)?;
+    let pad = args.get_usize("pad", 0)?;
+    let groups = args.get_usize("groups", 1)?;
+    let sparsity = args.get_f64("sparsity", 0.0)?;
+    let seed = args.get_usize("seed", 1)? as u64;
+    let cfg = build_config(args)?;
+
+    if in_c % groups != 0 || out_c % groups != 0 {
+        return Err("--groups must divide --in-c and --out-c".into());
+    }
+    let geom = Conv2dGeom::new(in_c, out_c, kernel, kernel, stride, pad, groups);
+    let mut rng = SeededRng::new(seed);
+    let input = Tensor4::random(1, in_c, hw, hw, &mut rng);
+    let mut weights = Tensor4::random(out_c, in_c / groups, kernel, kernel, &mut rng);
+    if sparsity > 0.0 {
+        stonne::tensor::prune_tensor_to_sparsity(&mut weights, sparsity);
+    }
+    let mut sim = Stonne::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let (_, stats) = sim.run_conv(
+        &format!("conv {in_c}->{out_c} {kernel}x{kernel}/{stride} @{hw}"),
+        &input,
+        &weights,
+        &geom,
+        None,
+    );
+    report(args, &cfg, &stats);
+    Ok(())
+}
+
+fn cmd_model(args: &Args) -> Result<(), String> {
+    let id = match args.get_str("name", "squeezenet").as_str() {
+        "mobilenet" => ModelId::MobileNetV1,
+        "squeezenet" => ModelId::SqueezeNet,
+        "alexnet" => ModelId::AlexNet,
+        "resnet50" => ModelId::ResNet50,
+        "vgg16" => ModelId::Vgg16,
+        "ssd" => ModelId::SsdMobileNet,
+        "bert" => ModelId::Bert,
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    let scale = match args.get_str("scale", "tiny").as_str() {
+        "standard" => ModelScale::Standard,
+        "reduced" => ModelScale::Reduced,
+        "tiny" => ModelScale::Tiny,
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    let seed = args.get_usize("seed", 1)? as u64;
+    let cfg = build_config(args)?;
+    let model = zoo::build(id, scale);
+    let sparsity = args.get_f64("sparsity", model.weight_sparsity())?;
+    let params = ModelParams::generate_with_sparsity(&model, seed, sparsity);
+    let input = generate_input(&model, seed ^ 1);
+
+    eprintln!(
+        "simulating {} ({:?} scale, {:.0}% weight sparsity) on {} …",
+        id,
+        scale,
+        sparsity * 100.0,
+        cfg.name
+    );
+    let run =
+        run_model_simulated(&model, &params, &input, cfg.clone()).map_err(|e| e.to_string())?;
+    for layer in &run.layers {
+        println!(
+            "  {:<28} {:>12} cycles  util {:>5.1}%",
+            layer.name,
+            layer.stats.cycles,
+            layer.stats.ms_utilization() * 100.0
+        );
+    }
+    report(args, &cfg, &run.total);
+    println!(
+        "model energy: {:.3} µJ (GB {:.3} / DN {:.3} / MN {:.3} / RN {:.3})",
+        run.energy.total_uj(),
+        run.energy.gb_uj,
+        run.energy.dn_uj,
+        run.energy.mn_uj,
+        run.energy.rn_uj
+    );
+    Ok(())
+}
+
+fn dispatch(command: &str, args: &Args) -> Result<(), String> {
+    match command {
+        "gemm" => cmd_gemm(args),
+        "conv" => cmd_conv(args),
+        "model" => cmd_model(args),
+        "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `help`")),
+    }
+}
+
+fn shell() -> Result<(), String> {
+    println!("STONNE User Interface — type commands, `help`, or `exit`.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("stonne> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            return Ok(()); // EOF
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        let Some((command, rest)) = tokens.split_first() else {
+            continue;
+        };
+        if command == "exit" || command == "quit" {
+            return Ok(());
+        }
+        match Args::parse(rest).and_then(|args| dispatch(command, &args)) {
+            Ok(()) => {}
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    };
+    let result = if command == "shell" {
+        shell()
+    } else {
+        Args::parse(rest).and_then(|args| dispatch(command, &args))
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `stonne help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        let tokens: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        Args::parse(&tokens).unwrap()
+    }
+
+    #[test]
+    fn parse_key_values_and_flags() {
+        let a = args("--m 64 --arch sigma --json");
+        assert_eq!(a.get_usize("m", 0).unwrap(), 64);
+        assert_eq!(a.get_str("arch", "x"), "sigma");
+        assert!(a.flag("json"));
+        assert!(!a.flag("counters"));
+        assert_eq!(a.get_usize("n", 7).unwrap(), 7); // default
+    }
+
+    #[test]
+    fn parse_rejects_missing_value() {
+        let tokens = vec!["--m".to_owned()];
+        assert!(Args::parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bare_token() {
+        let tokens = vec!["gemm".to_owned()];
+        assert!(Args::parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_number() {
+        let a = args("--m abc");
+        assert!(a.get_usize("m", 0).is_err());
+    }
+
+    #[test]
+    fn config_presets_resolve() {
+        assert_eq!(
+            build_config(&args("--arch tpu --ms 256")).unwrap().ms_size,
+            256
+        );
+        assert!(build_config(&args("--arch maeri --ms 64 --bw 8")).is_ok());
+        assert!(build_config(&args("--arch sigma")).is_ok());
+        assert!(build_config(&args("--arch hypercube")).is_err());
+        // Non-square TPU rejected.
+        assert!(build_config(&args("--arch tpu --ms 200")).is_err());
+    }
+
+    #[test]
+    fn gemm_command_runs_end_to_end() {
+        let a = args("--m 8 --n 8 --k 8 --arch maeri --ms 32 --bw 8");
+        cmd_gemm(&a).unwrap();
+    }
+
+    #[test]
+    fn conv_command_runs_end_to_end() {
+        let a = args("--in-c 2 --out-c 3 --hw 6 --kernel 3 --arch sigma --ms 32 --bw 32");
+        cmd_conv(&a).unwrap();
+    }
+
+    #[test]
+    fn conv_command_validates_groups() {
+        let a = args("--in-c 3 --out-c 4 --groups 2");
+        assert!(cmd_conv(&a).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        assert!(dispatch("frobnicate", &args("")).is_err());
+        assert!(dispatch("help", &args("")).is_ok());
+    }
+}

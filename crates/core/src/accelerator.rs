@@ -1,0 +1,641 @@
+//! The top-level simulated accelerator: dispatches operations onto the
+//! engine selected by the configuration's building blocks.
+
+use crate::config::{AcceleratorConfig, ConfigError, ControllerKind, DnKind};
+use crate::engine::flexible::{run_dense, DenseOperand};
+use crate::engine::sparse::{run_spmm, NaturalOrder, RowSchedule, SparseRun};
+use crate::engine::{conv_operand, pool, systolic};
+use crate::mapping::{LayerDims, Tile};
+use crate::stats::SimStats;
+use stonne_tensor::{col2im_output, Conv2dGeom, CsrMatrix, Matrix, Tensor4};
+
+/// A simulated DNN inference accelerator instance.
+///
+/// Created from an [`AcceleratorConfig`], it accepts the coarse-grained
+/// operations of the STONNE API (convolution, linear, dense/sparse matrix
+/// multiplication, max pooling), runs them cycle-by-cycle on the composed
+/// engine, and returns both the functional output and the [`SimStats`].
+///
+/// ```
+/// use stonne_core::{AcceleratorConfig, Stonne};
+/// use stonne_tensor::{Matrix, SeededRng};
+///
+/// # fn main() -> Result<(), stonne_core::ConfigError> {
+/// let mut rng = SeededRng::new(0);
+/// let a = Matrix::random(8, 16, &mut rng);
+/// let b = Matrix::random(16, 4, &mut rng);
+/// let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16))?;
+/// let (out, stats) = sim.run_gemm("demo", &a, &b);
+/// assert_eq!((out.rows(), out.cols()), (8, 4));
+/// assert!(stats.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stonne {
+    config: AcceleratorConfig,
+    history: Vec<SimStats>,
+}
+
+impl Stonne {
+    /// Creates an accelerator instance, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the building blocks are incompatible.
+    pub fn new(config: AcceleratorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            history: Vec::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Statistics of every operation run so far, in order.
+    pub fn history(&self) -> &[SimStats] {
+        &self.history
+    }
+
+    /// Aggregated statistics across the whole history.
+    pub fn aggregate_stats(&self) -> SimStats {
+        let mut total = SimStats {
+            operation: "aggregate".to_owned(),
+            ms_size: self.config.ms_size,
+            ..SimStats::default()
+        };
+        for s in &self.history {
+            total.merge(s);
+        }
+        total
+    }
+
+    fn record(&mut self, mut stats: SimStats, operand_elems: u64, output_elems: u64) -> SimStats {
+        if self.config.model_dram {
+            self.apply_dram(&mut stats, operand_elems, output_elems);
+        }
+        self.history.push(stats.clone());
+        stats
+    }
+
+    /// Folds DRAM traffic into the stats: double-buffered prefetch hides
+    /// fetches that fit under the compute time; the remainder stalls.
+    fn apply_dram(&self, stats: &mut SimStats, operand_elems: u64, output_elems: u64) {
+        let per_cycle = self.config.dram.elements_per_cycle();
+        let fetch_cycles =
+            (operand_elems as f64 / per_cycle).ceil() as u64 + self.config.dram.latency_cycles;
+        let stall = fetch_cycles.saturating_sub(stats.cycles);
+        stats.cycles += stall;
+        stats.dram_stall_cycles += stall;
+        stats.counters.dram_reads += operand_elems;
+        stats.counters.dram_writes += output_elems;
+    }
+
+    /// Runs a dense GEMM `C = A (M×K) × B (K×N)`.
+    ///
+    /// The engine is selected by the configured controller and DN: a
+    /// point-to-point dense composition runs systolic; tree/Benes dense
+    /// compositions run the flexible engine with an auto-derived tile; a
+    /// sparse controller compresses `A` on the fly (exploiting any zeros).
+    pub fn run_gemm(&mut self, name: &str, a: &Matrix, b: &Matrix) -> (Matrix, SimStats) {
+        self.run_gemm_scheduled(name, a, b, &NaturalOrder)
+    }
+
+    /// Runs a dense GEMM with an explicit filter schedule (only effective
+    /// on sparse-controller configurations; dense engines map rows
+    /// statically).
+    pub fn run_gemm_scheduled(
+        &mut self,
+        name: &str,
+        a: &Matrix,
+        b: &Matrix,
+        schedule: &dyn RowSchedule,
+    ) -> (Matrix, SimStats) {
+        if self.config.controller == ControllerKind::Sparse {
+            let csr = CsrMatrix::from_dense(a);
+            let run = run_spmm(&self.config, name, &csr, b, schedule);
+            let operand_elems = (csr.storage_elements() + b.len()) as u64;
+            let out_elems = (a.rows() * b.cols()) as u64;
+            let stats = self.record(run.stats, operand_elems, out_elems);
+            return (run.output, stats);
+        }
+        let layer = LayerDims::from_gemm(a.rows(), b.cols(), a.cols());
+        let tile = Tile::auto_bw(&layer, self.config.ms_size, self.config.dn_bandwidth);
+        self.run_gemm_tiled(name, a, b, &tile)
+    }
+
+    /// Explores the tile mapping space for a GEMM by *simulating* every
+    /// candidate of [`crate::mapping::candidate_tiles`] and returning the
+    /// fastest tile with its cycle count — the mRNA-style design-space
+    /// exploration the paper positions cycle-level simulation for
+    /// (analytical models mis-rank mappings whose delivery conflicts they
+    /// cannot see).
+    ///
+    /// Exploration runs do not enter the instance history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' inner dimensions disagree.
+    pub fn search_best_tile(&self, a: &Matrix, b: &Matrix) -> (Tile, u64) {
+        assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
+        let layer = LayerDims::from_gemm(a.rows(), b.cols(), a.cols());
+        let mut best: Option<(Tile, u64)> = None;
+        for tile in crate::mapping::candidate_tiles(&layer, self.config.ms_size) {
+            let mut probe = Stonne {
+                config: self.config.clone(),
+                history: Vec::new(),
+            };
+            let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
+            if best.as_ref().is_none_or(|(_, c)| stats.cycles < *c) {
+                best = Some((tile, stats.cycles));
+            }
+        }
+        best.expect("candidate_tiles is never empty")
+    }
+
+    /// Runs a dense GEMM with an explicit tile (flexible compositions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile does not fit the layer/array.
+    pub fn run_gemm_tiled(
+        &mut self,
+        name: &str,
+        a: &Matrix,
+        b: &Matrix,
+        tile: &Tile,
+    ) -> (Matrix, SimStats) {
+        let operand_elems = (a.len() + b.len()) as u64;
+        let out_elems = (a.rows() * b.cols()) as u64;
+        match (self.config.controller, self.config.dn) {
+            (ControllerKind::Dense, DnKind::PointToPoint) => {
+                let (out, stats) = systolic::run_gemm(&self.config, name, a, b);
+                let stats = self.record(stats, operand_elems, out_elems);
+                (out, stats)
+            }
+            (ControllerKind::Dense, _) => {
+                let layer = LayerDims::from_gemm(a.rows(), b.cols(), a.cols());
+                let operand = DenseOperand::from_gemm(a.clone(), b.clone());
+                let (out, stats) = run_dense(&self.config, name, &layer, tile, &operand);
+                let stats = self.record(stats, operand_elems, out_elems);
+                (out, stats)
+            }
+            (ControllerKind::Sparse, _) => {
+                let csr = CsrMatrix::from_dense(a);
+                let run = run_spmm(&self.config, name, &csr, b, &NaturalOrder);
+                let operand_elems = (csr.storage_elements() + b.len()) as u64;
+                let stats = self.record(run.stats, operand_elems, out_elems);
+                (run.output, stats)
+            }
+        }
+    }
+
+    /// Runs a sparse matrix multiplication `C = A_csr × B` with the
+    /// default (natural) filter order.
+    pub fn run_spmm(&mut self, name: &str, a: &CsrMatrix, b: &Matrix) -> (Matrix, SimStats) {
+        let run = self.run_spmm_scheduled(name, a, b, &NaturalOrder);
+        (run.output, run.stats)
+    }
+
+    /// Runs a sparse matrix multiplication with an explicit filter
+    /// schedule, returning the full [`SparseRun`] (packing info included).
+    ///
+    /// On dense-controller configurations the operand is densified first
+    /// (a dense engine cannot skip zeros).
+    pub fn run_spmm_scheduled(
+        &mut self,
+        name: &str,
+        a: &CsrMatrix,
+        b: &Matrix,
+        schedule: &dyn RowSchedule,
+    ) -> SparseRun {
+        match self.config.controller {
+            ControllerKind::Sparse => {
+                let run = run_spmm(&self.config, name, a, b, schedule);
+                let operand_elems = (a.storage_elements() + b.len()) as u64;
+                let out_elems = (a.rows() * b.cols()) as u64;
+                let stats = self.record(run.stats.clone(), operand_elems, out_elems);
+                SparseRun { stats, ..run }
+            }
+            ControllerKind::Dense => {
+                let dense = a.to_dense();
+                let (output, stats) = self.run_gemm(name, &dense, b);
+                SparseRun {
+                    output,
+                    stats,
+                    iterations: Vec::new(),
+                    input_stationary: false,
+                }
+            }
+        }
+    }
+
+    /// Runs a (possibly grouped) convolution.
+    ///
+    /// Each group lowers to a GEMM via im2col; the flexible engine
+    /// additionally receives the Global-Buffer address map so overlapping
+    /// windows multicast. The optional `tile` pins the mapping; otherwise
+    /// the mapper derives one per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes disagree with `geom`.
+    pub fn run_conv(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        weights: &Tensor4,
+        geom: &Conv2dGeom,
+        tile: Option<Tile>,
+    ) -> (Tensor4, SimStats) {
+        self.run_conv_scheduled(name, input, weights, geom, tile, &NaturalOrder)
+    }
+
+    /// Runs a convolution with an explicit filter schedule (only effective
+    /// on sparse-controller configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor shapes disagree with `geom`.
+    pub fn run_conv_scheduled(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        weights: &Tensor4,
+        geom: &Conv2dGeom,
+        tile: Option<Tile>,
+        schedule: &dyn RowSchedule,
+    ) -> (Tensor4, SimStats) {
+        // Grouped convolutions on a sparse controller lower to one
+        // block-diagonal SpMM: every filter's non-zeros live only on its
+        // group's im2col rows, so the variable-cluster machinery maps all
+        // groups simultaneously — how SIGMA natively absorbs factorized
+        // convolutions.
+        if geom.groups > 1 && self.config.controller == ControllerKind::Sparse {
+            return self.run_grouped_conv_block_diagonal(name, input, weights, geom, schedule);
+        }
+        let (oh, ow) = geom.out_hw(input.h(), input.w());
+        let mut group_outputs = Vec::with_capacity(geom.groups);
+        let mut total: Option<SimStats> = None;
+        for g in 0..geom.groups {
+            let gname = if geom.groups == 1 {
+                name.to_owned()
+            } else {
+                format!("{name}.g{g}")
+            };
+            let (out, stats) = self.run_conv_group(&gname, input, weights, geom, g, tile, schedule);
+            group_outputs.push(out);
+            match &mut total {
+                None => total = Some(stats),
+                Some(t) => t.merge(&stats),
+            }
+        }
+        let mut stats = total.expect("at least one group");
+        stats.operation = name.to_owned();
+        // Flexible dense fabrics map several groups' clusters concurrently
+        // (the paper's T_G tile dimension); the groups split the array and
+        // the delivery bandwidth, overlapping their execution. Rigid
+        // point-to-point arrays cannot, and pay the serialization.
+        if geom.groups > 1
+            && self.config.controller == ControllerKind::Dense
+            && self.config.dn != DnKind::PointToPoint
+        {
+            let group_layer = LayerDims::from_conv(geom, input.h(), input.w(), input.n());
+            let per_group = Tile::auto_bw(
+                &LayerDims {
+                    c: group_layer.c / group_layer.g,
+                    k: group_layer.k / group_layer.g,
+                    g: 1,
+                    ..group_layer
+                },
+                self.config.ms_size,
+                self.config.dn_bandwidth,
+            );
+            let concurrent =
+                (self.config.ms_size / per_group.ms_used().max(1)).clamp(1, geom.groups) as u64;
+            stats.cycles = stats.cycles.div_ceil(concurrent);
+            stats.compute_cycles = stats.compute_cycles.div_ceil(concurrent);
+            stats.bandwidth_stall_cycles = stats.bandwidth_stall_cycles.div_ceil(concurrent);
+        }
+        let out = col2im_output(&group_outputs, geom, input.n(), oh, ow);
+        (out, stats)
+    }
+
+    /// Lowers a grouped convolution to a single block-diagonal sparse
+    /// GEMM and runs it on the sparse engine (all groups mapped at once).
+    fn run_grouped_conv_block_diagonal(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        weights: &Tensor4,
+        geom: &Conv2dGeom,
+        schedule: &dyn RowSchedule,
+    ) -> (Tensor4, SimStats) {
+        let (oh, ow) = geom.out_hw(input.h(), input.w());
+        let dot = geom.dot_product_len();
+        let kpg = geom.out_c_per_group();
+        let n_cols = input.n() * oh * ow;
+
+        // Stationary operand: out_c rows over groups·dot columns, each
+        // filter's taps in its group's column block.
+        let mut bd = Matrix::zeros(geom.out_c, geom.groups * dot);
+        // Streaming operand: the stacked per-group im2col matrices.
+        let mut inputs = Matrix::zeros(geom.groups * dot, n_cols);
+        for g in 0..geom.groups {
+            let operand = conv_operand(input, weights, geom, g);
+            for kk in 0..kpg {
+                for c in 0..dot {
+                    bd.set(g * kpg + kk, g * dot + c, operand.weights.get(kk, c));
+                }
+            }
+            for r in 0..dot {
+                for col in 0..n_cols {
+                    inputs.set(g * dot + r, col, operand.inputs.get(r, col));
+                }
+            }
+        }
+        let csr = CsrMatrix::from_dense(&bd);
+        let run = run_spmm(&self.config, name, &csr, &inputs, schedule);
+        let out_elems = (geom.out_c * n_cols) as u64;
+        let in_elems = (csr.storage_elements() + input.len()) as u64;
+        let stats = self.record(run.stats, in_elems, out_elems);
+
+        // Rows are group-major (g·kpg + kk); slice them back per group.
+        let group_outputs: Vec<Matrix> = (0..geom.groups)
+            .map(|g| {
+                let mut m = Matrix::zeros(kpg, n_cols);
+                for kk in 0..kpg {
+                    for col in 0..n_cols {
+                        m.set(kk, col, run.output.get(g * kpg + kk, col));
+                    }
+                }
+                m
+            })
+            .collect();
+        let out = col2im_output(&group_outputs, geom, input.n(), oh, ow);
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_conv_group(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        weights: &Tensor4,
+        geom: &Conv2dGeom,
+        g: usize,
+        tile: Option<Tile>,
+        schedule: &dyn RowSchedule,
+    ) -> (Matrix, SimStats) {
+        let layer = LayerDims::from_conv(geom, input.h(), input.w(), input.n());
+        match (self.config.controller, self.config.dn) {
+            (ControllerKind::Dense, DnKind::PointToPoint) => {
+                let operand = conv_operand(input, weights, geom, g);
+                let out_elems = (operand.weights.rows() * operand.inputs.cols()) as u64;
+                let in_elems = (operand.weights.len() + operand.inputs.len()) as u64;
+                let (out, stats) =
+                    systolic::run_gemm(&self.config, name, &operand.weights, &operand.inputs);
+                let stats = self.record(stats, in_elems, out_elems);
+                (out, stats)
+            }
+            (ControllerKind::Dense, _) => {
+                let operand = conv_operand(input, weights, geom, g);
+                // Per-group layer view: the tile maps one group at a time.
+                let group_layer = LayerDims {
+                    c: layer.c / layer.g,
+                    k: layer.k / layer.g,
+                    g: 1,
+                    ..layer
+                };
+                let tile = tile.unwrap_or_else(|| {
+                    Tile::auto_bw(&group_layer, self.config.ms_size, self.config.dn_bandwidth)
+                });
+                let out_elems = (operand.weights.rows() * operand.inputs.cols()) as u64;
+                let in_elems = (operand.weights.len() + input.len() / geom.groups) as u64;
+                let (out, stats) = run_dense(&self.config, name, &group_layer, &tile, &operand);
+                let stats = self.record(stats, in_elems, out_elems);
+                (out, stats)
+            }
+            (ControllerKind::Sparse, _) => {
+                let operand = conv_operand(input, weights, geom, g);
+                let csr = CsrMatrix::from_dense(&operand.weights);
+                let run = run_spmm(&self.config, name, &csr, &operand.inputs, schedule);
+                let out_elems = (csr.rows() * operand.inputs.cols()) as u64;
+                let in_elems = (csr.storage_elements() + input.len() / geom.groups) as u64;
+                let stats = self.record(run.stats, in_elems, out_elems);
+                (run.output, stats)
+            }
+        }
+    }
+
+    /// Runs a fully-connected layer: `output (seq×out) = input (seq×in) ×
+    /// weightsᵀ (out×in)`, the STONNE API's `ConfigureLinear`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.cols() != input.cols()`.
+    pub fn run_linear(
+        &mut self,
+        name: &str,
+        input: &Matrix,
+        weights: &Matrix,
+    ) -> (Matrix, SimStats) {
+        self.run_linear_scheduled(name, input, weights, &NaturalOrder)
+    }
+
+    /// Runs a fully-connected layer with an explicit filter schedule (only
+    /// effective on sparse-controller configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.cols() != input.cols()`.
+    pub fn run_linear_scheduled(
+        &mut self,
+        name: &str,
+        input: &Matrix,
+        weights: &Matrix,
+        schedule: &dyn RowSchedule,
+    ) -> (Matrix, SimStats) {
+        assert_eq!(
+            weights.cols(),
+            input.cols(),
+            "linear weight/input feature mismatch"
+        );
+        // Weights are the stationary MK operand; tokens stream as KN.
+        let b = input.transposed();
+        let (out, stats) = self.run_gemm_scheduled(name, weights, &b, schedule);
+        (out.transposed(), stats)
+    }
+
+    /// Runs a max-pool layer (the STONNE API's `ConfigureMaxPool`).
+    pub fn run_maxpool(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        window: usize,
+        stride: usize,
+    ) -> (Tensor4, SimStats) {
+        let (out, stats) = pool::run_maxpool(&self.config, name, input, window, stride);
+        let in_elems = input.len() as u64;
+        let out_elems = out.len() as u64;
+        let stats = self.record(stats, in_elems, out_elems);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stonne_tensor::{assert_slices_close, conv2d_reference, gemm_reference, SeededRng};
+
+    fn presets() -> Vec<AcceleratorConfig> {
+        vec![
+            AcceleratorConfig::tpu_like(8),
+            AcceleratorConfig::maeri_like(64, 16),
+            AcceleratorConfig::sigma_like(64, 64),
+        ]
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_all_presets() {
+        let mut rng = SeededRng::new(1);
+        let a = Matrix::random(10, 20, &mut rng);
+        let b = Matrix::random(20, 6, &mut rng);
+        let reference = gemm_reference(&a, &b);
+        for cfg in presets() {
+            let name = cfg.name.clone();
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (out, stats) = sim.run_gemm("gemm", &a, &b);
+            assert_slices_close(out.as_slice(), reference.as_slice());
+            assert!(stats.cycles > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_reference_on_all_presets() {
+        let geom = Conv2dGeom::new(3, 5, 3, 3, 1, 1, 1);
+        let mut rng = SeededRng::new(2);
+        let input = Tensor4::random(1, 3, 6, 6, &mut rng);
+        let weights = Tensor4::random(5, 3, 3, 3, &mut rng);
+        let reference = conv2d_reference(&input, &weights, &geom);
+        for cfg in presets() {
+            let name = cfg.name.clone();
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (out, _) = sim.run_conv("conv", &input, &weights, &geom, None);
+            assert_slices_close(out.as_slice(), reference.as_slice());
+            let _ = name;
+        }
+    }
+
+    #[test]
+    fn grouped_conv_matches_reference() {
+        let geom = Conv2dGeom::new(4, 4, 3, 3, 1, 1, 4); // depthwise
+        let mut rng = SeededRng::new(3);
+        let input = Tensor4::random(1, 4, 5, 5, &mut rng);
+        let weights = Tensor4::random(4, 1, 3, 3, &mut rng);
+        let reference = conv2d_reference(&input, &weights, &geom);
+        for cfg in presets() {
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (out, stats) = sim.run_conv("dw", &input, &weights, &geom, None);
+            assert_slices_close(out.as_slice(), reference.as_slice());
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn linear_matches_reference() {
+        let mut rng = SeededRng::new(4);
+        let input = Matrix::random(3, 12, &mut rng); // seq 3, in 12
+        let weights = Matrix::random(7, 12, &mut rng); // out 7
+        let expected = gemm_reference(&input, &weights.transposed());
+        for cfg in presets() {
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (out, _) = sim.run_linear("fc", &input, &weights);
+            assert_slices_close(out.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut rng = SeededRng::new(5);
+        let a = Matrix::random(4, 8, &mut rng);
+        let b = Matrix::random(8, 4, &mut rng);
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(32, 8)).unwrap();
+        sim.run_gemm("g1", &a, &b);
+        sim.run_gemm("g2", &a, &b);
+        assert_eq!(sim.history().len(), 2);
+        let agg = sim.aggregate_stats();
+        assert_eq!(
+            agg.cycles,
+            sim.history()[0].cycles + sim.history()[1].cycles
+        );
+    }
+
+    #[test]
+    fn sparse_controller_exploits_gemm_zeros() {
+        let mut rng = SeededRng::new(6);
+        let mut a = Matrix::random(32, 32, &mut rng);
+        for r in 0..32 {
+            for c in 0..32 {
+                if (r + c) % 4 != 0 {
+                    a.set(r, c, 0.0); // 75% sparse
+                }
+            }
+        }
+        let b = Matrix::random(32, 16, &mut rng);
+        let mut sigma = Stonne::new(AcceleratorConfig::sigma_like(64, 64)).unwrap();
+        let mut maeri = Stonne::new(AcceleratorConfig::maeri_like(64, 64)).unwrap();
+        let (so, ss) = sigma.run_gemm("sp", &a, &b);
+        let (mo, ms) = maeri.run_gemm("sp", &a, &b);
+        assert_slices_close(so.as_slice(), mo.as_slice());
+        assert!(
+            ss.counters.multiplications < ms.counters.multiplications / 2,
+            "sparse engine must skip zero MACs"
+        );
+    }
+
+    #[test]
+    fn dram_modeling_adds_stalls_when_enabled() {
+        let mut rng = SeededRng::new(7);
+        let a = Matrix::random(16, 16, &mut rng);
+        let b = Matrix::random(16, 16, &mut rng);
+        let mut slow_dram = AcceleratorConfig::maeri_like(64, 64).with_dram_modeling(true);
+        slow_dram.dram.bandwidth_gbps_per_channel = 0.5;
+        slow_dram.dram.channels = 1;
+        let mut sim = Stonne::new(slow_dram).unwrap();
+        let (_, stats) = sim.run_gemm("g", &a, &b);
+        assert!(stats.dram_stall_cycles > 0);
+        assert!(stats.counters.dram_reads > 0);
+    }
+
+    #[test]
+    fn tile_search_never_loses_to_the_auto_tile() {
+        let mut rng = SeededRng::new(9);
+        let a = Matrix::random(24, 96, &mut rng);
+        let b = Matrix::random(96, 48, &mut rng);
+        let cfg = AcceleratorConfig::maeri_like(128, 32);
+        let sim = Stonne::new(cfg.clone()).unwrap();
+        let (best_tile, best_cycles) = sim.search_best_tile(&a, &b);
+        let mut auto_sim = Stonne::new(cfg).unwrap();
+        let (_, auto_stats) = auto_sim.run_gemm("auto", &a, &b);
+        assert!(
+            best_cycles <= auto_stats.cycles,
+            "search {best_cycles} worse than auto {} ({best_tile:?})",
+            auto_stats.cycles
+        );
+    }
+
+    #[test]
+    fn maxpool_runs_on_flexible_preset() {
+        let mut rng = SeededRng::new(8);
+        let input = Tensor4::random(1, 2, 6, 6, &mut rng);
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16)).unwrap();
+        let (out, stats) = sim.run_maxpool("pool", &input, 2, 2);
+        assert_eq!(out.shape(), (1, 2, 3, 3));
+        assert!(stats.cycles > 0);
+    }
+}

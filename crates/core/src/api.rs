@@ -1,0 +1,392 @@
+//! The STONNE API: the coarse-grained instruction set of Table III.
+//!
+//! The DL-framework front-end drives the simulation platform through these
+//! instructions: create an instance, configure an operation, configure the
+//! operand data, then launch. [`StonneMachine`] implements the state
+//! machine; the `stonne-nn` crate and the CLI are its two clients, exactly
+//! like the paper's PyTorch front-end and "STONNE User Interface".
+
+use crate::accelerator::Stonne;
+use crate::config::{AcceleratorConfig, ConfigError};
+use crate::mapping::Tile;
+use crate::stats::SimStats;
+use std::fmt;
+use stonne_tensor::{Conv2dGeom, CsrMatrix, Matrix, Tensor4};
+
+/// An operation configuration (the `Configure*` instructions).
+#[derive(Debug, Clone)]
+pub enum OpConfig {
+    /// `ConfigureCONV`: a convolution with optional pinned tile.
+    Conv {
+        /// Convolution geometry.
+        geom: Conv2dGeom,
+        /// Optional explicit tile mapping.
+        tile: Option<Tile>,
+    },
+    /// `ConfigureLinear`: a fully-connected layer.
+    Linear,
+    /// `ConfigureDMM`: a dense matrix multiplication.
+    Dmm,
+    /// `ConfigureSpMM`: a sparse matrix multiplication.
+    Spmm,
+    /// `ConfigureMaxPool`: a max-pooling layer.
+    MaxPool {
+        /// Window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+}
+
+/// Operand data bound by `ConfigureData`.
+#[derive(Debug, Clone)]
+pub enum OperandData {
+    /// NCHW input + KCHW weights (convolution).
+    ConvTensors {
+        /// Layer input.
+        input: Tensor4,
+        /// Filter weights.
+        weights: Tensor4,
+    },
+    /// Two dense matrices (`A × B`, also linear `input × weightsᵀ`).
+    Matrices {
+        /// Left operand (`M×K`; for linear, the `seq×in` input).
+        a: Matrix,
+        /// Right operand (`K×N`; for linear, the `out×in` weights).
+        b: Matrix,
+    },
+    /// Sparse MK operand and dense KN operand.
+    SparseMatrices {
+        /// Sparse left operand.
+        a: CsrMatrix,
+        /// Dense right operand.
+        b: Matrix,
+    },
+    /// A single tensor (pooling).
+    Tensor {
+        /// Layer input.
+        input: Tensor4,
+    },
+}
+
+/// The instruction set of Table III.
+#[derive(Debug, Clone)]
+pub enum Instruction {
+    /// Creates an instance of STONNE from a hardware configuration.
+    CreateInstance(AcceleratorConfig),
+    /// Configures the operation to run next.
+    Configure(OpConfig),
+    /// Binds operand data (weights/inputs/outputs addresses).
+    ConfigureData(OperandData),
+    /// Launches the simulation of the configured operation.
+    RunOperation {
+        /// Name recorded in the statistics.
+        name: String,
+    },
+}
+
+/// Functional result of a `RunOperation`.
+#[derive(Debug, Clone)]
+pub enum OpOutput {
+    /// Feature-map output (convolution, pooling).
+    Tensor(Tensor4),
+    /// Matrix output (GEMM, SpMM, linear).
+    Matrix(Matrix),
+}
+
+impl OpOutput {
+    /// The matrix payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is a tensor.
+    pub fn into_matrix(self) -> Matrix {
+        match self {
+            OpOutput::Matrix(m) => m,
+            OpOutput::Tensor(_) => panic!("operation produced a tensor, not a matrix"),
+        }
+    }
+
+    /// The tensor payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is a matrix.
+    pub fn into_tensor(self) -> Tensor4 {
+        match self {
+            OpOutput::Tensor(t) => t,
+            OpOutput::Matrix(_) => panic!("operation produced a matrix, not a tensor"),
+        }
+    }
+}
+
+/// API-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// `CreateInstance` failed configuration validation.
+    BadConfig(ConfigError),
+    /// An instruction arrived before `CreateInstance`.
+    NoInstance,
+    /// `RunOperation` arrived before `Configure`.
+    NoOperation,
+    /// `RunOperation` arrived before `ConfigureData`.
+    NoData,
+    /// The bound data does not fit the configured operation.
+    DataMismatch(String),
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::BadConfig(e) => write!(f, "{e}"),
+            ApiError::NoInstance => write!(f, "no STONNE instance: issue CreateInstance first"),
+            ApiError::NoOperation => write!(f, "no operation configured: issue Configure first"),
+            ApiError::NoData => write!(f, "no data configured: issue ConfigureData first"),
+            ApiError::DataMismatch(s) => write!(f, "operand data mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The API state machine: holds the instance, the pending operation and
+/// the bound data, and executes instructions in order.
+#[derive(Debug, Default)]
+pub struct StonneMachine {
+    instance: Option<Stonne>,
+    op: Option<OpConfig>,
+    data: Option<OperandData>,
+}
+
+impl StonneMachine {
+    /// Creates an empty machine (no instance yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access to the live instance (for stats inspection).
+    pub fn instance(&self) -> Option<&Stonne> {
+        self.instance.as_ref()
+    }
+
+    /// Executes one instruction.
+    ///
+    /// `RunOperation` returns the functional output and its statistics;
+    /// every other instruction returns `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] on out-of-order instructions or operand
+    /// mismatches.
+    pub fn execute(
+        &mut self,
+        instruction: Instruction,
+    ) -> Result<Option<(OpOutput, SimStats)>, ApiError> {
+        match instruction {
+            Instruction::CreateInstance(config) => {
+                let sim = Stonne::new(config).map_err(ApiError::BadConfig)?;
+                self.instance = Some(sim);
+                Ok(None)
+            }
+            Instruction::Configure(op) => {
+                if self.instance.is_none() {
+                    return Err(ApiError::NoInstance);
+                }
+                self.op = Some(op);
+                Ok(None)
+            }
+            Instruction::ConfigureData(data) => {
+                if self.instance.is_none() {
+                    return Err(ApiError::NoInstance);
+                }
+                self.data = Some(data);
+                Ok(None)
+            }
+            Instruction::RunOperation { name } => {
+                let sim = self.instance.as_mut().ok_or(ApiError::NoInstance)?;
+                let op = self.op.as_ref().ok_or(ApiError::NoOperation)?;
+                let data = self.data.as_ref().ok_or(ApiError::NoData)?;
+                let result = Self::dispatch(sim, op, data, &name)?;
+                Ok(Some(result))
+            }
+        }
+    }
+
+    fn dispatch(
+        sim: &mut Stonne,
+        op: &OpConfig,
+        data: &OperandData,
+        name: &str,
+    ) -> Result<(OpOutput, SimStats), ApiError> {
+        match (op, data) {
+            (OpConfig::Conv { geom, tile }, OperandData::ConvTensors { input, weights }) => {
+                if input.c() != geom.in_c || weights.n() != geom.out_c {
+                    return Err(ApiError::DataMismatch(format!(
+                        "conv expects {}→{} channels, got input c={} weights k={}",
+                        geom.in_c,
+                        geom.out_c,
+                        input.c(),
+                        weights.n()
+                    )));
+                }
+                let (out, stats) = sim.run_conv(name, input, weights, geom, *tile);
+                Ok((OpOutput::Tensor(out), stats))
+            }
+            (OpConfig::Linear, OperandData::Matrices { a, b }) => {
+                if a.cols() != b.cols() {
+                    return Err(ApiError::DataMismatch(format!(
+                        "linear expects matching feature dims, got {} and {}",
+                        a.cols(),
+                        b.cols()
+                    )));
+                }
+                let (out, stats) = sim.run_linear(name, a, b);
+                Ok((OpOutput::Matrix(out), stats))
+            }
+            (OpConfig::Dmm, OperandData::Matrices { a, b }) => {
+                if a.cols() != b.rows() {
+                    return Err(ApiError::DataMismatch(format!(
+                        "GEMM inner dims disagree: {} vs {}",
+                        a.cols(),
+                        b.rows()
+                    )));
+                }
+                let (out, stats) = sim.run_gemm(name, a, b);
+                Ok((OpOutput::Matrix(out), stats))
+            }
+            (OpConfig::Spmm, OperandData::SparseMatrices { a, b }) => {
+                if a.cols() != b.rows() {
+                    return Err(ApiError::DataMismatch(format!(
+                        "SpMM inner dims disagree: {} vs {}",
+                        a.cols(),
+                        b.rows()
+                    )));
+                }
+                let (out, stats) = sim.run_spmm(name, a, b);
+                Ok((OpOutput::Matrix(out), stats))
+            }
+            (OpConfig::MaxPool { window, stride }, OperandData::Tensor { input }) => {
+                let (out, stats) = sim.run_maxpool(name, input, *window, *stride);
+                Ok((OpOutput::Tensor(out), stats))
+            }
+            (op, data) => Err(ApiError::DataMismatch(format!(
+                "operation {op:?} cannot consume {}",
+                match data {
+                    OperandData::ConvTensors { .. } => "conv tensors",
+                    OperandData::Matrices { .. } => "dense matrices",
+                    OperandData::SparseMatrices { .. } => "sparse matrices",
+                    OperandData::Tensor { .. } => "a single tensor",
+                }
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stonne_tensor::{gemm_reference, SeededRng};
+
+    fn machine_with_instance() -> StonneMachine {
+        let mut m = StonneMachine::new();
+        m.execute(Instruction::CreateInstance(AcceleratorConfig::maeri_like(
+            64, 16,
+        )))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn full_instruction_sequence_runs_gemm() {
+        let mut rng = SeededRng::new(1);
+        let a = Matrix::random(4, 8, &mut rng);
+        let b = Matrix::random(8, 4, &mut rng);
+        let mut m = machine_with_instance();
+        m.execute(Instruction::Configure(OpConfig::Dmm)).unwrap();
+        m.execute(Instruction::ConfigureData(OperandData::Matrices {
+            a: a.clone(),
+            b: b.clone(),
+        }))
+        .unwrap();
+        let (out, stats) = m
+            .execute(Instruction::RunOperation { name: "t".into() })
+            .unwrap()
+            .unwrap();
+        let out = out.into_matrix();
+        stonne_tensor::assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn run_before_create_fails() {
+        let mut m = StonneMachine::new();
+        let err = m
+            .execute(Instruction::RunOperation { name: "x".into() })
+            .unwrap_err();
+        assert_eq!(err, ApiError::NoInstance);
+    }
+
+    #[test]
+    fn run_before_configure_fails() {
+        let mut m = machine_with_instance();
+        let err = m
+            .execute(Instruction::RunOperation { name: "x".into() })
+            .unwrap_err();
+        assert_eq!(err, ApiError::NoOperation);
+    }
+
+    #[test]
+    fn run_before_data_fails() {
+        let mut m = machine_with_instance();
+        m.execute(Instruction::Configure(OpConfig::Dmm)).unwrap();
+        let err = m
+            .execute(Instruction::RunOperation { name: "x".into() })
+            .unwrap_err();
+        assert_eq!(err, ApiError::NoData);
+    }
+
+    #[test]
+    fn mismatched_data_fails() {
+        let mut rng = SeededRng::new(2);
+        let mut m = machine_with_instance();
+        m.execute(Instruction::Configure(OpConfig::MaxPool {
+            window: 2,
+            stride: 2,
+        }))
+        .unwrap();
+        m.execute(Instruction::ConfigureData(OperandData::Matrices {
+            a: Matrix::random(2, 2, &mut rng),
+            b: Matrix::random(2, 2, &mut rng),
+        }))
+        .unwrap();
+        let err = m
+            .execute(Instruction::RunOperation { name: "x".into() })
+            .unwrap_err();
+        assert!(matches!(err, ApiError::DataMismatch(_)));
+    }
+
+    #[test]
+    fn bad_config_is_rejected_at_create() {
+        let mut bad = AcceleratorConfig::sigma_like(64, 64);
+        bad.dn_bandwidth = 0;
+        let mut m = StonneMachine::new();
+        let err = m.execute(Instruction::CreateInstance(bad)).unwrap_err();
+        assert!(matches!(err, ApiError::BadConfig(_)));
+    }
+
+    #[test]
+    fn gemm_inner_dim_mismatch_is_reported() {
+        let mut rng = SeededRng::new(3);
+        let mut m = machine_with_instance();
+        m.execute(Instruction::Configure(OpConfig::Dmm)).unwrap();
+        m.execute(Instruction::ConfigureData(OperandData::Matrices {
+            a: Matrix::random(2, 3, &mut rng),
+            b: Matrix::random(4, 2, &mut rng),
+        }))
+        .unwrap();
+        let err = m
+            .execute(Instruction::RunOperation { name: "x".into() })
+            .unwrap_err();
+        assert!(matches!(err, ApiError::DataMismatch(_)));
+    }
+}

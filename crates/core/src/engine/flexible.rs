@@ -1,0 +1,574 @@
+//! Cycle-level engine for tree-based flexible dense accelerators
+//! (MAERI-like compositions: Tree/Benes DN + Linear MN + ART/ART+ACC RN +
+//! dense memory controller).
+//!
+//! # Execution model
+//!
+//! The dense controller maps `Tile` clusters (virtual neurons) onto the
+//! multiplier array and walks the layer weight-stationary, fold-outer:
+//!
+//! ```text
+//! for each filter chunk (T_K filters):
+//!   for each fold of the dot product (cluster-size slices):
+//!     deliver the fold's weights through the DN        (bandwidth-bound)
+//!     for each output-position chunk (T_N·T_X'·T_Y'):
+//!       deliver the step's unique input elements       (bandwidth-bound)
+//!       multiply in all active MS, reduce through the RN (pipelined)
+//!       on the last fold, collect outputs              (bandwidth-bound)
+//! ```
+//!
+//! Input uniqueness is computed from the *addresses* of the im2col
+//! operand, so overlapping convolution windows multicast instead of
+//! re-fetching — the behaviour MAERI gets from its distribution tree and
+//! forwarding links. Partial sums accumulate in the RN accumulators
+//! (ART+ACC) when the filter chunk's output set fits; otherwise they spill
+//! to the Global Buffer, adding read-modify-write traffic and delivery
+//! cycles — exactly the kind of execution-time subtlety the paper shows
+//! analytical models miss (Fig. 1b).
+
+use crate::config::{AcceleratorConfig, Dataflow};
+use crate::mapping::{LayerDims, Tile};
+use crate::networks::{DistributionNetwork, MultiplierNetwork, ReductionNetwork};
+use crate::stats::SimStats;
+use stonne_tensor::{Elem, Matrix};
+
+/// Address marker for zero-padding taps (nothing is fetched).
+pub const PAD_ADDR: u32 = u32::MAX;
+
+/// One group's GEMM-lowered dense operand with Global-Buffer addresses.
+#[derive(Debug, Clone)]
+pub struct DenseOperand {
+    /// Stationary weights, `M × K` (filters × dot length).
+    pub weights: Matrix,
+    /// Streaming inputs, `K × N` (dot length × output positions).
+    pub inputs: Matrix,
+    /// GB address of every `inputs` entry (row-major `K × N`);
+    /// [`PAD_ADDR`] marks padding zeros that are never fetched.
+    pub addrs: Vec<u32>,
+}
+
+impl DenseOperand {
+    /// Builds a plain-GEMM operand where every input element has a unique
+    /// address (no convolution reuse).
+    pub fn from_gemm(weights: Matrix, inputs: Matrix) -> Self {
+        let addrs = (0..inputs.len() as u32).collect();
+        Self {
+            weights,
+            inputs,
+            addrs,
+        }
+    }
+
+    fn addr(&self, k: usize, n: usize) -> u32 {
+        self.addrs[k * self.inputs.cols() + n]
+    }
+}
+
+/// Runs one dense operand through the flexible engine.
+///
+/// Returns the `M × N` output and the cycle-level statistics.
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree with `layer`/`tile`, or if the tile
+/// does not fit the configured multiplier count.
+pub fn run_dense(
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    operand: &DenseOperand,
+) -> (Matrix, SimStats) {
+    let m = operand.weights.rows();
+    let k_len = operand.weights.cols();
+    let n = operand.inputs.cols();
+    assert_eq!(operand.inputs.rows(), k_len, "operand inner dims disagree");
+    assert_eq!(operand.addrs.len(), k_len * n, "address map size mismatch");
+    tile.validate(layer, config.ms_size)
+        .unwrap_or_else(|e| panic!("tile invalid for {operation}: {e}"));
+
+    match config.dataflow {
+        Dataflow::WeightStationary => {
+            run_weight_stationary(config, operation, layer, tile, operand, m, k_len, n)
+        }
+        Dataflow::OutputStationary => {
+            run_output_stationary(config, operation, layer, tile, operand, m, k_len, n)
+        }
+        Dataflow::InputStationary => {
+            run_input_stationary(config, operation, layer, tile, operand, m, n)
+        }
+    }
+}
+
+/// Input-stationary execution: the roles of the operands swap — the
+/// im2col columns (activations) pin to the multipliers and the weight
+/// rows stream through the distribution network. Implemented by running
+/// the weight-stationary engine on the transposed problem
+/// (`Cᵀ = Bᵀ·Aᵀ`): the stationary operand is loaded once per mapping,
+/// the streamed weights carry no reuse (each element is unique), which is
+/// exactly the IS traffic pattern.
+fn run_input_stationary(
+    config: &AcceleratorConfig,
+    operation: &str,
+    _layer: &LayerDims,
+    _tile: &Tile,
+    operand: &DenseOperand,
+    m: usize,
+    n: usize,
+) -> (Matrix, SimStats) {
+    let k_len = operand.inputs.rows();
+    let swapped =
+        DenseOperand::from_gemm(operand.inputs.transposed(), operand.weights.transposed());
+    // The transposed layer: the N activation columns become the stationary
+    // "filters" and the M filters become streamed positions; the mapper
+    // re-derives a tile for the transposed extents.
+    let t_layer = LayerDims::from_gemm(n, m, k_len);
+    let t_tile = Tile::auto_bw(&t_layer, config.ms_size, config.dn_bandwidth);
+    let mut cfg = config.clone();
+    cfg.dataflow = Dataflow::WeightStationary;
+    let (out_t, mut stats) =
+        run_weight_stationary(&cfg, operation, &t_layer, &t_tile, &swapped, n, k_len, m);
+    stats.operation = format!("{operation} [IS]");
+    (out_t.transposed(), stats)
+}
+
+/// Counts unique non-pad addresses in the given (rows × cols) window.
+fn unique_inputs(
+    operand: &DenseOperand,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+    scratch: &mut Vec<u32>,
+) -> usize {
+    scratch.clear();
+    for k in rows {
+        for c in cols.clone() {
+            let a = operand.addr(k, c);
+            if a != PAD_ADDR {
+                scratch.push(a);
+            }
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.len()
+}
+
+/// Splits the `n` output positions into delivery chunks of at most
+/// `t_pos` columns, aligned to output rows (`Y'` extent) so a chunk maps a
+/// contiguous `T_X' × T_Y'` rectangle of the feature map — boundary-
+/// crossing chunks would lose the window overlap the tree multicasts.
+fn position_chunks(layer: &LayerDims, n_cols: usize, t_pos: usize) -> Vec<(usize, usize)> {
+    let row_len = layer.yp.max(1);
+    let mut chunks = Vec::new();
+    if t_pos >= row_len {
+        // Group whole output rows together.
+        let size = (t_pos / row_len).max(1) * row_len;
+        let mut s = 0;
+        while s < n_cols {
+            chunks.push((s, (s + size).min(n_cols)));
+            s += size;
+        }
+    } else {
+        let mut row_start = 0;
+        while row_start < n_cols {
+            let row_end = (row_start + row_len).min(n_cols);
+            let mut s = row_start;
+            while s < row_end {
+                chunks.push((s, (s + t_pos).min(row_end)));
+                s += t_pos;
+            }
+            row_start = row_end;
+        }
+    }
+    chunks
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_weight_stationary(
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    operand: &DenseOperand,
+    m: usize,
+    k_len: usize,
+    n: usize,
+) -> (Matrix, SimStats) {
+    let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
+    let mn = MultiplierNetwork::new(config.mn, config.ms_size);
+    let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
+
+    let cluster = tile.cluster_size();
+    let t_k = tile.t_k * tile.t_g;
+    let t_pos = tile.t_n * tile.t_xp * tile.t_yp;
+    let folds = k_len.div_ceil(cluster);
+    // Accumulators at the RN output hold one psum per pending output; when
+    // a filter chunk's working set exceeds them, psums round-trip the GB.
+    let acc_capacity = if rn.has_accumulators() {
+        config.ms_size
+    } else {
+        0
+    };
+
+    let mut out = Matrix::zeros(m, n);
+    let mut stats = SimStats {
+        accelerator: config.name.clone(),
+        operation: operation.to_owned(),
+        ms_size: config.ms_size,
+        ..SimStats::default()
+    };
+    let mut cycles: u64 = 0;
+    let mut scratch = Vec::with_capacity(cluster * t_pos);
+    let pos_chunks = position_chunks(layer, n, t_pos);
+
+    // Position-blocked schedule: the controller walks output positions in
+    // blocks small enough that the block's psums live entirely in the RN
+    // accumulators across folds; stationary weights then reload once per
+    // (block, fold) and nothing spills. Only when even a single position
+    // chunk's psums exceed the accumulators does the engine fall back to
+    // GB round-trips — the behaviour plain ART (no ACC) always has.
+    let min_working_set = t_k * t_pos;
+    let spill = min_working_set > acc_capacity;
+    let chunks_per_block = if spill {
+        pos_chunks.len().max(1)
+    } else {
+        ((acc_capacity / t_k).max(t_pos) / t_pos).max(1)
+    };
+
+    let k_chunks = m.div_ceil(t_k);
+    for kc in 0..k_chunks {
+        let k_lo = kc * t_k;
+        let k_hi = (k_lo + t_k).min(m);
+        let chunk_filters = k_hi - k_lo;
+
+        for block in pos_chunks.chunks(chunks_per_block) {
+            for fold in 0..folds {
+                let row_lo = fold * cluster;
+                let row_hi = (row_lo + cluster).min(k_len);
+                let fold_rows = row_hi - row_lo;
+
+                // Stationary weight (re)load for this fold: one distinct
+                // value per (filter, row), multicast across position
+                // clusters.
+                let w_unique = chunk_filters * fold_rows;
+                let w_cycles = dn.delivery_cycles(w_unique).max(1);
+                cycles += w_cycles;
+                dn.account(&mut stats.counters, w_unique, chunk_filters * fold_rows);
+                stats.counters.gb_reads += w_unique as u64;
+
+                for &(pos, pos_hi) in block {
+                    let chunk_pos = pos_hi - pos;
+
+                    // Unique input elements this step (address reuse):
+                    let uniq = unique_inputs(operand, row_lo..row_hi, pos..pos_hi, &mut scratch);
+                    let mut needed = uniq;
+                    // Psum read-back when psums round-trip the GB.
+                    let psum_elems = chunk_filters * chunk_pos;
+                    if spill && fold > 0 {
+                        needed += psum_elems;
+                        stats.counters.gb_reads += psum_elems as u64;
+                    }
+                    let deliver = dn.delivery_cycles(needed);
+                    let mut step = deliver.max(1);
+                    dn.account(&mut stats.counters, uniq, fold_rows * chunk_pos);
+                    stats.counters.gb_reads += uniq as u64;
+                    stats.counters.fifo_pushes += uniq as u64;
+                    stats.counters.fifo_pops += uniq as u64;
+
+                    // Compute: every active VN multiplies its slice and
+                    // the RN reduces all clusters in one pipelined step.
+                    let mut mults: u64 = 0;
+                    for kf in k_lo..k_hi {
+                        for p in pos..pos_hi {
+                            let mut acc: Elem = 0.0;
+                            for row in row_lo..row_hi {
+                                let w = operand.weights.get(kf, row);
+                                let x = operand.inputs.get(row, p);
+                                if operand.addr(row, p) != PAD_ADDR {
+                                    mults += 1;
+                                }
+                                acc += w * x;
+                            }
+                            let cur = out.get(kf, p);
+                            out.set(kf, p, cur + acc);
+                        }
+                    }
+                    mn.account(&mut stats.counters, mults, 0);
+                    stats.ms_busy_cycles += mults;
+
+                    let cluster_sizes = vec![fold_rows; chunk_filters * chunk_pos];
+                    let outcome = rn.reduce(&cluster_sizes);
+                    stats.counters.rn_adder_ops += outcome.adder_ops;
+                    stats.counters.accumulator_updates += psum_elems as u64;
+
+                    let last_fold = fold + 1 == folds;
+                    if last_fold {
+                        // Collect finished outputs through the write ports.
+                        step = step.max(rn.collection_cycles(psum_elems));
+                        stats.counters.rn_collections += psum_elems as u64;
+                        stats.counters.gb_writes += psum_elems as u64;
+                    } else if spill {
+                        // Psum write-back competes for the write ports.
+                        step = step.max(rn.collection_cycles(psum_elems));
+                        stats.counters.gb_writes += psum_elems as u64;
+                    }
+
+                    stats.bandwidth_stall_cycles += step.saturating_sub(1);
+                    cycles += step;
+                    stats.compute_cycles += 1;
+                }
+            }
+        }
+        // Pipeline drain of the reduction tree for this filter chunk.
+        cycles += rn.reduce(&[cluster]).latency + 1;
+        stats.iterations += 1;
+    }
+
+    stats.cycles = cycles;
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_output_stationary(
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    operand: &DenseOperand,
+    m: usize,
+    k_len: usize,
+    n: usize,
+) -> (Matrix, SimStats) {
+    let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
+    let mn = MultiplierNetwork::new(config.mn, config.ms_size);
+    let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
+
+    let cluster = tile.cluster_size();
+    let t_k = tile.t_k * tile.t_g;
+    let t_pos = tile.t_n * tile.t_xp * tile.t_yp;
+    let folds = k_len.div_ceil(cluster);
+
+    let mut out = Matrix::zeros(m, n);
+    let mut stats = SimStats {
+        accelerator: config.name.clone(),
+        operation: operation.to_owned(),
+        ms_size: config.ms_size,
+        ..SimStats::default()
+    };
+    let mut cycles: u64 = 0;
+    let mut scratch = Vec::with_capacity(cluster * t_pos);
+    let pos_chunks = position_chunks(layer, n, t_pos);
+
+    // Outputs stay pinned in the accumulators; weights AND inputs stream
+    // per fold, so every step pays for both operand kinds.
+    for kc in 0..m.div_ceil(t_k) {
+        let k_lo = kc * t_k;
+        let k_hi = (k_lo + t_k).min(m);
+        let chunk_filters = k_hi - k_lo;
+        for &(pos, pos_hi) in &pos_chunks {
+            let chunk_pos = pos_hi - pos;
+            for fold in 0..folds {
+                let row_lo = fold * cluster;
+                let row_hi = (row_lo + cluster).min(k_len);
+                let fold_rows = row_hi - row_lo;
+
+                let uniq = unique_inputs(operand, row_lo..row_hi, pos..pos_hi, &mut scratch);
+                let w_unique = chunk_filters * fold_rows;
+                let step = dn.delivery_cycles(uniq + w_unique).max(1);
+                dn.account(&mut stats.counters, uniq + w_unique, fold_rows * chunk_pos);
+                stats.counters.gb_reads += (uniq + w_unique) as u64;
+
+                let mut mults: u64 = 0;
+                for kf in k_lo..k_hi {
+                    for p in pos..pos_hi {
+                        let mut acc: Elem = 0.0;
+                        for row in row_lo..row_hi {
+                            if operand.addr(row, p) != PAD_ADDR {
+                                mults += 1;
+                            }
+                            acc += operand.weights.get(kf, row) * operand.inputs.get(row, p);
+                        }
+                        let cur = out.get(kf, p);
+                        out.set(kf, p, cur + acc);
+                    }
+                }
+                mn.account(&mut stats.counters, mults, 0);
+                stats.ms_busy_cycles += mults;
+                let outcome = rn.reduce(&vec![fold_rows; chunk_filters * chunk_pos]);
+                stats.counters.rn_adder_ops += outcome.adder_ops;
+                stats.counters.accumulator_updates += (chunk_filters * chunk_pos) as u64;
+
+                stats.bandwidth_stall_cycles += step.saturating_sub(1);
+                cycles += step;
+                stats.compute_cycles += 1;
+            }
+            // Drain finished outputs.
+            let outs = chunk_filters * chunk_pos;
+            cycles += rn.collection_cycles(outs);
+            stats.counters.rn_collections += outs as u64;
+            stats.counters.gb_writes += outs as u64;
+        }
+        cycles += rn.reduce(&[cluster]).latency + 1;
+        stats.iterations += 1;
+    }
+
+    stats.cycles = cycles;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use stonne_tensor::{assert_slices_close, gemm_reference, SeededRng};
+
+    fn gemm_setup(m: usize, n: usize, k: usize, seed: u64) -> (Matrix, Matrix, DenseOperand) {
+        let mut rng = SeededRng::new(seed);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let op = DenseOperand::from_gemm(a.clone(), b.clone());
+        (a, b, op)
+    }
+
+    #[test]
+    fn weight_stationary_gemm_is_functionally_exact() {
+        let (a, b, op) = gemm_setup(6, 10, 20, 1);
+        let layer = LayerDims::from_gemm(6, 10, 20);
+        let tile = Tile::auto(&layer, 64);
+        let cfg = AcceleratorConfig::maeri_like(64, 16);
+        let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.counters.multiplications, 6 * 10 * 20);
+    }
+
+    #[test]
+    fn output_stationary_gemm_is_functionally_exact() {
+        let (a, b, op) = gemm_setup(5, 7, 33, 2);
+        let layer = LayerDims::from_gemm(5, 7, 33);
+        let tile = Tile::auto(&layer, 64);
+        let mut cfg = AcceleratorConfig::maeri_like(64, 16);
+        cfg.dataflow = Dataflow::OutputStationary;
+        let (out, _) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn input_stationary_gemm_is_functionally_exact() {
+        let (a, b, op) = gemm_setup(6, 9, 24, 11);
+        let layer = LayerDims::from_gemm(6, 9, 24);
+        let tile = Tile::auto(&layer, 64);
+        let mut cfg = AcceleratorConfig::maeri_like(64, 16);
+        cfg.dataflow = Dataflow::InputStationary;
+        let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        assert!(stats.operation.contains("[IS]"));
+        assert_eq!(stats.counters.multiplications, 6 * 9 * 24);
+    }
+
+    #[test]
+    fn input_stationary_reloads_weights_not_inputs() {
+        // IS keeps activations resident: GB reads of the (large) input
+        // operand happen once per filter chunk of the transposed problem,
+        // while weights stream fully — so for a workload with few outputs
+        // and many weights, IS and WS trade traffic differently.
+        let (_, _, op) = gemm_setup(32, 4, 64, 12);
+        let layer = LayerDims::from_gemm(32, 4, 64);
+        let tile = Tile::auto(&layer, 64);
+        let mut ws_cfg = AcceleratorConfig::maeri_like(64, 16);
+        ws_cfg.dataflow = Dataflow::WeightStationary;
+        let mut is_cfg = ws_cfg.clone();
+        is_cfg.dataflow = Dataflow::InputStationary;
+        let (_, ws) = run_dense(&ws_cfg, "g", &layer, &tile, &op);
+        let (_, is) = run_dense(&is_cfg, "g", &layer, &tile, &op);
+        assert_eq!(ws.counters.multiplications, is.counters.multiplications);
+        assert_ne!(ws.counters.gb_reads, is.counters.gb_reads);
+    }
+
+    #[test]
+    fn lower_bandwidth_costs_more_cycles() {
+        let (_, _, op) = gemm_setup(16, 64, 64, 3);
+        let layer = LayerDims::from_gemm(16, 64, 64);
+        let tile = Tile::auto(&layer, 128);
+        let full = AcceleratorConfig::maeri_like(128, 128);
+        let quarter = AcceleratorConfig::maeri_like(128, 32);
+        let (_, fast) = run_dense(&full, "gemm", &layer, &tile, &op);
+        let (_, slow) = run_dense(&quarter, "gemm", &layer, &tile, &op);
+        assert!(
+            slow.cycles > fast.cycles,
+            "bw 32 ({}) must be slower than bw 128 ({})",
+            slow.cycles,
+            fast.cycles
+        );
+        assert!(slow.bandwidth_stall_cycles > fast.bandwidth_stall_cycles);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let (_, _, op) = gemm_setup(8, 16, 32, 4);
+        let layer = LayerDims::from_gemm(8, 16, 32);
+        let tile = Tile::auto(&layer, 64);
+        let cfg = AcceleratorConfig::maeri_like(64, 64);
+        let (_, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        let u = stats.ms_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn folding_covers_long_dot_products() {
+        let (a, b, op) = gemm_setup(2, 3, 500, 5);
+        let layer = LayerDims::from_gemm(2, 3, 500);
+        let tile = Tile::auto(&layer, 32);
+        let cfg = AcceleratorConfig::maeri_like(32, 8);
+        let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        // 500/32-cluster = at least 16 folds of compute steps.
+        assert!(stats.compute_cycles >= 16);
+    }
+
+    #[test]
+    fn padding_addresses_do_not_count_as_fetches_or_mults() {
+        // One 2-tap dot product where the second tap is padding.
+        let weights = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let inputs = Matrix::from_rows(&[&[3.0], &[0.0]]);
+        let op = DenseOperand {
+            weights,
+            inputs,
+            addrs: vec![0, PAD_ADDR],
+        };
+        let layer = LayerDims::from_gemm(1, 1, 2);
+        let tile = Tile::auto(&layer, 16);
+        let cfg = AcceleratorConfig::maeri_like(16, 16);
+        let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_eq!(out.get(0, 0), 3.0);
+        assert_eq!(stats.counters.multiplications, 1);
+    }
+
+    #[test]
+    fn shared_addresses_are_multicast_once() {
+        // Two positions reading the same GB address: delivery counts 1.
+        let weights = Matrix::from_rows(&[&[2.0]]);
+        let inputs = Matrix::from_rows(&[&[5.0, 5.0]]);
+        let op = DenseOperand {
+            weights,
+            inputs,
+            addrs: vec![7, 7],
+        };
+        let layer = LayerDims::from_gemm(1, 2, 1);
+        let tile = Tile {
+            t_r: 1,
+            t_s: 1,
+            t_c: 1,
+            t_g: 1,
+            t_k: 1,
+            t_n: 1,
+            t_xp: 1,
+            t_yp: 2,
+        };
+        let cfg = AcceleratorConfig::maeri_like(16, 16);
+        let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_eq!(out.as_slice(), &[10.0, 10.0]);
+        // 1 weight injection + 1 multicast input injection.
+        assert_eq!(stats.counters.dn_injections, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Bounded FIFO with activity accounting, used by the network models.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO queue that records push/pop activity and peak occupancy,
+/// matching the paper's per-FIFO activity counters.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+    max_occupancy: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            pops: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Attempts to enqueue; returns `Err(item)` when full (caller stalls).
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Total pushes performed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total pops performed.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Peak occupancy observed.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_orders_items() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn fifo_rejects_when_full() {
+        let mut f = Fifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert_eq!(f.push('c'), Err('c'));
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn fifo_tracks_activity() {
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        f.pop();
+        f.push(9).unwrap();
+        assert_eq!(f.pushes(), 4);
+        assert_eq!(f.pops(), 1);
+        assert_eq!(f.max_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! On-chip network models: distribution, multiplier and reduction tiers.
+//!
+//! Each tier follows the paper's taxonomy (Section IV-A). The models are
+//! cycle-cost + activity-accounting components the engines compose: a
+//! distribution network turns "deliver `u` unique values to `d`
+//! multipliers" into injection cycles (bounded by the GB read bandwidth)
+//! plus switch/wire activity; a reduction network turns "reduce these
+//! cluster sizes" into adder operations and pipeline latency.
+
+use crate::config::{DnKind, MnKind, RnKind};
+use crate::stats::ActivityCounters;
+use serde::{Deserialize, Serialize};
+
+/// Ceiling log2 for sizing tree depths (`ceil_log2(1) == 0`).
+pub(crate) fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Distribution network instance over `ms_size` leaves with a given
+/// injection bandwidth (elements/cycle from the Global Buffer read ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributionNetwork {
+    kind: DnKind,
+    ms_size: usize,
+    bandwidth: usize,
+}
+
+impl DistributionNetwork {
+    /// Creates a distribution network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms_size` or `bandwidth` is zero.
+    pub fn new(kind: DnKind, ms_size: usize, bandwidth: usize) -> Self {
+        assert!(ms_size > 0 && bandwidth > 0);
+        Self {
+            kind,
+            ms_size,
+            bandwidth,
+        }
+    }
+
+    /// Network kind.
+    pub fn kind(&self) -> DnKind {
+        self.kind
+    }
+
+    /// Injection bandwidth in elements/cycle.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Tree/Benes depth in switch levels.
+    pub fn depth(&self) -> u32 {
+        match self.kind {
+            DnKind::Tree => ceil_log2(self.ms_size),
+            // Benes: 2·log2(N)+1 levels of 2x2 switches.
+            DnKind::Benes => 2 * ceil_log2(self.ms_size) + 1,
+            DnKind::PointToPoint => 1,
+        }
+    }
+
+    /// Cycles to deliver `unique` distinct values (any multicast fan-out is
+    /// single-cycle in all three topologies, so only the unique-value count
+    /// meets the bandwidth bound).
+    pub fn delivery_cycles(&self, unique: usize) -> u64 {
+        (unique as u64).div_ceil(self.bandwidth as u64)
+    }
+
+    /// Records the activity of delivering `unique` values to `dests`
+    /// multipliers: injections, switch traversals and wire hops.
+    ///
+    /// Wire accounting uses the Steiner-subtree approximation: a multicast
+    /// of one value to `d` leaves crosses about `depth + d` edges in a
+    /// binary tree; Benes traffic crosses each of its `2·log2(N)+1` levels
+    /// once per destination; point-to-point crosses one dedicated link per
+    /// destination.
+    pub fn account(&self, counters: &mut ActivityCounters, unique: usize, dests: usize) {
+        counters.dn_injections += unique as u64;
+        match self.kind {
+            DnKind::Tree => {
+                counters.dn_switch_traversals += (unique as u64) * self.depth() as u64;
+                counters.dn_wire_hops += unique as u64 * self.depth() as u64 + dests as u64;
+            }
+            DnKind::Benes => {
+                counters.dn_switch_traversals += dests as u64 * self.depth() as u64;
+                counters.dn_wire_hops += dests as u64 * (self.depth() as u64 + 1);
+            }
+            DnKind::PointToPoint => {
+                counters.dn_switch_traversals += 0;
+                counters.dn_wire_hops += dests as u64;
+            }
+        }
+    }
+}
+
+/// Multiplier-network model: the array of multiplier switches plus the
+/// optional forwarding links of the linear topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplierNetwork {
+    kind: MnKind,
+    ms_size: usize,
+}
+
+impl MultiplierNetwork {
+    /// Creates a multiplier network model.
+    pub fn new(kind: MnKind, ms_size: usize) -> Self {
+        Self { kind, ms_size }
+    }
+
+    /// Network kind.
+    pub fn kind(&self) -> MnKind {
+        self.kind
+    }
+
+    /// Whether neighbouring multipliers can forward operands/psums.
+    pub fn supports_forwarding(&self) -> bool {
+        self.kind == MnKind::Linear
+    }
+
+    /// Records `mults` multiplications plus `forwards` neighbour-link
+    /// transfers (forwards are only legal on the linear topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics when forwarding is requested on a disabled MN.
+    pub fn account(&self, counters: &mut ActivityCounters, mults: u64, forwards: u64) {
+        if forwards > 0 {
+            assert!(
+                self.supports_forwarding(),
+                "disabled multiplier network has no forwarding links"
+            );
+        }
+        counters.multiplications += mults;
+        counters.mn_forwards += forwards;
+    }
+}
+
+/// Outcome of reducing a set of clusters through a reduction network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceOutcome {
+    /// Adder operations performed.
+    pub adder_ops: u64,
+    /// Pipeline latency in cycles from last multiply to first output.
+    pub latency: u64,
+    /// Additional cycles when the RN serializes (linear reduction).
+    pub serial_cycles: u64,
+}
+
+/// Reduction-network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionNetwork {
+    kind: RnKind,
+    ms_size: usize,
+    bandwidth: usize,
+}
+
+impl ReductionNetwork {
+    /// Creates a reduction network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms_size` or `bandwidth` is zero.
+    pub fn new(kind: RnKind, ms_size: usize, bandwidth: usize) -> Self {
+        assert!(ms_size > 0 && bandwidth > 0);
+        Self {
+            kind,
+            ms_size,
+            bandwidth,
+        }
+    }
+
+    /// Network kind.
+    pub fn kind(&self) -> RnKind {
+        self.kind
+    }
+
+    /// Collection bandwidth (elements/cycle into the GB).
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Whether the network holds an accumulation buffer at its output
+    /// (psums from consecutive folds accumulate without GB round-trips).
+    pub fn has_accumulators(&self) -> bool {
+        matches!(self.kind, RnKind::ArtAcc | RnKind::Linear)
+    }
+
+    /// Whether arbitrary simultaneous cluster sizes are supported
+    /// (tree-shaped RNs); the linear RN reduces one cluster per lane
+    /// serially.
+    pub fn supports_clusters(&self) -> bool {
+        !matches!(self.kind, RnKind::Linear)
+    }
+
+    /// Pipeline depth in adder levels.
+    pub fn depth(&self) -> u32 {
+        match self.kind {
+            RnKind::Linear => 1,
+            _ => ceil_log2(self.ms_size),
+        }
+    }
+
+    /// Cost of reducing the given simultaneous cluster sizes (one set per
+    /// compute step). Tree RNs (ART/FAN) reduce all clusters in parallel
+    /// with `ceil(log2(max))` latency and full pipelining; the linear RN
+    /// accumulates each cluster serially.
+    pub fn reduce(&self, cluster_sizes: &[usize]) -> ReduceOutcome {
+        let adder_ops: u64 = cluster_sizes
+            .iter()
+            .map(|&s| s.saturating_sub(1) as u64)
+            .sum();
+        match self.kind {
+            RnKind::Linear => {
+                let max = cluster_sizes.iter().copied().max().unwrap_or(0) as u64;
+                ReduceOutcome {
+                    adder_ops,
+                    latency: 1,
+                    serial_cycles: max.saturating_sub(1),
+                }
+            }
+            _ => {
+                let max = cluster_sizes.iter().copied().max().unwrap_or(0);
+                ReduceOutcome {
+                    adder_ops,
+                    latency: ceil_log2(max.max(1)) as u64,
+                    serial_cycles: 0,
+                }
+            }
+        }
+    }
+
+    /// Cycles to collect `outputs` reduced values into the GB.
+    pub fn collection_cycles(&self, outputs: usize) -> u64 {
+        (outputs as u64).div_ceil(self.bandwidth as u64)
+    }
+
+    /// Records collection + accumulation activity.
+    pub fn account(&self, counters: &mut ActivityCounters, outcome: ReduceOutcome, outputs: u64) {
+        counters.rn_adder_ops += outcome.adder_ops;
+        counters.rn_collections += outputs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(256), 8);
+    }
+
+    #[test]
+    fn tree_depth_is_log2() {
+        let dn = DistributionNetwork::new(DnKind::Tree, 64, 16);
+        assert_eq!(dn.depth(), 6);
+    }
+
+    #[test]
+    fn benes_depth_matches_paper_formula() {
+        // Paper: 2·log(N)+1 levels.
+        let dn = DistributionNetwork::new(DnKind::Benes, 128, 128);
+        assert_eq!(dn.depth(), 2 * 7 + 1);
+    }
+
+    #[test]
+    fn delivery_is_bandwidth_bound() {
+        let dn = DistributionNetwork::new(DnKind::Tree, 128, 4);
+        assert_eq!(dn.delivery_cycles(15), 4);
+        assert_eq!(dn.delivery_cycles(16), 4);
+        assert_eq!(dn.delivery_cycles(17), 5);
+        assert_eq!(dn.delivery_cycles(0), 0);
+    }
+
+    #[test]
+    fn account_counts_unique_injections() {
+        let dn = DistributionNetwork::new(DnKind::Tree, 16, 4);
+        let mut c = ActivityCounters::default();
+        dn.account(&mut c, 5, 12);
+        assert_eq!(c.dn_injections, 5);
+        assert!(c.dn_wire_hops > 0);
+        assert!(c.dn_switch_traversals > 0);
+    }
+
+    #[test]
+    fn tree_rn_reduces_in_log_latency() {
+        let rn = ReductionNetwork::new(RnKind::Fan, 128, 128);
+        let out = rn.reduce(&[32, 32, 64]);
+        assert_eq!(out.adder_ops, 31 + 31 + 63);
+        assert_eq!(out.latency, 6);
+        assert_eq!(out.serial_cycles, 0);
+    }
+
+    #[test]
+    fn linear_rn_serializes() {
+        let rn = ReductionNetwork::new(RnKind::Linear, 256, 16);
+        let out = rn.reduce(&[16, 16]);
+        assert_eq!(out.serial_cycles, 15);
+        assert!(!rn.supports_clusters());
+        assert!(rn.has_accumulators());
+    }
+
+    #[test]
+    fn art_acc_has_accumulators_plain_art_does_not() {
+        assert!(ReductionNetwork::new(RnKind::ArtAcc, 64, 8).has_accumulators());
+        assert!(!ReductionNetwork::new(RnKind::Art, 64, 8).has_accumulators());
+        assert!(!ReductionNetwork::new(RnKind::Fan, 64, 8).has_accumulators());
+    }
+
+    #[test]
+    fn collection_is_bandwidth_bound() {
+        let rn = ReductionNetwork::new(RnKind::Art, 64, 4);
+        assert_eq!(rn.collection_cycles(9), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no forwarding links")]
+    fn disabled_mn_rejects_forwards() {
+        let mn = MultiplierNetwork::new(MnKind::Disabled, 64);
+        let mut c = ActivityCounters::default();
+        mn.account(&mut c, 1, 1);
+    }
+
+    #[test]
+    fn linear_mn_counts_forwards() {
+        let mn = MultiplierNetwork::new(MnKind::Linear, 64);
+        let mut c = ActivityCounters::default();
+        mn.account(&mut c, 10, 5);
+        assert_eq!(c.multiplications, 10);
+        assert_eq!(c.mn_forwards, 5);
+    }
+}

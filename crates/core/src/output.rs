@@ -1,0 +1,104 @@
+//! The Output Module: the JSON summary and the customized counter file the
+//! paper's simulator reports after every operation.
+
+use crate::stats::SimStats;
+
+/// Renders the JSON statistics summary ("a general file in json format
+/// that includes a summary of the statistics and facilitates their
+/// processing through user-created scripts").
+///
+/// # Panics
+///
+/// Panics only if serialization fails, which cannot happen for
+/// [`SimStats`].
+pub fn summary_json(stats: &SimStats) -> String {
+    serde_json::to_string_pretty(stats).expect("SimStats serializes")
+}
+
+/// Renders the customized counter file: one `component.counter = value`
+/// line per activity count, the format the energy script consumes.
+pub fn counter_file(stats: &SimStats) -> String {
+    let c = &stats.counters;
+    let mut out = String::new();
+    out.push_str(&format!("# STONNE counter file: {}\n", stats.operation));
+    out.push_str(&format!("# accelerator: {}\n", stats.accelerator));
+    out.push_str(&format!("cycles = {}\n", stats.cycles));
+    let rows: [(&str, u64); 15] = [
+        ("multiplier.multiplications", c.multiplications),
+        ("rn.adder_ops", c.rn_adder_ops),
+        ("rn.collections", c.rn_collections),
+        ("accumulator.updates", c.accumulator_updates),
+        ("dn.injections", c.dn_injections),
+        ("dn.switch_traversals", c.dn_switch_traversals),
+        ("dn.wire_hops", c.dn_wire_hops),
+        ("mn.forwards", c.mn_forwards),
+        ("gb.reads", c.gb_reads),
+        ("gb.writes", c.gb_writes),
+        ("fifo.pushes", c.fifo_pushes),
+        ("fifo.pops", c.fifo_pops),
+        ("dram.reads", c.dram_reads),
+        ("dram.writes", c.dram_writes),
+        ("metadata.reads", c.metadata_reads),
+    ];
+    for (name, value) in rows {
+        out.push_str(&format!("{name} = {value}\n"));
+    }
+    out
+}
+
+/// Parses a counter file back into `(name, value)` pairs (used by the
+/// energy script and by tests).
+pub fn parse_counter_file(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.split_once('=')?;
+            Some((name.trim().to_owned(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ActivityCounters;
+
+    fn sample() -> SimStats {
+        SimStats {
+            accelerator: "MAERI-like 64ms".into(),
+            operation: "conv1".into(),
+            cycles: 1234,
+            counters: ActivityCounters {
+                multiplications: 999,
+                gb_reads: 500,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn json_summary_contains_key_fields() {
+        let json = summary_json(&sample());
+        assert!(json.contains("\"cycles\": 1234"));
+        assert!(json.contains("\"multiplications\": 999"));
+        let parsed: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.cycles, 1234);
+    }
+
+    #[test]
+    fn counter_file_roundtrip() {
+        let text = counter_file(&sample());
+        let pairs = parse_counter_file(&text);
+        assert!(pairs.contains(&("cycles".to_owned(), 1234)));
+        assert!(pairs.contains(&("multiplier.multiplications".to_owned(), 999)));
+        assert!(pairs.contains(&("gb.reads".to_owned(), 500)));
+        assert_eq!(pairs.len(), 16);
+    }
+
+    #[test]
+    fn counter_file_has_comment_header() {
+        let text = counter_file(&sample());
+        assert!(text.starts_with("# STONNE counter file: conv1"));
+    }
+}

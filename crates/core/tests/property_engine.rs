@@ -1,0 +1,157 @@
+//! Property-based tests over the cycle-level engines: conservation laws
+//! and monotonicity properties every valid simulation must satisfy.
+
+use proptest::prelude::*;
+use stonne_core::{AcceleratorConfig, NaturalOrder, Stonne};
+use stonne_tensor::{CsrMatrix, Matrix, SeededRng};
+
+fn operands(m: usize, n: usize, k: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = SeededRng::new(seed);
+    (
+        Matrix::random(m, k, &mut rng),
+        Matrix::random(k, n, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Busy multiplier-cycles can never exceed the array-cycles product.
+    #[test]
+    fn busy_cycles_bounded_by_capacity(
+        m in 1usize..24, n in 1usize..24, k in 1usize..48, seed in 0u64..400
+    ) {
+        let (a, b) = operands(m, n, k, seed);
+        for cfg in [
+            AcceleratorConfig::tpu_like(8),
+            AcceleratorConfig::maeri_like(64, 16),
+            AcceleratorConfig::sigma_like(64, 64),
+        ] {
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (_, stats) = sim.run_gemm("p", &a, &b);
+            prop_assert!(
+                stats.ms_busy_cycles <= stats.cycles * stats.ms_size as u64,
+                "busy {} > {} x {}",
+                stats.ms_busy_cycles, stats.cycles, stats.ms_size
+            );
+            prop_assert!(stats.ms_utilization() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// The dense engines execute exactly M·N·K multiplications; the GB
+    /// must be read at least once per unique operand element.
+    #[test]
+    fn dense_op_and_traffic_conservation(
+        m in 1usize..16, n in 1usize..16, k in 1usize..32, seed in 0u64..400
+    ) {
+        let (a, b) = operands(m, n, k, seed);
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16)).unwrap();
+        let (_, stats) = sim.run_gemm("p", &a, &b);
+        prop_assert_eq!(stats.counters.multiplications, (m * n * k) as u64);
+        prop_assert!(stats.counters.gb_reads >= (m * k).max(k * n) as u64);
+        prop_assert_eq!(stats.counters.gb_writes, (m * n) as u64);
+    }
+
+    /// A larger problem never takes fewer cycles on rigid hardware.
+    /// (Flexible engines re-tile per shape, so their cycle counts are
+    /// only monotone per mapping — covered by the fixed-tile property
+    /// below.)
+    #[test]
+    fn cycles_monotone_in_inner_dimension_on_rigid_arrays(
+        m in 1usize..12, n in 1usize..12, k in 2usize..32, seed in 0u64..400
+    ) {
+        let (a_big, b_big) = operands(m, n, k, seed);
+        let (a_small, b_small) = operands(m, n, k - 1, seed);
+        let cfg = AcceleratorConfig::tpu_like(4);
+        let mut sim = Stonne::new(cfg.clone()).unwrap();
+        let (_, big) = sim.run_gemm("p", &a_big, &b_big);
+        let mut sim = Stonne::new(cfg).unwrap();
+        let (_, small) = sim.run_gemm("p", &a_small, &b_small);
+        prop_assert!(
+            big.cycles >= small.cycles,
+            "K={k} ({}) < K={} ({})",
+            big.cycles, k - 1, small.cycles
+        );
+    }
+
+    /// Sparse-engine multiplications equal nnz·N exactly (no zero work),
+    /// and stall accounting stays inside the total.
+    #[test]
+    fn sparse_conservation(
+        m in 1usize..20, n in 1usize..10, k in 1usize..48,
+        sparsity in 0.0f64..0.95, seed in 0u64..400
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut a = Matrix::random(m, k, &mut rng);
+        stonne_tensor::prune_matrix_to_sparsity(&mut a, sparsity);
+        let b = Matrix::random(k, n, &mut rng);
+        let csr = CsrMatrix::from_dense(&a);
+        let mut sim = Stonne::new(AcceleratorConfig::sigma_like(32, 16)).unwrap();
+        let run = sim.run_spmm_scheduled("p", &csr, &b, &NaturalOrder);
+        let s = &run.stats;
+        prop_assert_eq!(s.counters.multiplications, (csr.nnz() * n) as u64);
+        prop_assert!(s.bandwidth_stall_cycles <= s.cycles);
+        prop_assert!(s.compute_cycles <= s.cycles);
+        // Packing never over-fills the array.
+        for it in &run.iterations {
+            prop_assert!(it.ms_occupied <= 32);
+            prop_assert!(it.distinct_k <= it.ms_occupied);
+        }
+    }
+
+    /// Halving the bandwidth never speeds up a fixed mapping.
+    #[test]
+    fn bandwidth_monotonicity_under_fixed_tile(
+        m in 2usize..12, n in 2usize..16, k in 2usize..48, seed in 0u64..400
+    ) {
+        use stonne_core::{LayerDims, Tile};
+        let (a, b) = operands(m, n, k, seed);
+        let layer = LayerDims::from_gemm(m, n, k);
+        let tile = Tile::auto(&layer, 64);
+        let mut prev = 0u64;
+        for bw in [64usize, 16, 4] {
+            let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, bw)).unwrap();
+            let (_, stats) = sim.run_gemm_tiled("p", &a, &b, &tile);
+            prop_assert!(stats.cycles >= prev, "bw {bw}: {} < {prev}", stats.cycles);
+            prev = stats.cycles;
+        }
+    }
+
+    /// Auto tiles always validate and never exceed the array.
+    #[test]
+    fn auto_tiles_always_fit(
+        r in 1usize..6, s in 1usize..6, c in 1usize..64, kf in 1usize..64,
+        xp in 1usize..20, yp in 1usize..20, ms_pow in 3u32..9, bw in 1usize..128
+    ) {
+        use stonne_core::{LayerDims, Tile};
+        let ms = 1usize << ms_pow;
+        let layer = LayerDims { r, s, c, k: kf, g: 1, n: 1, xp, yp, stride: 1 };
+        for tile in [Tile::auto(&layer, ms), Tile::auto_bw(&layer, ms, bw)] {
+            prop_assert!(tile.validate(&layer, ms).is_ok(), "{tile:?} on ms={ms}");
+            prop_assert!(tile.ms_used() <= ms);
+        }
+    }
+
+    /// The STONNE API rejects mismatched operands but never panics.
+    #[test]
+    fn api_is_total_on_mismatches(ma in 1usize..6, ka in 1usize..6, kb in 1usize..6, nb in 1usize..6) {
+        use stonne_core::{Instruction, OpConfig, OperandData, StonneMachine};
+        let mut rng = SeededRng::new(1);
+        let a = Matrix::random(ma, ka, &mut rng);
+        let b = Matrix::random(kb, nb, &mut rng);
+        let mut machine = StonneMachine::new();
+        machine
+            .execute(Instruction::CreateInstance(AcceleratorConfig::maeri_like(32, 8)))
+            .unwrap();
+        machine.execute(Instruction::Configure(OpConfig::Dmm)).unwrap();
+        machine
+            .execute(Instruction::ConfigureData(OperandData::Matrices { a, b }))
+            .unwrap();
+        let result = machine.execute(Instruction::RunOperation { name: "p".into() });
+        if ka == kb {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,677 @@
+//! Model graphs: SSA-form DAGs of operators with shape inference.
+
+use crate::layer::{LayerClass, ModelId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stonne_tensor::Conv2dGeom;
+
+/// Index of a node inside a [`ModelSpec`].
+pub type NodeId = usize;
+
+/// Shape of a value flowing between graph nodes (batch size is implicit 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorShape {
+    /// A CHW feature map.
+    Feature {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// A token matrix (`seq × dim`), used by linear and transformer ops.
+    Tokens {
+        /// Sequence length (1 for classifier heads).
+        seq: usize,
+        /// Embedding / feature dimension.
+        dim: usize,
+    },
+}
+
+impl TensorShape {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        match *self {
+            TensorShape::Feature { c, h, w } => c * h * w,
+            TensorShape::Tokens { seq, dim } => seq * dim,
+        }
+    }
+
+    /// Returns `true` for degenerate zero-element shapes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorShape::Feature { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            TensorShape::Tokens { seq, dim } => write!(f, "{seq}x{dim}"),
+        }
+    }
+}
+
+/// An operator in a model graph.
+///
+/// Compute-intensive ops (`Conv2d`, `Linear`, `MatMul`, `Attention`'s inner
+/// products) are what the DL front-end offloads to the simulated
+/// accelerator; the rest run natively, mirroring Fig. 2b of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpSpec {
+    /// Graph input placeholder; must be node 0 and have no inputs.
+    Input,
+    /// 2-D (possibly grouped/depthwise) convolution.
+    Conv2d {
+        /// Convolution geometry.
+        geom: Conv2dGeom,
+    },
+    /// Max pooling with a square window.
+    MaxPool {
+        /// Window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to `c × 1 × 1`.
+    GlobalAvgPool,
+    /// ReLU activation (kept native; creates activation sparsity).
+    Relu,
+    /// GeLU activation (BERT FFN).
+    Gelu,
+    /// Element-wise addition of two same-shape inputs (residual joins).
+    Add,
+    /// Channel-wise concatenation of feature maps (SqueezeNet fire, SSD).
+    Concat,
+    /// Flattens a feature map into a `1 × (c·h·w)` token matrix.
+    Flatten,
+    /// Fully-connected layer over the last dimension.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Multi-head scaled dot-product attention over projected Q, K, V.
+    Attention {
+        /// Number of attention heads; must divide the model dimension.
+        heads: usize,
+    },
+    /// Row-wise softmax over a token matrix.
+    Softmax,
+    /// Row-wise log-softmax (classifier heads).
+    LogSoftmax,
+    /// Layer normalization over the feature dimension.
+    LayerNorm,
+}
+
+impl OpSpec {
+    /// Whether the DL front-end offloads this op to the accelerator.
+    pub fn is_offloaded(&self) -> bool {
+        matches!(
+            self,
+            OpSpec::Conv2d { .. } | OpSpec::Linear { .. } | OpSpec::Attention { .. }
+        )
+    }
+
+    /// Number of inputs the op consumes (`None` = variadic, ≥ 2).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            OpSpec::Input => Some(0),
+            OpSpec::Add => Some(2),
+            OpSpec::Attention { .. } => Some(3),
+            OpSpec::Concat => None,
+            _ => Some(1),
+        }
+    }
+}
+
+/// A node of a model graph: one op plus its input wiring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable layer name (e.g. `"conv2_1"`).
+    pub name: String,
+    /// The operator.
+    pub op: OpSpec,
+    /// Producing nodes for each operand.
+    pub inputs: Vec<NodeId>,
+    /// Paper layer-class tag for offloaded layers (used in figures).
+    pub class: Option<LayerClass>,
+}
+
+/// Errors from graph validation / shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A node references an input with an id ≥ its own (not SSA).
+    ForwardReference {
+        /// The offending node.
+        node: NodeId,
+        /// The referenced id.
+        input: NodeId,
+    },
+    /// A node has the wrong number of inputs for its op.
+    BadArity {
+        /// The offending node.
+        node: NodeId,
+        /// Expected input count (`None` = at least 2).
+        expected: Option<usize>,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// Operand shape is incompatible with the op.
+    Incompatible {
+        /// The offending node.
+        node: NodeId,
+        /// Explanation.
+        reason: String,
+    },
+    /// Node 0 must be the graph input.
+    MissingInput,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ForwardReference { node, input } => {
+                write!(f, "node {node} references non-prior node {input}")
+            }
+            ShapeError::BadArity {
+                node,
+                expected,
+                actual,
+            } => match expected {
+                Some(e) => write!(f, "node {node} expects {e} inputs, got {actual}"),
+                None => write!(f, "node {node} expects at least 2 inputs, got {actual}"),
+            },
+            ShapeError::Incompatible { node, reason } => {
+                write!(f, "node {node}: {reason}")
+            }
+            ShapeError::MissingInput => write!(f, "node 0 must be the graph input"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A complete model description: identity, input shape, node DAG, and the
+/// Table I weight-sparsity target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    id: ModelId,
+    input_shape: TensorShape,
+    nodes: Vec<NodeSpec>,
+    weight_sparsity: f64,
+}
+
+impl ModelSpec {
+    /// Starts a model with its input node (node 0).
+    pub fn new(id: ModelId, input_shape: TensorShape) -> Self {
+        let input = NodeSpec {
+            name: "input".to_owned(),
+            op: OpSpec::Input,
+            inputs: vec![],
+            class: None,
+        };
+        Self {
+            id,
+            input_shape,
+            nodes: vec![input],
+            weight_sparsity: id.weight_sparsity(),
+        }
+    }
+
+    /// Overrides the weight-sparsity target (default: Table I value).
+    pub fn with_weight_sparsity(mut self, sparsity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity));
+        self.weight_sparsity = sparsity;
+        self
+    }
+
+    /// Appends a node and returns its id.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: OpSpec,
+        inputs: &[NodeId],
+        class: Option<LayerClass>,
+    ) -> NodeId {
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            class,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Model identity.
+    pub fn id(&self) -> ModelId {
+        self.id
+    }
+
+    /// Shape of the graph input.
+    pub fn input_shape(&self) -> TensorShape {
+        self.input_shape
+    }
+
+    /// All nodes, in SSA order (node 0 is the input).
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Target weight sparsity for this model.
+    pub fn weight_sparsity(&self) -> f64 {
+        self.weight_sparsity
+    }
+
+    /// Id of the final (output) node.
+    pub fn output(&self) -> NodeId {
+        self.nodes.len() - 1
+    }
+
+    /// Ids of nodes whose op is offloaded to the accelerator.
+    pub fn offloaded_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].op.is_offloaded())
+            .collect()
+    }
+
+    /// Validates the graph and computes every node's output shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the graph is not SSA-ordered, an op has
+    /// the wrong arity, or operand shapes are incompatible.
+    pub fn infer_shapes(&self) -> Result<Vec<TensorShape>, ShapeError> {
+        let mut shapes: Vec<TensorShape> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i == 0 && node.op != OpSpec::Input {
+                return Err(ShapeError::MissingInput);
+            }
+            if let Some(expected) = node.op.arity() {
+                if node.inputs.len() != expected {
+                    return Err(ShapeError::BadArity {
+                        node: i,
+                        expected: Some(expected),
+                        actual: node.inputs.len(),
+                    });
+                }
+            } else if node.inputs.len() < 2 {
+                return Err(ShapeError::BadArity {
+                    node: i,
+                    expected: None,
+                    actual: node.inputs.len(),
+                });
+            }
+            for &inp in &node.inputs {
+                if inp >= i {
+                    return Err(ShapeError::ForwardReference {
+                        node: i,
+                        input: inp,
+                    });
+                }
+            }
+            let shape = self.infer_node(i, node, &shapes)?;
+            shapes.push(shape);
+        }
+        Ok(shapes)
+    }
+
+    fn infer_node(
+        &self,
+        i: NodeId,
+        node: &NodeSpec,
+        shapes: &[TensorShape],
+    ) -> Result<TensorShape, ShapeError> {
+        let input = |idx: usize| shapes[node.inputs[idx]];
+        let feature = |idx: usize| -> Result<(usize, usize, usize), ShapeError> {
+            match input(idx) {
+                TensorShape::Feature { c, h, w } => Ok((c, h, w)),
+                other => Err(ShapeError::Incompatible {
+                    node: i,
+                    reason: format!("expected feature map, got {other}"),
+                }),
+            }
+        };
+        let tokens = |idx: usize| -> Result<(usize, usize), ShapeError> {
+            match input(idx) {
+                TensorShape::Tokens { seq, dim } => Ok((seq, dim)),
+                other => Err(ShapeError::Incompatible {
+                    node: i,
+                    reason: format!("expected token matrix, got {other}"),
+                }),
+            }
+        };
+
+        match node.op {
+            OpSpec::Input => Ok(self.input_shape),
+            OpSpec::Conv2d { geom } => {
+                let (c, h, w) = feature(0)?;
+                if c != geom.in_c {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: format!("conv expects {} channels, got {c}", geom.in_c),
+                    });
+                }
+                let (oh, ow) = geom.out_hw(h, w);
+                Ok(TensorShape::Feature {
+                    c: geom.out_c,
+                    h: oh,
+                    w: ow,
+                })
+            }
+            OpSpec::MaxPool { window, stride } => {
+                let (c, h, w) = feature(0)?;
+                if h < window || w < window {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: format!("pool window {window} larger than input {h}x{w}"),
+                    });
+                }
+                Ok(TensorShape::Feature {
+                    c,
+                    h: (h - window) / stride + 1,
+                    w: (w - window) / stride + 1,
+                })
+            }
+            OpSpec::GlobalAvgPool => {
+                let (c, _, _) = feature(0)?;
+                Ok(TensorShape::Feature { c, h: 1, w: 1 })
+            }
+            OpSpec::Relu | OpSpec::Gelu => Ok(input(0)),
+            OpSpec::Add => {
+                if input(0) != input(1) {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: format!("add shapes differ: {} vs {}", input(0), input(1)),
+                    });
+                }
+                Ok(input(0))
+            }
+            OpSpec::Concat => {
+                let (c0, h0, w0) = feature(0)?;
+                let mut c_total = c0;
+                for idx in 1..node.inputs.len() {
+                    let (c, h, w) = feature(idx)?;
+                    if (h, w) != (h0, w0) {
+                        return Err(ShapeError::Incompatible {
+                            node: i,
+                            reason: format!("concat spatial mismatch: {h0}x{w0} vs {h}x{w}"),
+                        });
+                    }
+                    c_total += c;
+                }
+                Ok(TensorShape::Feature {
+                    c: c_total,
+                    h: h0,
+                    w: w0,
+                })
+            }
+            OpSpec::Flatten => {
+                let (c, h, w) = feature(0)?;
+                Ok(TensorShape::Tokens {
+                    seq: 1,
+                    dim: c * h * w,
+                })
+            }
+            OpSpec::Linear {
+                in_features,
+                out_features,
+            } => {
+                let (seq, dim) = tokens(0)?;
+                if dim != in_features {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: format!("linear expects dim {in_features}, got {dim}"),
+                    });
+                }
+                Ok(TensorShape::Tokens {
+                    seq,
+                    dim: out_features,
+                })
+            }
+            OpSpec::Attention { heads } => {
+                let q = tokens(0)?;
+                let k = tokens(1)?;
+                let v = tokens(2)?;
+                if q != k || k != v {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: "attention Q/K/V shapes must match".to_owned(),
+                    });
+                }
+                if q.1 % heads != 0 {
+                    return Err(ShapeError::Incompatible {
+                        node: i,
+                        reason: format!("dim {} not divisible by {heads} heads", q.1),
+                    });
+                }
+                Ok(TensorShape::Tokens { seq: q.0, dim: q.1 })
+            }
+            OpSpec::Softmax | OpSpec::LogSoftmax | OpSpec::LayerNorm => {
+                let (seq, dim) = tokens(0)?;
+                Ok(TensorShape::Tokens { seq, dim })
+            }
+        }
+    }
+
+    /// Total multiply-accumulate count of the offloaded ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not pass shape inference.
+    pub fn total_macs(&self) -> u64 {
+        let shapes = self.infer_shapes().expect("valid graph");
+        let mut total = 0u64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            total += match node.op {
+                OpSpec::Conv2d { geom } => {
+                    if let TensorShape::Feature { h, w, .. } = shapes[node.inputs[0]] {
+                        geom.macs(1, h, w)
+                    } else {
+                        0
+                    }
+                }
+                OpSpec::Linear {
+                    in_features,
+                    out_features,
+                } => {
+                    if let TensorShape::Tokens { seq, .. } = shapes[node.inputs[0]] {
+                        (seq * in_features * out_features) as u64
+                    } else {
+                        0
+                    }
+                }
+                OpSpec::Attention { .. } => {
+                    if let TensorShape::Tokens { seq, dim } = shapes[i] {
+                        // Two seq×seq×(dim/heads) matmuls per head = 2·seq²·dim.
+                        2 * (seq * seq * dim) as u64
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            };
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cnn() -> ModelSpec {
+        let mut m = ModelSpec::new(ModelId::AlexNet, TensorShape::Feature { c: 3, h: 8, w: 8 });
+        let conv = m.add(
+            "conv1",
+            OpSpec::Conv2d {
+                geom: Conv2dGeom::new(3, 4, 3, 3, 1, 1, 1),
+            },
+            &[0],
+            Some(LayerClass::Convolution),
+        );
+        let relu = m.add("relu1", OpSpec::Relu, &[conv], None);
+        let pool = m.add(
+            "pool1",
+            OpSpec::MaxPool {
+                window: 2,
+                stride: 2,
+            },
+            &[relu],
+            None,
+        );
+        let flat = m.add("flatten", OpSpec::Flatten, &[pool], None);
+        let fc = m.add(
+            "fc",
+            OpSpec::Linear {
+                in_features: 4 * 4 * 4,
+                out_features: 10,
+            },
+            &[flat],
+            Some(LayerClass::Linear),
+        );
+        m.add("softmax", OpSpec::LogSoftmax, &[fc], None);
+        m
+    }
+
+    #[test]
+    fn shape_inference_on_tiny_cnn() {
+        let m = tiny_cnn();
+        let shapes = m.infer_shapes().unwrap();
+        assert_eq!(shapes[1], TensorShape::Feature { c: 4, h: 8, w: 8 });
+        assert_eq!(shapes[3], TensorShape::Feature { c: 4, h: 4, w: 4 });
+        assert_eq!(shapes[5], TensorShape::Tokens { seq: 1, dim: 10 });
+    }
+
+    #[test]
+    fn offloaded_nodes_are_conv_and_linear() {
+        let m = tiny_cnn();
+        let off = m.offloaded_nodes();
+        assert_eq!(off.len(), 2);
+        assert!(matches!(m.nodes()[off[0]].op, OpSpec::Conv2d { .. }));
+        assert!(matches!(m.nodes()[off[1]].op, OpSpec::Linear { .. }));
+    }
+
+    #[test]
+    fn macs_are_counted() {
+        let m = tiny_cnn();
+        // conv: 4 filters * 8*8 outputs * 27 taps + fc: 64*10.
+        assert_eq!(m.total_macs(), 4 * 64 * 27 + 640);
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let mut m = ModelSpec::new(ModelId::AlexNet, TensorShape::Feature { c: 3, h: 8, w: 8 });
+        m.add(
+            "conv_bad",
+            OpSpec::Conv2d {
+                geom: Conv2dGeom::new(5, 4, 3, 3, 1, 1, 1),
+            },
+            &[0],
+            None,
+        );
+        assert!(matches!(
+            m.infer_shapes(),
+            Err(ShapeError::Incompatible { node: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        let mut m = ModelSpec::new(ModelId::AlexNet, TensorShape::Feature { c: 3, h: 8, w: 8 });
+        m.add("relu", OpSpec::Relu, &[2], None);
+        assert!(matches!(
+            m.infer_shapes(),
+            Err(ShapeError::ForwardReference { node: 1, input: 2 })
+        ));
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let mut m = ModelSpec::new(ModelId::ResNet50, TensorShape::Feature { c: 2, h: 4, w: 4 });
+        let conv = m.add(
+            "conv",
+            OpSpec::Conv2d {
+                geom: Conv2dGeom::new(2, 4, 1, 1, 1, 0, 1),
+            },
+            &[0],
+            None,
+        );
+        m.add("bad_add", OpSpec::Add, &[0, conv], None);
+        assert!(m.infer_shapes().is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut m = ModelSpec::new(
+            ModelId::SqueezeNet,
+            TensorShape::Feature { c: 2, h: 4, w: 4 },
+        );
+        let a = m.add(
+            "a",
+            OpSpec::Conv2d {
+                geom: Conv2dGeom::new(2, 3, 1, 1, 1, 0, 1),
+            },
+            &[0],
+            None,
+        );
+        let b = m.add(
+            "b",
+            OpSpec::Conv2d {
+                geom: Conv2dGeom::new(2, 5, 3, 3, 1, 1, 1),
+            },
+            &[0],
+            None,
+        );
+        let cat = m.add("cat", OpSpec::Concat, &[a, b], None);
+        let shapes = m.infer_shapes().unwrap();
+        assert_eq!(shapes[cat], TensorShape::Feature { c: 8, h: 4, w: 4 });
+    }
+
+    #[test]
+    fn attention_shape_preserved() {
+        let mut m = ModelSpec::new(ModelId::Bert, TensorShape::Tokens { seq: 8, dim: 16 });
+        let q = m.add(
+            "q",
+            OpSpec::Linear {
+                in_features: 16,
+                out_features: 16,
+            },
+            &[0],
+            None,
+        );
+        let k = m.add(
+            "k",
+            OpSpec::Linear {
+                in_features: 16,
+                out_features: 16,
+            },
+            &[0],
+            None,
+        );
+        let v = m.add(
+            "v",
+            OpSpec::Linear {
+                in_features: 16,
+                out_features: 16,
+            },
+            &[0],
+            None,
+        );
+        let att = m.add("att", OpSpec::Attention { heads: 4 }, &[q, k, v], None);
+        let shapes = m.infer_shapes().unwrap();
+        assert_eq!(shapes[att], TensorShape::Tokens { seq: 8, dim: 16 });
+    }
+
+    #[test]
+    fn bad_arity_detected() {
+        let mut m = ModelSpec::new(ModelId::AlexNet, TensorShape::Feature { c: 3, h: 8, w: 8 });
+        m.add("add1", OpSpec::Add, &[0], None);
+        assert!(matches!(
+            m.infer_shapes(),
+            Err(ShapeError::BadArity { node: 1, .. })
+        ));
+    }
+}

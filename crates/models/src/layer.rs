@@ -1,0 +1,211 @@
+//! Layer classification tags and model identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The layer-type tags used throughout the paper's figures
+/// (SC, EC, FC, C, L, TR, RF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerClass {
+    /// Regular convolution (`C`).
+    Convolution,
+    /// Squeeze convolution — SqueezeNet's 1×1 bottleneck (`SC`).
+    SqueezeConv,
+    /// Expand convolution — SqueezeNet's 1×1/3×3 expansion (`EC`).
+    ExpandConv,
+    /// Factorized (depthwise-separable) convolution — MobileNets (`FC`).
+    FactorizedConv,
+    /// Fully-connected / linear layer (`L`).
+    Linear,
+    /// Residual function — ResNet bottleneck convolutions (`RF`).
+    ResidualFunction,
+    /// Transformer building block — BERT attention/FFN GEMMs (`TR`).
+    Transformer,
+}
+
+impl LayerClass {
+    /// The short tag the paper uses in its plots.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LayerClass::Convolution => "C",
+            LayerClass::SqueezeConv => "SC",
+            LayerClass::ExpandConv => "EC",
+            LayerClass::FactorizedConv => "FC",
+            LayerClass::Linear => "L",
+            LayerClass::ResidualFunction => "RF",
+            LayerClass::Transformer => "TR",
+        }
+    }
+}
+
+impl fmt::Display for LayerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Identifier of the seven DNN models explored in the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelId {
+    /// MobileNets-V1 (`M`), 75 % weight sparsity.
+    MobileNetV1,
+    /// SqueezeNet (`S`), 70 % weight sparsity.
+    SqueezeNet,
+    /// AlexNet (`A`), 78 % weight sparsity.
+    AlexNet,
+    /// ResNet-50 (`R`), 89 % weight sparsity.
+    ResNet50,
+    /// VGG-16 (`V`), 90 % weight sparsity.
+    Vgg16,
+    /// SSD-MobileNets (`S-M`), 75 % weight sparsity.
+    SsdMobileNet,
+    /// BERT (`B`), 60 % weight sparsity.
+    Bert,
+}
+
+impl ModelId {
+    /// All seven models, in the order Table I lists them.
+    pub const ALL: [ModelId; 7] = [
+        ModelId::MobileNetV1,
+        ModelId::SqueezeNet,
+        ModelId::AlexNet,
+        ModelId::ResNet50,
+        ModelId::Vgg16,
+        ModelId::SsdMobileNet,
+        ModelId::Bert,
+    ];
+
+    /// The four purely-CNN models used by the SNAPEA use case (Fig. 6).
+    pub const CNN_MODELS: [ModelId; 4] = [
+        ModelId::AlexNet,
+        ModelId::SqueezeNet,
+        ModelId::Vgg16,
+        ModelId::ResNet50,
+    ];
+
+    /// The single-letter abbreviation used in the paper's plots.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            ModelId::MobileNetV1 => "M",
+            ModelId::SqueezeNet => "S",
+            ModelId::AlexNet => "A",
+            ModelId::ResNet50 => "R",
+            ModelId::Vgg16 => "V",
+            ModelId::SsdMobileNet => "S-M",
+            ModelId::Bert => "B",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::MobileNetV1 => "MobileNets-V1",
+            ModelId::SqueezeNet => "SqueezeNet",
+            ModelId::AlexNet => "AlexNet",
+            ModelId::ResNet50 => "ResNet-50",
+            ModelId::Vgg16 => "VGG-16",
+            ModelId::SsdMobileNet => "SSD-MobileNets",
+            ModelId::Bert => "BERT",
+        }
+    }
+
+    /// Target weight sparsity after unstructured pruning (Table I).
+    pub fn weight_sparsity(&self) -> f64 {
+        match self {
+            ModelId::MobileNetV1 => 0.75,
+            ModelId::SqueezeNet => 0.70,
+            ModelId::AlexNet => 0.78,
+            ModelId::ResNet50 => 0.89,
+            ModelId::Vgg16 => 0.90,
+            ModelId::SsdMobileNet => 0.75,
+            ModelId::Bert => 0.60,
+        }
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Input-resolution scale for building models.
+///
+/// `Standard` uses the published input sizes (224×224 images, 128-token
+/// sequences). Cycle-level simulation of a full model at standard scale is
+/// expensive (the original authors report 5 days on a cluster for the full
+/// evaluation); `Reduced` keeps every model's channel/layer *structure*
+/// intact but shrinks the spatial resolution and sequence length so full
+/// workspace test + bench runs complete in minutes. `Tiny` shrinks further
+/// for unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelScale {
+    /// Published input sizes (224×224, seq 128, 12 BERT layers).
+    Standard,
+    /// Reduced spatial/sequence sizes for tractable experiments.
+    Reduced,
+    /// Minimal sizes for unit tests.
+    Tiny,
+}
+
+impl ModelScale {
+    /// Image input resolution (height == width).
+    pub fn image_hw(&self) -> usize {
+        match self {
+            ModelScale::Standard => 224,
+            ModelScale::Reduced => 64,
+            ModelScale::Tiny => 32,
+        }
+    }
+
+    /// Transformer sequence length.
+    pub fn seq_len(&self) -> usize {
+        match self {
+            ModelScale::Standard => 128,
+            ModelScale::Reduced => 32,
+            ModelScale::Tiny => 8,
+        }
+    }
+
+    /// Number of BERT encoder layers.
+    pub fn bert_layers(&self) -> usize {
+        match self {
+            ModelScale::Standard => 12,
+            ModelScale::Reduced => 4,
+            ModelScale::Tiny => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_ratios_match_table1() {
+        assert_eq!(ModelId::Vgg16.weight_sparsity(), 0.90);
+        assert_eq!(ModelId::Bert.weight_sparsity(), 0.60);
+        assert_eq!(ModelId::ResNet50.weight_sparsity(), 0.89);
+    }
+
+    #[test]
+    fn all_models_have_unique_abbrevs() {
+        let mut tags: Vec<&str> = ModelId::ALL.iter().map(|m| m.abbrev()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 7);
+    }
+
+    #[test]
+    fn layer_class_tags() {
+        assert_eq!(LayerClass::FactorizedConv.tag(), "FC");
+        assert_eq!(LayerClass::Transformer.to_string(), "TR");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(ModelScale::Standard.image_hw() > ModelScale::Reduced.image_hw());
+        assert!(ModelScale::Reduced.image_hw() > ModelScale::Tiny.image_hw());
+        assert!(ModelScale::Standard.seq_len() > ModelScale::Tiny.seq_len());
+    }
+}

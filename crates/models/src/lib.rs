@@ -1,0 +1,43 @@
+//! DNN model zoo for STONNE-rs experiments.
+//!
+//! This crate encodes, as shape-level architecture descriptions, the seven
+//! contemporary DNN models of Table I of the STONNE paper:
+//!
+//! | Domain | Model | Weight sparsity | Dominant layers |
+//! |---|---|---|---|
+//! | Image classification | MobileNets-V1 | 75 % | factorized conv, linear |
+//! | Image classification | SqueezeNet | 70 % | squeeze/expand conv |
+//! | Image classification | AlexNet | 78 % | conv, linear |
+//! | Image classification | ResNet-50 | 89 % | residual function, conv |
+//! | Image classification | VGG-16 | 90 % | conv, linear |
+//! | Object detection | SSD-MobileNets | 75 % | factorized conv, linear |
+//! | Language processing | BERT | 60 % | transformer, linear |
+//!
+//! A model is a [`ModelSpec`]: a small SSA-form DAG of [`OpSpec`] nodes with
+//! shape inference ([`ModelSpec::infer_shapes`]). The `stonne-nn` crate
+//! attaches weights and executes these graphs, either natively (reference)
+//! or offloaded onto the cycle-level simulator.
+//!
+//! The crate also provides [`workloads`]: the individual layer/GEMM
+//! microbenchmarks used by Figure 1 and Table V of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use stonne_models::{zoo, ModelScale};
+//! let model = zoo::alexnet(ModelScale::Reduced);
+//! let shapes = model.infer_shapes().unwrap();
+//! assert_eq!(shapes.len(), model.nodes().len());
+//! ```
+
+pub mod graph;
+pub mod layer;
+pub mod workloads;
+pub mod zoo;
+
+pub use graph::{ModelSpec, NodeId, NodeSpec, OpSpec, ShapeError, TensorShape};
+pub use layer::{LayerClass, ModelId, ModelScale};
+pub use workloads::{
+    distinct_offloaded_layers, fig1_layers, table5_microbenchmarks, DistinctLayer, GemmDims,
+    Microbenchmark, NamedLayer,
+};

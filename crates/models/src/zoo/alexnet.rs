@@ -1,0 +1,138 @@
+//! AlexNet (Krizhevsky et al., 2012) — `C` and `L` dominant layers.
+
+use super::{fc_dim, num_classes, ShapeTracker};
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, OpSpec, TensorShape};
+use stonne_tensor::Conv2dGeom;
+
+/// Builds AlexNet at the given scale.
+///
+/// At [`ModelScale::Standard`] this is the torchvision AlexNet: five
+/// convolutions (11×11/4, 5×5, 3×3 ×3) with three max-pools, then three
+/// fully-connected layers. Smaller scales keep the layer structure but use
+/// a gentler first stride so the feature map survives the stack.
+pub fn alexnet(scale: ModelScale) -> ModelSpec {
+    let hw = scale.image_hw();
+    let mut m = ModelSpec::new(
+        ModelId::AlexNet,
+        TensorShape::Feature { c: 3, h: hw, w: hw },
+    );
+    let mut t = ShapeTracker::new(3, hw);
+    let c = LayerClass::Convolution;
+
+    let stride1 = if hw >= 128 { 4 } else { 2 };
+    let x = t.conv_relu(
+        &mut m,
+        "conv1",
+        0,
+        Conv2dGeom::new(3, 64, 11, 11, stride1, 2, 1),
+        c,
+    );
+    let x = t.maxpool(&mut m, "pool1", x, 3, 2);
+    let x = t.conv_relu(
+        &mut m,
+        "conv2",
+        x,
+        Conv2dGeom::new(64, 192, 5, 5, 1, 2, 1),
+        c,
+    );
+    let x = t.maxpool(&mut m, "pool2", x, 3, 2);
+    let x = t.conv_relu(
+        &mut m,
+        "conv3",
+        x,
+        Conv2dGeom::new(192, 384, 3, 3, 1, 1, 1),
+        c,
+    );
+    let x = t.conv_relu(
+        &mut m,
+        "conv4",
+        x,
+        Conv2dGeom::new(384, 256, 3, 3, 1, 1, 1),
+        c,
+    );
+    let x = t.conv_relu(
+        &mut m,
+        "conv5",
+        x,
+        Conv2dGeom::new(256, 256, 3, 3, 1, 1, 1),
+        c,
+    );
+    let x = t.maxpool(&mut m, "pool3", x, 3, 2);
+
+    let flat = m.add("flatten", OpSpec::Flatten, &[x], None);
+    let in_features = t.c * t.h * t.w;
+    let fcw = fc_dim(scale);
+    let l = LayerClass::Linear;
+    let fc1 = m.add(
+        "fc6",
+        OpSpec::Linear {
+            in_features,
+            out_features: fcw,
+        },
+        &[flat],
+        Some(l),
+    );
+    let r1 = m.add("fc6_relu", OpSpec::Relu, &[fc1], None);
+    let fc2 = m.add(
+        "fc7",
+        OpSpec::Linear {
+            in_features: fcw,
+            out_features: fcw,
+        },
+        &[r1],
+        Some(l),
+    );
+    let r2 = m.add("fc7_relu", OpSpec::Relu, &[fc2], None);
+    let fc3 = m.add(
+        "fc8",
+        OpSpec::Linear {
+            in_features: fcw,
+            out_features: num_classes(scale),
+        },
+        &[r2],
+        Some(l),
+    );
+    m.add("log_softmax", OpSpec::LogSoftmax, &[fc3], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_alexnet_feature_extractor_ends_at_6x6() {
+        let m = alexnet(ModelScale::Standard);
+        let shapes = m.infer_shapes().unwrap();
+        // Find the flatten node input: must be 256x6x6 as published.
+        let flat = m
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpSpec::Flatten))
+            .unwrap();
+        let pre = m.nodes()[flat].inputs[0];
+        assert_eq!(shapes[pre], TensorShape::Feature { c: 256, h: 6, w: 6 });
+    }
+
+    #[test]
+    fn has_five_convs_and_three_linears() {
+        let m = alexnet(ModelScale::Reduced);
+        let convs = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Conv2d { .. }))
+            .count();
+        let linears = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Linear { .. }))
+            .count();
+        assert_eq!(convs, 5);
+        assert_eq!(linears, 3);
+    }
+
+    #[test]
+    fn tiny_scale_is_valid() {
+        assert!(alexnet(ModelScale::Tiny).infer_shapes().is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! BERT-base encoder (Devlin et al., 2019) — `TR` and `L` layers.
+//!
+//! The graph models the compute of a SQuAD-style question-answering head:
+//! token embeddings are the input (embedding lookup is not
+//! compute-intensive and is elided, as the paper's front-end also runs
+//! non-intensive ops natively), followed by encoder layers of multi-head
+//! self-attention and feed-forward blocks, and a 2-logit span classifier.
+
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec, TensorShape};
+
+/// BERT-base hidden dimension.
+pub const HIDDEN: usize = 768;
+/// BERT-base feed-forward dimension.
+pub const FFN: usize = 3072;
+/// BERT-base attention head count.
+pub const HEADS: usize = 12;
+
+/// Adds one encoder layer; returns the output node id.
+fn encoder_layer(m: &mut ModelSpec, name: &str, from: NodeId) -> NodeId {
+    let tr = LayerClass::Transformer;
+    let lin = |m: &mut ModelSpec, n: String, f: NodeId, i: usize, o: usize| {
+        m.add(
+            n,
+            OpSpec::Linear {
+                in_features: i,
+                out_features: o,
+            },
+            &[f],
+            Some(tr),
+        )
+    };
+
+    let q = lin(m, format!("{name}_q"), from, HIDDEN, HIDDEN);
+    let k = lin(m, format!("{name}_k"), from, HIDDEN, HIDDEN);
+    let v = lin(m, format!("{name}_v"), from, HIDDEN, HIDDEN);
+    let att = m.add(
+        format!("{name}_attention"),
+        OpSpec::Attention { heads: HEADS },
+        &[q, k, v],
+        Some(tr),
+    );
+    let o = lin(m, format!("{name}_o"), att, HIDDEN, HIDDEN);
+    let add1 = m.add(format!("{name}_add1"), OpSpec::Add, &[o, from], None);
+    let ln1 = m.add(format!("{name}_ln1"), OpSpec::LayerNorm, &[add1], None);
+
+    let ff1 = lin(m, format!("{name}_ffn1"), ln1, HIDDEN, FFN);
+    let gelu = m.add(format!("{name}_gelu"), OpSpec::Gelu, &[ff1], None);
+    let ff2 = lin(m, format!("{name}_ffn2"), gelu, FFN, HIDDEN);
+    let add2 = m.add(format!("{name}_add2"), OpSpec::Add, &[ff2, ln1], None);
+    m.add(format!("{name}_ln2"), OpSpec::LayerNorm, &[add2], None)
+}
+
+/// Builds the BERT-base encoder stack (scale selects sequence length and
+/// layer count) with a 2-logit span classifier head.
+pub fn bert(scale: ModelScale) -> ModelSpec {
+    let seq = scale.seq_len();
+    let mut m = ModelSpec::new(ModelId::Bert, TensorShape::Tokens { seq, dim: HIDDEN });
+    let mut x: NodeId = 0;
+    for layer in 0..scale.bert_layers() {
+        x = encoder_layer(&mut m, &format!("enc{layer}"), x);
+    }
+    let logits = m.add(
+        "qa_outputs",
+        OpSpec::Linear {
+            in_features: HIDDEN,
+            out_features: 2,
+        },
+        &[x],
+        Some(LayerClass::Linear),
+    );
+    m.add("log_softmax", OpSpec::LogSoftmax, &[logits], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_bert_has_12_layers_of_6_gemms() {
+        let m = bert(ModelScale::Standard);
+        let linears = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Linear { .. }))
+            .count();
+        // 12 layers * 6 projections + classifier.
+        assert_eq!(linears, 12 * 6 + 1);
+        let attns = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Attention { .. }))
+            .count();
+        assert_eq!(attns, 12);
+    }
+
+    #[test]
+    fn residual_streams_stay_hidden_sized() {
+        let m = bert(ModelScale::Reduced);
+        let shapes = m.infer_shapes().unwrap();
+        let seq = ModelScale::Reduced.seq_len();
+        for (i, n) in m.nodes().iter().enumerate() {
+            if matches!(n.op, OpSpec::LayerNorm) {
+                assert_eq!(shapes[i], TensorShape::Tokens { seq, dim: HIDDEN });
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_emits_two_logits() {
+        let m = bert(ModelScale::Tiny);
+        let shapes = m.infer_shapes().unwrap();
+        assert_eq!(
+            shapes[m.output()],
+            TensorShape::Tokens {
+                seq: ModelScale::Tiny.seq_len(),
+                dim: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ffn_is_the_dominant_gemm() {
+        let m = bert(ModelScale::Standard);
+        // FFN GEMMs are 768x3072: 2 * 12 layers of them dominate MACs.
+        let total = m.total_macs();
+        let ffn_macs = (2 * 12 * 128 * HIDDEN * FFN) as u64;
+        assert!(
+            ffn_macs * 10 > total * 6,
+            "ffn {ffn_macs} not dominant in {total}"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! MobileNets-V1 (Howard et al., 2017) — `FC` (factorized conv) layers.
+
+use super::{num_classes, ShapeTracker};
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec, TensorShape};
+use stonne_tensor::Conv2dGeom;
+
+/// Adds one depthwise-separable block: 3×3 depthwise conv followed by a
+/// 1×1 pointwise conv — the paper's "factorized convolution".
+pub(crate) fn separable_block(
+    m: &mut ModelSpec,
+    t: &mut ShapeTracker,
+    name: &str,
+    from: NodeId,
+    out_c: usize,
+    stride: usize,
+) -> NodeId {
+    let in_c = t.c;
+    // Depthwise: groups == channels. Guard the stride at tiny maps.
+    let stride = if t.h >= 2 { stride } else { 1 };
+    let dw = t.conv_relu(
+        m,
+        &format!("{name}_dw"),
+        from,
+        Conv2dGeom::new(in_c, in_c, 3, 3, stride, 1, in_c),
+        LayerClass::FactorizedConv,
+    );
+    t.conv_relu(
+        m,
+        &format!("{name}_pw"),
+        dw,
+        Conv2dGeom::new(in_c, out_c, 1, 1, 1, 0, 1),
+        LayerClass::FactorizedConv,
+    )
+}
+
+/// Channel/stride schedule of the 13 separable blocks.
+pub(crate) const BLOCKS: [(usize, usize); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+/// Builds the MobileNetV1 backbone (stem + 13 separable blocks), returning
+/// the final node id and updating the tracker. Shared with SSD-MobileNets.
+pub(crate) fn backbone(m: &mut ModelSpec, t: &mut ShapeTracker) -> NodeId {
+    let mut x = t.conv_relu(
+        m,
+        "conv1",
+        0,
+        Conv2dGeom::new(3, 32, 3, 3, 2, 1, 1),
+        LayerClass::Convolution,
+    );
+    for (i, &(out_c, stride)) in BLOCKS.iter().enumerate() {
+        x = separable_block(m, t, &format!("sep{}", i + 1), x, out_c, stride);
+    }
+    x
+}
+
+/// Builds MobileNets-V1: stem conv, 13 depthwise-separable blocks, global
+/// average pool and classifier.
+pub fn mobilenet_v1(scale: ModelScale) -> ModelSpec {
+    let hw = scale.image_hw();
+    let mut m = ModelSpec::new(
+        ModelId::MobileNetV1,
+        TensorShape::Feature { c: 3, h: hw, w: hw },
+    );
+    let mut t = ShapeTracker::new(3, hw);
+    let x = backbone(&mut m, &mut t);
+    let gap = m.add("avgpool", OpSpec::GlobalAvgPool, &[x], None);
+    let flat = m.add("flatten", OpSpec::Flatten, &[gap], None);
+    let fc = m.add(
+        "fc",
+        OpSpec::Linear {
+            in_features: 1024,
+            out_features: num_classes(scale),
+        },
+        &[flat],
+        Some(LayerClass::Linear),
+    );
+    m.add("log_softmax", OpSpec::LogSoftmax, &[fc], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_27_convolutions() {
+        // 1 stem + 13 blocks * 2 convs.
+        let m = mobilenet_v1(ModelScale::Standard);
+        let convs = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 27);
+    }
+
+    #[test]
+    fn depthwise_convs_are_grouped() {
+        let m = mobilenet_v1(ModelScale::Reduced);
+        let depthwise = m
+            .nodes()
+            .iter()
+            .filter(|n| match n.op {
+                OpSpec::Conv2d { geom } => geom.groups > 1 && geom.groups == geom.in_c,
+                _ => false,
+            })
+            .count();
+        assert_eq!(depthwise, 13);
+    }
+
+    #[test]
+    fn standard_backbone_ends_at_1024x7x7() {
+        let m = mobilenet_v1(ModelScale::Standard);
+        let shapes = m.infer_shapes().unwrap();
+        let gap = m
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpSpec::GlobalAvgPool))
+            .unwrap();
+        let pre = m.nodes()[gap].inputs[0];
+        assert_eq!(
+            shapes[pre],
+            TensorShape::Feature {
+                c: 1024,
+                h: 7,
+                w: 7
+            }
+        );
+    }
+
+    #[test]
+    fn factorized_class_is_tagged() {
+        let m = mobilenet_v1(ModelScale::Reduced);
+        let fc_layers = m
+            .nodes()
+            .iter()
+            .filter(|n| n.class == Some(LayerClass::FactorizedConv))
+            .count();
+        assert_eq!(fc_layers, 26);
+    }
+}

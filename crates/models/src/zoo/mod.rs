@@ -1,0 +1,198 @@
+//! Builders for the seven DNN models of Table I.
+//!
+//! Each builder returns a [`ModelSpec`] whose channel/layer structure
+//! follows the published architecture; the [`ModelScale`] parameter selects
+//! the input resolution (see [`ModelScale`] for why reduced scales exist).
+
+mod alexnet;
+mod bert;
+mod mobilenet;
+mod resnet50;
+mod squeezenet;
+mod ssd_mobilenet;
+mod vgg16;
+
+pub use alexnet::alexnet;
+pub use bert::bert;
+pub use mobilenet::mobilenet_v1;
+pub use resnet50::resnet50;
+pub use squeezenet::squeezenet;
+pub use ssd_mobilenet::ssd_mobilenet;
+pub use vgg16::vgg16;
+
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec};
+use stonne_tensor::Conv2dGeom;
+
+/// Builds the model for `id` at the given scale.
+pub fn build(id: ModelId, scale: ModelScale) -> ModelSpec {
+    match id {
+        ModelId::MobileNetV1 => mobilenet_v1(scale),
+        ModelId::SqueezeNet => squeezenet(scale),
+        ModelId::AlexNet => alexnet(scale),
+        ModelId::ResNet50 => resnet50(scale),
+        ModelId::Vgg16 => vgg16(scale),
+        ModelId::SsdMobileNet => ssd_mobilenet(scale),
+        ModelId::Bert => bert(scale),
+    }
+}
+
+/// All seven models at the given scale, in Table I order.
+pub fn all_models(scale: ModelScale) -> Vec<ModelSpec> {
+    ModelId::ALL.iter().map(|&id| build(id, scale)).collect()
+}
+
+/// Classifier width per scale (4096 at the published scale).
+pub(crate) fn fc_dim(scale: ModelScale) -> usize {
+    match scale {
+        ModelScale::Standard => 4096,
+        ModelScale::Reduced => 1024,
+        ModelScale::Tiny => 128,
+    }
+}
+
+/// Output class count per scale (1000 ImageNet classes at standard).
+pub(crate) fn num_classes(scale: ModelScale) -> usize {
+    match scale {
+        ModelScale::Standard => 1000,
+        ModelScale::Reduced => 100,
+        ModelScale::Tiny => 10,
+    }
+}
+
+/// Builder-side tracker for the running feature-map shape, so pool windows
+/// can adapt at tiny scales without breaking the published structure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShapeTracker {
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+}
+
+impl ShapeTracker {
+    pub(crate) fn new(c: usize, hw: usize) -> Self {
+        Self { c, h: hw, w: hw }
+    }
+
+    /// Adds `conv + relu`, updating the tracked shape; returns the relu id.
+    pub(crate) fn conv_relu(
+        &mut self,
+        m: &mut ModelSpec,
+        name: &str,
+        from: NodeId,
+        geom: Conv2dGeom,
+        class: LayerClass,
+    ) -> NodeId {
+        let conv = m.add(name, OpSpec::Conv2d { geom }, &[from], Some(class));
+        let (oh, ow) = geom.out_hw(self.h, self.w);
+        self.c = geom.out_c;
+        self.h = oh;
+        self.w = ow;
+        m.add(format!("{name}_relu"), OpSpec::Relu, &[conv], None)
+    }
+
+    /// Adds a conv without activation; returns the conv id.
+    pub(crate) fn conv(
+        &mut self,
+        m: &mut ModelSpec,
+        name: &str,
+        from: NodeId,
+        geom: Conv2dGeom,
+        class: LayerClass,
+    ) -> NodeId {
+        let conv = m.add(name, OpSpec::Conv2d { geom }, &[from], Some(class));
+        let (oh, ow) = geom.out_hw(self.h, self.w);
+        self.c = geom.out_c;
+        self.h = oh;
+        self.w = ow;
+        conv
+    }
+
+    /// Adds a max-pool, shrinking the window when the map is small.
+    pub(crate) fn maxpool(
+        &mut self,
+        m: &mut ModelSpec,
+        name: &str,
+        from: NodeId,
+        window: usize,
+        stride: usize,
+    ) -> NodeId {
+        let window = window.min(self.h).min(self.w).max(1);
+        let stride = stride.min(window);
+        let node = m.add(name, OpSpec::MaxPool { window, stride }, &[from], None);
+        self.h = (self.h - window) / stride + 1;
+        self.w = (self.w - window) / stride + 1;
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorShape;
+
+    #[test]
+    fn all_models_pass_shape_inference_at_every_scale() {
+        for scale in [ModelScale::Standard, ModelScale::Reduced, ModelScale::Tiny] {
+            for model in all_models(scale) {
+                let shapes = model
+                    .infer_shapes()
+                    .unwrap_or_else(|e| panic!("{} @ {:?}: {e}", model.id(), scale));
+                assert_eq!(shapes.len(), model.nodes().len());
+            }
+        }
+    }
+
+    #[test]
+    fn every_model_has_offloadable_work() {
+        for model in all_models(ModelScale::Reduced) {
+            assert!(
+                model.offloaded_nodes().len() >= 3,
+                "{} has too few offloaded layers",
+                model.id()
+            );
+            assert!(model.total_macs() > 0, "{} has no MACs", model.id());
+        }
+    }
+
+    #[test]
+    fn image_models_start_from_rgb_input() {
+        for id in [
+            ModelId::AlexNet,
+            ModelId::Vgg16,
+            ModelId::ResNet50,
+            ModelId::SqueezeNet,
+            ModelId::MobileNetV1,
+            ModelId::SsdMobileNet,
+        ] {
+            let m = build(id, ModelScale::Reduced);
+            assert_eq!(
+                m.input_shape(),
+                TensorShape::Feature { c: 3, h: 64, w: 64 },
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_macs_ordering_is_plausible() {
+        // VGG-16 is by far the heaviest CNN; MobileNet the lightest
+        // full-size CNN — this ordering must hold at every scale.
+        let vgg = build(ModelId::Vgg16, ModelScale::Reduced).total_macs();
+        let mobile = build(ModelId::MobileNetV1, ModelScale::Reduced).total_macs();
+        let alex = build(ModelId::AlexNet, ModelScale::Reduced).total_macs();
+        assert!(vgg > alex, "vgg {vgg} <= alex {alex}");
+        assert!(vgg > 10 * mobile, "vgg {vgg} not >> mobilenet {mobile}");
+    }
+
+    #[test]
+    fn standard_scale_matches_published_mac_counts_roughly() {
+        // VGG-16 at 224² is ~15.5 GMACs; ResNet-50 ~4.1 GMACs;
+        // AlexNet ~0.7 GMACs; MobileNetV1 ~0.57 GMACs.
+        let vgg = build(ModelId::Vgg16, ModelScale::Standard).total_macs() as f64;
+        assert!((vgg / 15.5e9 - 1.0).abs() < 0.15, "vgg={vgg}");
+        let resnet = build(ModelId::ResNet50, ModelScale::Standard).total_macs() as f64;
+        assert!((resnet / 4.1e9 - 1.0).abs() < 0.15, "resnet={resnet}");
+        let mobile = build(ModelId::MobileNetV1, ModelScale::Standard).total_macs() as f64;
+        assert!((mobile / 0.57e9 - 1.0).abs() < 0.2, "mobilenet={mobile}");
+    }
+}

@@ -1,0 +1,173 @@
+//! ResNet-50 (He et al., 2015) — `RF` (residual function) and `C` layers.
+
+use super::{num_classes, ShapeTracker};
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec, TensorShape};
+use stonne_tensor::Conv2dGeom;
+
+/// Adds one bottleneck block (1×1 reduce → 3×3 → 1×1 expand + shortcut).
+///
+/// Returns the id of the block's output (post-ReLU of the residual add).
+fn bottleneck(
+    m: &mut ModelSpec,
+    t: &mut ShapeTracker,
+    name: &str,
+    from: NodeId,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+) -> NodeId {
+    let rf = LayerClass::ResidualFunction;
+    let in_c = t.c;
+    let (in_h, in_w) = (t.h, t.w);
+
+    let a = t.conv_relu(
+        m,
+        &format!("{name}_1x1a"),
+        from,
+        Conv2dGeom::new(in_c, mid_c, 1, 1, 1, 0, 1),
+        rf,
+    );
+    let b = t.conv_relu(
+        m,
+        &format!("{name}_3x3"),
+        a,
+        Conv2dGeom::new(mid_c, mid_c, 3, 3, stride, 1, 1),
+        rf,
+    );
+    let c = t.conv(
+        m,
+        &format!("{name}_1x1b"),
+        b,
+        Conv2dGeom::new(mid_c, out_c, 1, 1, 1, 0, 1),
+        rf,
+    );
+
+    // Shortcut path: identity when shapes match, 1x1 projection otherwise.
+    let shortcut = if in_c == out_c && stride == 1 {
+        from
+    } else {
+        let mut st = ShapeTracker {
+            c: in_c,
+            h: in_h,
+            w: in_w,
+        };
+        let sc = st.conv(
+            m,
+            &format!("{name}_proj"),
+            from,
+            Conv2dGeom::new(in_c, out_c, 1, 1, stride, 0, 1),
+            rf,
+        );
+        debug_assert_eq!((st.h, st.w), (t.h, t.w));
+        sc
+    };
+    let add = m.add(format!("{name}_add"), OpSpec::Add, &[c, shortcut], None);
+    m.add(format!("{name}_relu"), OpSpec::Relu, &[add], None)
+}
+
+/// Builds ResNet-50: 7×7/2 stem, 3-4-6-3 bottleneck stages, global average
+/// pool, and a single classifier FC.
+pub fn resnet50(scale: ModelScale) -> ModelSpec {
+    let hw = scale.image_hw();
+    let mut m = ModelSpec::new(
+        ModelId::ResNet50,
+        TensorShape::Feature { c: 3, h: hw, w: hw },
+    );
+    let mut t = ShapeTracker::new(3, hw);
+
+    let x = t.conv_relu(
+        &mut m,
+        "conv1",
+        0,
+        Conv2dGeom::new(3, 64, 7, 7, 2, 3, 1),
+        LayerClass::Convolution,
+    );
+    let mut x = t.maxpool(&mut m, "pool1", x, 3, 2);
+
+    // (blocks, mid channels, out channels, first stride) per stage.
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for (s, &(blocks, mid, out, stride0)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            // Never stride below a 2x2 map (tiny scale guard).
+            let stride = if b == 0 && t.h >= 2 { stride0 } else { 1 };
+            x = bottleneck(
+                &mut m,
+                &mut t,
+                &format!("res{}_{}", s + 2, b + 1),
+                x,
+                mid,
+                out,
+                stride,
+            );
+        }
+    }
+
+    let gap = m.add("avgpool", OpSpec::GlobalAvgPool, &[x], None);
+    let flat = m.add("flatten", OpSpec::Flatten, &[gap], None);
+    let fc = m.add(
+        "fc",
+        OpSpec::Linear {
+            in_features: 2048,
+            out_features: num_classes(scale),
+        },
+        &[flat],
+        Some(LayerClass::Linear),
+    );
+    m.add("log_softmax", OpSpec::LogSoftmax, &[fc], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_convolutions() {
+        // 1 stem + 16 blocks * 3 + 4 projection shortcuts = 53.
+        let m = resnet50(ModelScale::Standard);
+        let convs = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn standard_backbone_ends_at_2048x7x7() {
+        let m = resnet50(ModelScale::Standard);
+        let shapes = m.infer_shapes().unwrap();
+        let gap = m
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpSpec::GlobalAvgPool))
+            .unwrap();
+        let pre = m.nodes()[gap].inputs[0];
+        assert_eq!(
+            shapes[pre],
+            TensorShape::Feature {
+                c: 2048,
+                h: 7,
+                w: 7
+            }
+        );
+    }
+
+    #[test]
+    fn residual_adds_are_shape_consistent_at_all_scales() {
+        for scale in [ModelScale::Standard, ModelScale::Reduced, ModelScale::Tiny] {
+            resnet50(scale).infer_shapes().unwrap();
+        }
+    }
+
+    #[test]
+    fn macs_match_published_figure() {
+        let macs = resnet50(ModelScale::Standard).total_macs();
+        assert!(macs > 3_500_000_000 && macs < 4_500_000_000, "macs={macs}");
+    }
+}

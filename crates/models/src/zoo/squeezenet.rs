@@ -1,0 +1,137 @@
+//! SqueezeNet 1.0 (Iandola et al., 2016) — `SC`/`EC` dominant layers.
+
+use super::{num_classes, ShapeTracker};
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec, TensorShape};
+use stonne_tensor::Conv2dGeom;
+
+/// Adds one fire module: 1×1 squeeze, then parallel 1×1/3×3 expands whose
+/// outputs concatenate channel-wise. Returns the concat node id.
+fn fire(
+    m: &mut ModelSpec,
+    t: &mut ShapeTracker,
+    name: &str,
+    from: NodeId,
+    squeeze_c: usize,
+    expand_c: usize,
+) -> NodeId {
+    let in_c = t.c;
+    let s = t.conv_relu(
+        m,
+        &format!("{name}_squeeze1x1"),
+        from,
+        Conv2dGeom::new(in_c, squeeze_c, 1, 1, 1, 0, 1),
+        LayerClass::SqueezeConv,
+    );
+    // Both expands read the squeeze output; track shapes on a fork.
+    let mut t1 = *t;
+    t1.c = squeeze_c;
+    let mut t2 = t1;
+    let e1 = t1.conv_relu(
+        m,
+        &format!("{name}_expand1x1"),
+        s,
+        Conv2dGeom::new(squeeze_c, expand_c, 1, 1, 1, 0, 1),
+        LayerClass::ExpandConv,
+    );
+    let e3 = t2.conv_relu(
+        m,
+        &format!("{name}_expand3x3"),
+        s,
+        Conv2dGeom::new(squeeze_c, expand_c, 3, 3, 1, 1, 1),
+        LayerClass::ExpandConv,
+    );
+    let cat = m.add(format!("{name}_concat"), OpSpec::Concat, &[e1, e3], None);
+    t.c = 2 * expand_c;
+    t.h = t1.h;
+    t.w = t1.w;
+    cat
+}
+
+/// Builds SqueezeNet 1.0: 7×7/2 stem, eight fire modules with interleaved
+/// max-pools, and a 1×1 classifier convolution with global average pooling.
+pub fn squeezenet(scale: ModelScale) -> ModelSpec {
+    let hw = scale.image_hw();
+    let mut m = ModelSpec::new(
+        ModelId::SqueezeNet,
+        TensorShape::Feature { c: 3, h: hw, w: hw },
+    );
+    let mut t = ShapeTracker::new(3, hw);
+
+    let x = t.conv_relu(
+        &mut m,
+        "conv1",
+        0,
+        Conv2dGeom::new(3, 96, 7, 7, 2, 2, 1),
+        LayerClass::Convolution,
+    );
+    let x = t.maxpool(&mut m, "pool1", x, 3, 2);
+
+    let x = fire(&mut m, &mut t, "fire2", x, 16, 64);
+    let x = fire(&mut m, &mut t, "fire3", x, 16, 64);
+    let x = fire(&mut m, &mut t, "fire4", x, 32, 128);
+    let x = t.maxpool(&mut m, "pool4", x, 3, 2);
+    let x = fire(&mut m, &mut t, "fire5", x, 32, 128);
+    let x = fire(&mut m, &mut t, "fire6", x, 48, 192);
+    let x = fire(&mut m, &mut t, "fire7", x, 48, 192);
+    let x = fire(&mut m, &mut t, "fire8", x, 64, 256);
+    let x = t.maxpool(&mut m, "pool8", x, 3, 2);
+    let x = fire(&mut m, &mut t, "fire9", x, 64, 256);
+
+    let conv10 = t.conv_relu(
+        &mut m,
+        "conv10",
+        x,
+        Conv2dGeom::new(512, num_classes(scale), 1, 1, 1, 0, 1),
+        LayerClass::Convolution,
+    );
+    let gap = m.add("avgpool", OpSpec::GlobalAvgPool, &[conv10], None);
+    let flat = m.add("flatten", OpSpec::Flatten, &[gap], None);
+    m.add("log_softmax", OpSpec::LogSoftmax, &[flat], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_modules_concat_to_published_widths() {
+        let m = squeezenet(ModelScale::Standard);
+        let shapes = m.infer_shapes().unwrap();
+        let widths: Vec<usize> = m
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, OpSpec::Concat))
+            .map(|(i, _)| match shapes[i] {
+                TensorShape::Feature { c, .. } => c,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(widths, vec![128, 128, 256, 256, 384, 384, 512, 512]);
+    }
+
+    #[test]
+    fn squeeze_and_expand_classes_are_tagged() {
+        let m = squeezenet(ModelScale::Reduced);
+        let sc = m
+            .nodes()
+            .iter()
+            .filter(|n| n.class == Some(LayerClass::SqueezeConv))
+            .count();
+        let ec = m
+            .nodes()
+            .iter()
+            .filter(|n| n.class == Some(LayerClass::ExpandConv))
+            .count();
+        assert_eq!(sc, 8);
+        assert_eq!(ec, 16);
+    }
+
+    #[test]
+    fn all_scales_valid() {
+        for scale in [ModelScale::Standard, ModelScale::Reduced, ModelScale::Tiny] {
+            squeezenet(scale).infer_shapes().unwrap();
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) — `C` and `L` dominant layers.
+
+use super::{fc_dim, num_classes, ShapeTracker};
+use crate::{LayerClass, ModelId, ModelScale, ModelSpec, NodeId, OpSpec, TensorShape};
+use stonne_tensor::Conv2dGeom;
+
+/// Builds VGG-16: thirteen 3×3 convolutions in five pooled stages
+/// (64-64 / 128-128 / 256×3 / 512×3 / 512×3) plus three FC layers.
+pub fn vgg16(scale: ModelScale) -> ModelSpec {
+    let hw = scale.image_hw();
+    let mut m = ModelSpec::new(ModelId::Vgg16, TensorShape::Feature { c: 3, h: hw, w: hw });
+    let mut t = ShapeTracker::new(3, hw);
+    let c = LayerClass::Convolution;
+
+    // (stage channel width, conv count) per published configuration D.
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut x: NodeId = 0;
+    let mut in_c = 3;
+    for (s, &(width, count)) in stages.iter().enumerate() {
+        for i in 0..count {
+            let name = format!("conv{}_{}", s + 1, i + 1);
+            x = t.conv_relu(
+                &mut m,
+                &name,
+                x,
+                Conv2dGeom::new(in_c, width, 3, 3, 1, 1, 1),
+                c,
+            );
+            in_c = width;
+        }
+        // Stop pooling once the map is already 1x1 (tiny scale).
+        if t.h > 1 {
+            x = t.maxpool(&mut m, &format!("pool{}", s + 1), x, 2, 2);
+        }
+    }
+
+    let flat = m.add("flatten", OpSpec::Flatten, &[x], None);
+    let in_features = t.c * t.h * t.w;
+    let fcw = fc_dim(scale);
+    let l = LayerClass::Linear;
+    let fc1 = m.add(
+        "fc1",
+        OpSpec::Linear {
+            in_features,
+            out_features: fcw,
+        },
+        &[flat],
+        Some(l),
+    );
+    let r1 = m.add("fc1_relu", OpSpec::Relu, &[fc1], None);
+    let fc2 = m.add(
+        "fc2",
+        OpSpec::Linear {
+            in_features: fcw,
+            out_features: fcw,
+        },
+        &[r1],
+        Some(l),
+    );
+    let r2 = m.add("fc2_relu", OpSpec::Relu, &[fc2], None);
+    let fc3 = m.add(
+        "fc3",
+        OpSpec::Linear {
+            in_features: fcw,
+            out_features: num_classes(scale),
+        },
+        &[r2],
+        Some(l),
+    );
+    m.add("log_softmax", OpSpec::LogSoftmax, &[fc3], None);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_convs_three_linears() {
+        let m = vgg16(ModelScale::Reduced);
+        let convs = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Conv2d { .. }))
+            .count();
+        let linears = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpSpec::Linear { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(linears, 3);
+    }
+
+    #[test]
+    fn standard_final_map_is_512x7x7() {
+        let m = vgg16(ModelScale::Standard);
+        let shapes = m.infer_shapes().unwrap();
+        let flat = m
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpSpec::Flatten))
+            .unwrap();
+        let pre = m.nodes()[flat].inputs[0];
+        assert_eq!(shapes[pre], TensorShape::Feature { c: 512, h: 7, w: 7 });
+    }
+
+    #[test]
+    fn vgg_is_heaviest_model() {
+        // The published model is ~15.5 GMACs; sanity check the zoo encoding.
+        let macs = vgg16(ModelScale::Standard).total_macs();
+        assert!(
+            macs > 14_000_000_000 && macs < 17_000_000_000,
+            "macs={macs}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-model consistency checks over the whole zoo.
+
+use stonne_models::{distinct_offloaded_layers, zoo, LayerClass, ModelId, ModelScale, OpSpec};
+
+#[test]
+fn every_offloaded_node_carries_a_layer_class_tag() {
+    for model in zoo::all_models(ModelScale::Reduced) {
+        for id in model.offloaded_nodes() {
+            let node = &model.nodes()[id];
+            if matches!(node.op, OpSpec::Conv2d { .. } | OpSpec::Linear { .. }) {
+                assert!(
+                    node.class.is_some(),
+                    "{}: node {} ({}) untagged",
+                    model.id(),
+                    id,
+                    node.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dominant_layer_classes_match_table1() {
+    // Table I's "dominant layer types" column, checked by MAC share.
+    let cases = [
+        (ModelId::MobileNetV1, LayerClass::FactorizedConv),
+        (ModelId::Vgg16, LayerClass::Convolution),
+        (ModelId::ResNet50, LayerClass::ResidualFunction),
+        (ModelId::Bert, LayerClass::Transformer),
+    ];
+    for (id, expected) in cases {
+        let model = zoo::build(id, ModelScale::Standard);
+        let shapes = model.infer_shapes().unwrap();
+        let mut by_class: std::collections::HashMap<LayerClass, u64> = Default::default();
+        for (i, node) in model.nodes().iter().enumerate() {
+            let Some(class) = node.class else { continue };
+            let macs = match node.op {
+                OpSpec::Conv2d { geom } => match shapes[node.inputs[0]] {
+                    stonne_models::TensorShape::Feature { h, w, .. } => geom.macs(1, h, w),
+                    _ => 0,
+                },
+                OpSpec::Linear {
+                    in_features,
+                    out_features,
+                } => match shapes[node.inputs[0]] {
+                    stonne_models::TensorShape::Tokens { seq, .. } => {
+                        (seq * in_features * out_features) as u64
+                    }
+                    _ => 0,
+                },
+                OpSpec::Attention { .. } => match shapes[i] {
+                    stonne_models::TensorShape::Tokens { seq, dim } => {
+                        2 * (seq * seq * dim) as u64
+                    }
+                    _ => 0,
+                },
+                _ => 0,
+            };
+            *by_class.entry(class).or_default() += macs;
+        }
+        let dominant = by_class
+            .iter()
+            .max_by_key(|(_, &m)| m)
+            .map(|(c, _)| *c)
+            .unwrap();
+        assert_eq!(dominant, expected, "{id}: {by_class:?}");
+    }
+}
+
+#[test]
+fn node_names_are_unique_within_each_model() {
+    for model in zoo::all_models(ModelScale::Tiny) {
+        let mut names: Vec<&str> = model.nodes().iter().map(|n| n.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "{}: duplicate node names", model.id());
+    }
+}
+
+#[test]
+fn distinct_layer_counts_are_consistent_across_scales() {
+    // Scale changes spatial extents, never the number of offloaded
+    // conv/linear nodes.
+    for id in ModelId::ALL {
+        let tiny: usize = distinct_offloaded_layers(&zoo::build(id, ModelScale::Tiny))
+            .iter()
+            .map(|d| d.count)
+            .sum();
+        let reduced: usize = distinct_offloaded_layers(&zoo::build(id, ModelScale::Reduced))
+            .iter()
+            .map(|d| d.count)
+            .sum();
+        assert_eq!(tiny, reduced, "{id}");
+    }
+}
+
+#[test]
+fn graphs_serialize_to_json_and_back() {
+    let model = zoo::squeezenet(ModelScale::Tiny);
+    let json = serde_json::to_string(&model).unwrap();
+    let back: stonne_models::ModelSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, model);
+}

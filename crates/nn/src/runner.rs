@@ -1,0 +1,268 @@
+//! Full-model inference runs: the paper's layer-by-layer offload flow
+//! with per-layer statistics, aggregate energy, and functional
+//! validation.
+
+use crate::backend::{ReferenceBackend, SimBackend};
+use crate::executor::execute_graph;
+use crate::params::ModelParams;
+use crate::value::Value;
+use std::sync::Arc;
+use stonne_core::{AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimStats, Stonne};
+use stonne_energy::{EnergyBreakdown, EnergyModel};
+
+/// Statistics of one offloaded layer inside a model run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Operation name (layer name, possibly suffixed by group/head).
+    pub name: String,
+    /// Cycle-level statistics of this layer.
+    pub stats: SimStats,
+}
+
+/// Result of a full-model run on the reference (native) backend.
+#[derive(Debug, Clone)]
+pub struct ReferenceRun {
+    /// Every node's output value.
+    pub outputs: Vec<Value>,
+}
+
+/// Result of a full-model run on the simulated accelerator.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// Every node's output value (functionally comparable to the
+    /// reference run).
+    pub outputs: Vec<Value>,
+    /// Per-offloaded-operation statistics, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Aggregate statistics over the whole model.
+    pub total: SimStats,
+    /// Component energy breakdown over the whole model.
+    pub energy: EnergyBreakdown,
+}
+
+impl ModelRun {
+    /// The final (classifier) output of the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no values (impossible for valid graphs).
+    pub fn final_output(&self) -> &Value {
+        self.outputs.last().expect("non-empty graph")
+    }
+
+    /// Serializes the run's statistics (per-layer + aggregate + energy)
+    /// as a pretty JSON report — the full-model analogue of the Output
+    /// Module's per-operation summary file.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice (all fields are serializable).
+    pub fn report_json(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Report<'a> {
+            total: &'a SimStats,
+            energy: &'a stonne_energy::EnergyBreakdown,
+            layers: Vec<&'a SimStats>,
+        }
+        let report = Report {
+            total: &self.total,
+            energy: &self.energy,
+            layers: self.layers.iter().map(|l| &l.stats).collect(),
+        };
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    }
+}
+
+/// Runs a model natively on the CPU (the paper's correctness baseline).
+pub fn run_model_reference(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+) -> ReferenceRun {
+    let mut backend = ReferenceBackend;
+    ReferenceRun {
+        outputs: execute_graph(model, params, input, &mut backend),
+    }
+}
+
+/// Runs a model on a simulated accelerator with the default (natural)
+/// filter order.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the accelerator configuration is invalid.
+pub fn run_model_simulated(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+) -> Result<ModelRun, ConfigError> {
+    run_model_simulated_scheduled(model, params, input, config, Arc::new(NaturalOrder))
+}
+
+/// Runs a model on a simulated accelerator with an explicit filter
+/// schedule (sparse configurations; use case 3 of the paper).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the accelerator configuration is invalid.
+pub fn run_model_simulated_scheduled(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    schedule: Arc<dyn RowSchedule + Send + Sync>,
+) -> Result<ModelRun, ConfigError> {
+    let energy_model = EnergyModel::for_config(&config);
+    let sim = Stonne::new(config)?;
+    let mut backend = SimBackend::new(sim).with_schedule(schedule);
+    let outputs = execute_graph(model, params, input, &mut backend);
+    let sim = backend.into_sim();
+
+    let layers: Vec<LayerReport> = sim
+        .history()
+        .iter()
+        .map(|s| LayerReport {
+            name: s.operation.clone(),
+            stats: s.clone(),
+        })
+        .collect();
+    let total = sim.aggregate_stats();
+    let energy = energy_model.breakdown(&total);
+    Ok(ModelRun {
+        outputs,
+        layers,
+        total,
+        energy,
+    })
+}
+
+/// Compares a simulated run against the reference run node by node,
+/// panicking on the first functional mismatch — the paper's functional
+/// validation ("they perfectly match for all cases").
+///
+/// # Panics
+///
+/// Panics with the offending node index when outputs differ beyond the
+/// floating-point tolerance.
+pub fn assert_functionally_equal(reference: &ReferenceRun, run: &ModelRun) {
+    assert_eq!(
+        reference.outputs.len(),
+        run.outputs.len(),
+        "node count mismatch"
+    );
+    for (i, (r, s)) in reference.outputs.iter().zip(run.outputs.iter()).enumerate() {
+        assert_eq!(r.shape(), s.shape(), "node {i} shape mismatch");
+        let (rs, ss) = (r.as_slice(), s.as_slice());
+        for (j, (a, b)) in rs.iter().zip(ss.iter()).enumerate() {
+            assert!(
+                stonne_tensor::approx_eq(*a, *b),
+                "node {i} element {j}: reference {a} vs simulated {b}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::generate_input;
+    use stonne_models::{zoo, ModelScale};
+
+    #[test]
+    fn tiny_alexnet_runs_and_validates_on_maeri() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 1);
+        let input = generate_input(&model, 2);
+        let reference = run_model_reference(&model, &params, &input);
+        let run = run_model_simulated(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::maeri_like(64, 32),
+        )
+        .unwrap();
+        assert_functionally_equal(&reference, &run);
+        assert!(run.total.cycles > 0);
+        assert!(!run.layers.is_empty());
+        assert!(run.energy.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn layer_reports_cover_offloaded_nodes() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 1);
+        let input = generate_input(&model, 2);
+        let run =
+            run_model_simulated(&model, &params, &input, AcceleratorConfig::tpu_like(8)).unwrap();
+        // 5 convs + 3 linears + 3 offloaded pools.
+        assert!(run.layers.len() >= 8, "got {} layers", run.layers.len());
+        let total_cycles: u64 = run.layers.iter().map(|l| l.stats.cycles).sum();
+        assert_eq!(total_cycles, run.total.cycles);
+    }
+
+    #[test]
+    fn sigma_beats_maeri_on_sparse_model() {
+        // The headline of Fig. 5a: sparsity support wins on pruned models.
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 3); // 78% sparse weights
+        let input = generate_input(&model, 4);
+        let sigma = run_model_simulated(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::sigma_like(64, 64),
+        )
+        .unwrap();
+        let maeri = run_model_simulated(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::maeri_like(64, 64),
+        )
+        .unwrap();
+        assert!(
+            sigma.total.cycles < maeri.total.cycles,
+            "sigma {} !< maeri {}",
+            sigma.total.cycles,
+            maeri.total.cycles
+        );
+    }
+
+    #[test]
+    fn json_report_includes_layers_and_energy() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 7);
+        let input = generate_input(&model, 8);
+        let run = run_model_simulated(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::maeri_like(32, 16),
+        )
+        .unwrap();
+        let json = run.report_json();
+        assert!(json.contains("\"layers\""));
+        assert!(json.contains("\"gb_uj\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["layers"].as_array().unwrap().len(), run.layers.len());
+    }
+
+    #[test]
+    fn final_output_is_classifier_logits() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 5);
+        let input = generate_input(&model, 6);
+        let run = run_model_simulated(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::maeri_like(32, 16),
+        )
+        .unwrap();
+        match run.final_output() {
+            Value::Tokens(m) => assert_eq!(m.cols(), 10), // tiny scale: 10 classes
+            Value::Feature(_) => panic!("classifier must emit tokens"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Runtime values flowing between graph nodes.
+
+use stonne_models::TensorShape;
+use stonne_tensor::{Matrix, Tensor4};
+
+/// A value produced by a graph node: either a feature map or a token
+/// matrix, matching [`TensorShape`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// NCHW feature map (batch fixed at 1 in model graphs).
+    Feature(Tensor4),
+    /// `seq × dim` token matrix.
+    Tokens(Matrix),
+}
+
+impl Value {
+    /// The shape descriptor of this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature map with batch ≠ 1 (model graphs are batch-1).
+    pub fn shape(&self) -> TensorShape {
+        match self {
+            Value::Feature(t) => {
+                assert_eq!(t.n(), 1, "model graphs carry batch-1 tensors");
+                TensorShape::Feature {
+                    c: t.c(),
+                    h: t.h(),
+                    w: t.w(),
+                }
+            }
+            Value::Tokens(m) => TensorShape::Tokens {
+                seq: m.rows(),
+                dim: m.cols(),
+            },
+        }
+    }
+
+    /// Borrows the feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a token matrix.
+    pub fn as_feature(&self) -> &Tensor4 {
+        match self {
+            Value::Feature(t) => t,
+            Value::Tokens(_) => panic!("expected a feature map, got tokens"),
+        }
+    }
+
+    /// Borrows the token matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a feature map.
+    pub fn as_tokens(&self) -> &Matrix {
+        match self {
+            Value::Tokens(m) => m,
+            Value::Feature(_) => panic!("expected tokens, got a feature map"),
+        }
+    }
+
+    /// Flat view of the underlying elements (for output comparison).
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            Value::Feature(t) => t.as_slice(),
+            Value::Tokens(m) => m.as_slice(),
+        }
+    }
+}
+
+impl From<Tensor4> for Value {
+    fn from(t: Tensor4) -> Self {
+        Value::Feature(t)
+    }
+}
+
+impl From<Matrix> for Value {
+    fn from(m: Matrix) -> Self {
+        Value::Tokens(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_variants() {
+        let f = Value::Feature(Tensor4::zeros(1, 2, 3, 4));
+        assert_eq!(f.shape(), TensorShape::Feature { c: 2, h: 3, w: 4 });
+        let t = Value::Tokens(Matrix::zeros(5, 6));
+        assert_eq!(t.shape(), TensorShape::Tokens { seq: 5, dim: 6 });
+    }
+
+    #[test]
+    #[should_panic(expected = "expected tokens")]
+    fn wrong_accessor_panics() {
+        Value::Feature(Tensor4::zeros(1, 1, 1, 1)).as_tokens();
+    }
+
+    #[test]
+    fn as_slice_exposes_elements() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(Value::Tokens(m).as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scheduling analyses behind Figures 7 and 9 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use stonne_core::{AcceleratorConfig, RowSchedule};
+use stonne_models::{ModelSpec, OpSpec};
+use stonne_nn::params::ModelParams;
+use stonne_nn::runner::run_model_simulated_scheduled;
+use stonne_nn::Value;
+
+/// Average number of *whole* filters that fit simultaneously onto an
+/// `ms_size`-multiplier flexible sparse architecture, averaged over every
+/// offloaded layer of the model (Fig. 7a).
+///
+/// A filter's mapped size is its non-zero count, capped at the array size
+/// (larger filters fold and occupy the whole array).
+pub fn avg_filters_mappable(model: &ModelSpec, params: &ModelParams, ms_size: usize) -> f64 {
+    let mut per_layer: Vec<f64> = Vec::new();
+    for id in model.offloaded_nodes() {
+        if !matches!(
+            model.nodes()[id].op,
+            OpSpec::Conv2d { .. } | OpSpec::Linear { .. }
+        ) {
+            continue;
+        }
+        let Some(w) = params.get(id) else { continue };
+        let sizes = w.filter_nnz();
+        // Greedy fill in natural order, whole filters only.
+        let mut fits_per_round: Vec<usize> = Vec::new();
+        let mut used = 0usize;
+        let mut count = 0usize;
+        for &s in &sizes {
+            if s == 0 {
+                continue;
+            }
+            let s = s.min(ms_size);
+            if used + s > ms_size {
+                fits_per_round.push(count);
+                used = 0;
+                count = 0;
+            }
+            used += s;
+            count += 1;
+        }
+        if count > 0 {
+            fits_per_round.push(count);
+        }
+        if !fits_per_round.is_empty() {
+            let avg = fits_per_round.iter().sum::<usize>() as f64 / fits_per_round.len() as f64;
+            per_layer.push(avg);
+        }
+    }
+    if per_layer.is_empty() {
+        0.0
+    } else {
+        per_layer.iter().sum::<f64>() / per_layer.len() as f64
+    }
+}
+
+/// Sizes (non-zero counts, capped at `ms_size`) of every filter of the
+/// model's first offloaded layer (Fig. 7b).
+pub fn first_layer_filter_sizes(
+    model: &ModelSpec,
+    params: &ModelParams,
+    ms_size: usize,
+) -> Vec<usize> {
+    for id in model.offloaded_nodes() {
+        if let Some(w) = params.get(id) {
+            return w.filter_nnz().into_iter().map(|s| s.min(ms_size)).collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Per-layer sensitivity record for Fig. 9c: cycles and utilization under
+/// two schedules for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSensitivity {
+    /// Layer name.
+    pub name: String,
+    /// Cycles under the baseline (NS) schedule.
+    pub baseline_cycles: u64,
+    /// Cycles under the evaluated schedule.
+    pub scheduled_cycles: u64,
+    /// Baseline multiplier utilization.
+    pub baseline_utilization: f64,
+    /// Scheduled multiplier utilization.
+    pub scheduled_utilization: f64,
+}
+
+impl LayerSensitivity {
+    /// Runtime gain of the schedule vs the baseline, in `[0, 1)`
+    /// (0.10 = 10 % fewer cycles).
+    pub fn runtime_gain(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.scheduled_cycles as f64 / self.baseline_cycles as f64
+    }
+
+    /// Utilization improvement in absolute percentage points.
+    pub fn utilization_gain(&self) -> f64 {
+        self.scheduled_utilization - self.baseline_utilization
+    }
+}
+
+/// Runs a model under the baseline (NS) and the given schedule and
+/// reports the per-layer sensitivity (the Fig. 9c analysis).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the two runs offload
+/// different layer sequences (impossible for pure reordering policies).
+pub fn layer_sensitivity(
+    model: &ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    schedule: Arc<dyn RowSchedule + Send + Sync>,
+) -> Vec<LayerSensitivity> {
+    let base = run_model_simulated_scheduled(
+        model,
+        params,
+        input,
+        config.clone(),
+        Arc::new(stonne_core::NaturalOrder),
+    )
+    .expect("valid config");
+    let sched = run_model_simulated_scheduled(model, params, input, config, schedule)
+        .expect("valid config");
+    assert_eq!(
+        base.layers.len(),
+        sched.layers.len(),
+        "schedules must offload identical layer sequences"
+    );
+    base.layers
+        .iter()
+        .zip(sched.layers.iter())
+        .map(|(b, s)| LayerSensitivity {
+            name: b.name.clone(),
+            baseline_cycles: b.stats.cycles,
+            scheduled_cycles: s.stats.cycles,
+            baseline_utilization: b.stats.ms_utilization(),
+            scheduled_utilization: s.stats.ms_utilization(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LargestFilterFirst;
+    use stonne_models::{zoo, ModelScale};
+    use stonne_nn::params::generate_input;
+
+    #[test]
+    fn fig7a_mappable_filters_vary_by_model() {
+        // BERT's huge 768-wide rows (60% sparse ⇒ ~307 nnz) map fewer
+        // whole filters than SqueezeNet's small squeeze filters.
+        let squeeze = zoo::squeezenet(ModelScale::Tiny);
+        let sp = ModelParams::generate(&squeeze, 1);
+        let bert = zoo::bert(ModelScale::Tiny);
+        let bp = ModelParams::generate(&bert, 1);
+        let s = avg_filters_mappable(&squeeze, &sp, 256);
+        let b = avg_filters_mappable(&bert, &bp, 256);
+        assert!(
+            s > b,
+            "squeezenet {s} should map more filters than bert {b}"
+        );
+        assert!(b >= 1.0);
+    }
+
+    #[test]
+    fn fig7b_first_layer_sizes_are_capped() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 2);
+        let sizes = first_layer_filter_sizes(&model, &params, 256);
+        assert_eq!(sizes.len(), 64); // AlexNet conv1 has 64 filters
+        assert!(sizes.iter().all(|&s| s <= 256));
+        assert!(sizes.iter().any(|&s| s > 0));
+    }
+
+    #[test]
+    fn sensitivity_reports_cover_all_layers() {
+        let model = zoo::squeezenet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 3);
+        let input = generate_input(&model, 4);
+        let rows = layer_sensitivity(
+            &model,
+            &params,
+            &input,
+            stonne_core::AcceleratorConfig::sigma_like(64, 64),
+            Arc::new(LargestFilterFirst),
+        );
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.scheduled_cycles <= r.baseline_cycles,
+                "{}: LFF slower ({} > {})",
+                r.name,
+                r.scheduled_cycles,
+                r.baseline_cycles
+            );
+            assert!(r.runtime_gain() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The SNAPEA energy table.
+//!
+//! The paper's fifth implementation step: "we have included in the Output
+//! Module a new table with the energy model of SNAPEA based on the
+//! published energy numbers provided in the SNAPEA paper". The table here
+//! plays that role: per-event costs for the SNAPEA datapath (MAC, weight/
+//! index fetch, activation fetch, output write) plus per-cycle leakage, so
+//! runtime cuts also save static energy.
+
+use serde::{Deserialize, Serialize};
+use stonne_core::SimStats;
+
+/// Per-event energies of the SNAPEA datapath, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapeaEnergyTable {
+    /// One multiply-accumulate (multiplier + accumulator + sign check).
+    pub mac_pj: f64,
+    /// One weight + index-table fetch.
+    pub weight_fetch_pj: f64,
+    /// One activation fetch from the Global Buffer.
+    pub activation_fetch_pj: f64,
+    /// One output write-back.
+    pub output_write_pj: f64,
+    /// Leakage per cycle per PE.
+    pub static_pj_per_pe_cycle: f64,
+}
+
+impl Default for SnapeaEnergyTable {
+    fn default() -> Self {
+        Self {
+            mac_pj: 0.9,
+            weight_fetch_pj: 1.1,
+            activation_fetch_pj: 1.2,
+            output_write_pj: 1.3,
+            static_pj_per_pe_cycle: 0.5,
+        }
+    }
+}
+
+/// Total energy of a SNAPEA run in µJ.
+///
+/// Activation fetches are the `dn_injections` the engine records (unique
+/// per wave); weight/index fetches are per executed tap.
+pub fn snapea_energy_uj(stats: &SimStats, table: &SnapeaEnergyTable) -> f64 {
+    let c = &stats.counters;
+    let dynamic = c.multiplications as f64 * table.mac_pj
+        + (c.gb_reads - c.dn_injections) as f64 * table.weight_fetch_pj
+        + c.dn_injections as f64 * table.activation_fetch_pj
+        + c.gb_writes as f64 * table.output_write_pj;
+    let static_e = stats.cycles as f64 * stats.ms_size as f64 * table.static_pj_per_pe_cycle;
+    (dynamic + static_e) * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stonne_core::ActivityCounters;
+
+    fn stats(mults: u64, reads: u64, inj: u64, writes: u64, cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            ms_size: 64,
+            counters: ActivityCounters {
+                multiplications: mults,
+                gb_reads: reads,
+                dn_injections: inj,
+                gb_writes: writes,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_ops() {
+        let t = SnapeaEnergyTable::default();
+        let small = snapea_energy_uj(&stats(100, 150, 50, 10, 20), &t);
+        let large = snapea_energy_uj(&stats(1000, 1500, 500, 100, 200), &t);
+        assert!(large > 9.0 * small);
+    }
+
+    #[test]
+    fn static_component_depends_on_cycles() {
+        let t = SnapeaEnergyTable::default();
+        let fast = snapea_energy_uj(&stats(100, 150, 50, 10, 20), &t);
+        let slow = snapea_energy_uj(&stats(100, 150, 50, 10, 200), &t);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn zero_run_costs_nothing() {
+        assert_eq!(
+            snapea_energy_uj(&SimStats::default(), &SnapeaEnergyTable::default()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! The SNAPEA cycle-level engine: an output-stationary PE array with
+//! sign-reordered weight streams and early-negative termination.
+//!
+//! Each processing element owns one output neuron at a time and walks its
+//! reordered weight stream one multiply-accumulate per cycle; outputs are
+//! assigned round-robin to the PEs, each PE advancing to its next output
+//! as soon as the current one finishes (or cuts), and the layer completes
+//! when the busiest PE drains its queue. The accumulation logic performs
+//! the single-bit sign check: once
+//! the positive phase is exhausted and the psum is ≤ 0, or the psum drops
+//! ≤ 0 during the negative phase, the PE cuts the remaining work — the
+//! output is already guaranteed to be zeroed by the following ReLU.
+//!
+//! Early termination is *exact* only when the layer's activations are
+//! non-negative; the engine verifies this per operand and silently falls
+//! back to full execution otherwise (e.g. a first layer fed signed data).
+
+use crate::reorder_filter_by_sign;
+use stonne_core::engine::conv_operand;
+use stonne_core::{ActivityCounters, SimStats};
+use stonne_tensor::{col2im_output, Conv2dGeom, Elem, Matrix, Tensor4};
+
+/// Whether the early-termination logic is active.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SnapeaMode {
+    /// The paper's `Baseline`: the SNAPEA datapath with the negative-
+    /// detection logic excluded — every tap executes.
+    Baseline,
+    /// The full SNAPEA-like architecture (exact mode): cuts are only
+    /// taken when the output is provably non-positive.
+    SnapeaLike,
+    /// SNAPEA's *predictive* (speculative) mode — an extension beyond the
+    /// paper's use case, which implements exact mode only: after the
+    /// positive prefix, the PE cuts as soon as the psum drops below
+    /// `margin` (≥ 0), trading a bounded accuracy loss for deeper cuts.
+    /// `margin = 0` degenerates to exact mode.
+    Predictive {
+        /// Cut threshold: stop once `psum < margin` in the negative phase.
+        margin: f32,
+    },
+}
+
+/// SNAPEA hardware parameters (the paper models 64 multipliers/adders and
+/// 64 elements/cycle of Global-Buffer bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapeaConfig {
+    /// Processing elements (one output each).
+    pub pe_count: usize,
+    /// Global-Buffer read/write bandwidth in elements/cycle.
+    pub bandwidth: usize,
+    /// Early-termination mode.
+    pub mode: SnapeaMode,
+}
+
+impl SnapeaConfig {
+    /// The paper's use-case configuration.
+    pub fn paper(mode: SnapeaMode) -> Self {
+        Self {
+            pe_count: 64,
+            bandwidth: 64,
+            mode,
+        }
+    }
+}
+
+/// Runs one GEMM-lowered operand (weights `M×K`, inputs `K×N`) on the
+/// SNAPEA array. Returns the `M×N` output (early-cut entries hold their
+/// negative partial sum, exactly as the hardware writes them out) and the
+/// statistics.
+fn run_operand(
+    config: &SnapeaConfig,
+    operation: &str,
+    weights: &Matrix,
+    inputs: &Matrix,
+) -> (Matrix, SimStats) {
+    let (m, n) = (weights.rows(), inputs.cols());
+    // Early termination needs non-negative activations (exact mode's
+    // soundness precondition; predictive mode inherits it so speculation
+    // only mispredicts through its margin, not through sign surprises).
+    let nonneg = inputs.as_slice().iter().all(|&v| v >= 0.0);
+    let (early_ok, margin) = match config.mode {
+        SnapeaMode::Baseline => (false, 0.0),
+        SnapeaMode::SnapeaLike => (nonneg, 0.0),
+        SnapeaMode::Predictive { margin } => (nonneg, margin.max(0.0)),
+    };
+
+    // Prior-simulation pass: sign-reorder every filter once per layer.
+    let filters: Vec<_> = (0..m)
+        .map(|r| reorder_filter_by_sign(weights.row(r)))
+        .collect();
+
+    let mut out = Matrix::zeros(m, n);
+    let mut stats = SimStats {
+        accelerator: format!("SNAPEA {}pe", config.pe_count),
+        operation: operation.to_owned(),
+        ms_size: config.pe_count,
+        ..SimStats::default()
+    };
+
+    // Per-PE work queues: outputs round-robin across the array; each PE
+    // executes one tap per cycle and moves on as soon as its output
+    // finishes or cuts. Columns share their activation fetches: an input
+    // element is fetched once per column, no matter how many filters of
+    // the column's outputs touch it (the index tables multicast it).
+    let mut pe_work = vec![0u64; config.pe_count];
+    let mut per_col_addrs: Vec<usize> = Vec::new();
+    // Deepest tap each filter ever needs: its weight/index stream is
+    // fetched from the GB once into the owning PE's buffer and replayed
+    // locally across output positions.
+    let mut filter_depth = vec![0u64; m];
+    for col in 0..n {
+        per_col_addrs.clear();
+        for (row, f) in filters.iter().enumerate() {
+            let mut psum: Elem = 0.0;
+            let mut executed = 0usize;
+            for (t, (&w, &idx)) in f.weights.iter().zip(f.indices.iter()).enumerate() {
+                psum += w * inputs.get(idx, col);
+                executed += 1;
+                if early_ok && t + 1 >= f.positive_count && psum <= margin {
+                    // Sign check: remaining weights are all negative and
+                    // the psum is at or below the cut threshold (0 in
+                    // exact mode) — cut.
+                    break;
+                }
+            }
+            out.set(row, col, psum);
+            let o = row * n + col;
+            pe_work[o % config.pe_count] += executed as u64;
+            stats.counters.multiplications += executed as u64;
+            stats.counters.accumulator_updates += executed as u64;
+            stats.ms_busy_cycles += executed as u64;
+            filter_depth[row] = filter_depth[row].max(executed as u64);
+            per_col_addrs.extend(f.indices[..executed].iter().copied());
+        }
+        per_col_addrs.sort_unstable();
+        per_col_addrs.dedup();
+        stats.counters.gb_reads += per_col_addrs.len() as u64;
+        stats.counters.dn_injections += per_col_addrs.len() as u64;
+    }
+    // Weight + index-table fetches: once per filter to its needed depth.
+    let weight_reads: u64 = filter_depth.iter().sum();
+    stats.counters.gb_reads += weight_reads;
+    stats.counters.metadata_reads += weight_reads;
+
+    // Timing: the busiest PE's queue bounds the layer, plus the output
+    // drain through the write ports.
+    let total_outputs = (m * n) as u64;
+    let busiest = pe_work.iter().copied().max().unwrap_or(0).max(1);
+    let drain = total_outputs.div_ceil(config.bandwidth as u64).max(1);
+    stats.cycles = busiest + drain;
+    stats.compute_cycles = busiest;
+    stats.counters.gb_writes += total_outputs;
+    stats.counters.rn_collections += total_outputs;
+    stats.iterations = total_outputs.div_ceil(config.pe_count as u64);
+    (out, stats)
+}
+
+/// Runs a (grouped) convolution on the SNAPEA array.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `geom`.
+pub fn run_conv_snapea(
+    config: &SnapeaConfig,
+    operation: &str,
+    input: &Tensor4,
+    weights: &Tensor4,
+    geom: &Conv2dGeom,
+) -> (Tensor4, SimStats) {
+    let (oh, ow) = geom.out_hw(input.h(), input.w());
+    let mut outs = Vec::with_capacity(geom.groups);
+    let mut total: Option<SimStats> = None;
+    for g in 0..geom.groups {
+        let operand = conv_operand(input, weights, geom, g);
+        let (o, stats) = run_operand(config, operation, &operand.weights, &operand.inputs);
+        outs.push(o);
+        match &mut total {
+            None => total = Some(stats),
+            Some(t) => t.merge(&stats),
+        }
+    }
+    let mut stats = total.expect("at least one group");
+    stats.operation = operation.to_owned();
+    (col2im_output(&outs, geom, input.n(), oh, ow), stats)
+}
+
+/// Runs a fully-connected layer (`input seq×in`, `weights out×in`) on the
+/// SNAPEA array.
+///
+/// # Panics
+///
+/// Panics if the feature dimensions disagree.
+pub fn run_linear_snapea(
+    config: &SnapeaConfig,
+    operation: &str,
+    input: &Matrix,
+    weights: &Matrix,
+) -> (Matrix, SimStats) {
+    assert_eq!(weights.cols(), input.cols(), "linear dims disagree");
+    let b = input.transposed();
+    let (out, stats) = run_operand(config, operation, weights, &b);
+    (out.transposed(), stats)
+}
+
+/// Convenience: total operation count of a stats record (Fig. 6c).
+pub fn op_count(stats: &SimStats) -> u64 {
+    stats.counters.multiplications
+}
+
+/// Convenience: total memory access count of a stats record (Fig. 6d).
+pub fn memory_accesses(stats: &SimStats) -> u64 {
+    let c: &ActivityCounters = &stats.counters;
+    c.gb_reads + c.gb_writes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stonne_tensor::{gemm_reference, SeededRng};
+
+    fn nonneg_inputs(k: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        let mut m = Matrix::zeros(k, n);
+        for r in 0..k {
+            for c in 0..n {
+                m.set(r, c, rng.uniform(0.0, 1.0));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn baseline_is_functionally_exact() {
+        let mut rng = SeededRng::new(1);
+        let w = Matrix::random(6, 20, &mut rng);
+        let x = nonneg_inputs(20, 5, 2);
+        let cfg = SnapeaConfig::paper(SnapeaMode::Baseline);
+        let (out, stats) = run_operand(&cfg, "b", &w, &x);
+        stonne_tensor::assert_slices_close(out.as_slice(), gemm_reference(&w, &x).as_slice());
+        assert_eq!(stats.counters.multiplications, (w.nnz() * 5) as u64);
+    }
+
+    #[test]
+    fn snapea_cuts_ops_and_matches_after_relu() {
+        let mut rng = SeededRng::new(3);
+        let w = Matrix::random(16, 64, &mut rng);
+        let x = nonneg_inputs(64, 16, 4);
+        let base = SnapeaConfig::paper(SnapeaMode::Baseline);
+        let snap = SnapeaConfig::paper(SnapeaMode::SnapeaLike);
+        let (bo, bs) = run_operand(&base, "b", &w, &x);
+        let (so, ss) = run_operand(&snap, "s", &w, &x);
+        assert!(
+            ss.counters.multiplications < bs.counters.multiplications,
+            "early termination must cut operations"
+        );
+        assert!(ss.cycles <= bs.cycles);
+        // Post-ReLU equivalence (exact mode): negatives clamp to zero.
+        for (a, b) in bo.as_slice().iter().zip(so.as_slice()) {
+            let (ra, rb) = (a.max(0.0), b.max(0.0));
+            assert!(
+                stonne_tensor::approx_eq(ra, rb),
+                "post-ReLU mismatch: {ra} vs {rb}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_cut_entries_are_nonpositive() {
+        let mut rng = SeededRng::new(5);
+        let w = Matrix::random(8, 32, &mut rng);
+        let x = nonneg_inputs(32, 8, 6);
+        let snap = SnapeaConfig::paper(SnapeaMode::SnapeaLike);
+        let base = SnapeaConfig::paper(SnapeaMode::Baseline);
+        let (so, _) = run_operand(&snap, "s", &w, &x);
+        let (bo, _) = run_operand(&base, "b", &w, &x);
+        for (s, b) in so.as_slice().iter().zip(bo.as_slice()) {
+            if (s - b).abs() > 1e-6 {
+                // An early-cut output: both must already be <= 0.
+                assert!(
+                    *s <= 0.0 && *b <= 0.0,
+                    "cut output not negative: {s} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_inputs_disable_early_termination() {
+        let mut rng = SeededRng::new(7);
+        let w = Matrix::random(4, 16, &mut rng);
+        let x = Matrix::random(16, 4, &mut rng); // signed!
+        let snap = SnapeaConfig::paper(SnapeaMode::SnapeaLike);
+        let (out, stats) = run_operand(&snap, "s", &w, &x);
+        stonne_tensor::assert_slices_close(out.as_slice(), gemm_reference(&w, &x).as_slice());
+        assert_eq!(stats.counters.multiplications, (w.nnz() * 4) as u64);
+    }
+
+    #[test]
+    fn conv_path_matches_reference_in_baseline_mode() {
+        let mut rng = SeededRng::new(8);
+        let geom = Conv2dGeom::new(2, 3, 3, 3, 1, 1, 1);
+        let mut input = Tensor4::random(1, 2, 5, 5, &mut rng);
+        input.as_mut_slice().iter_mut().for_each(|v| *v = v.abs());
+        let weights = Tensor4::random(3, 2, 3, 3, &mut rng);
+        let cfg = SnapeaConfig::paper(SnapeaMode::Baseline);
+        let (out, _) = run_conv_snapea(&cfg, "c", &input, &weights, &geom);
+        let expected = stonne_tensor::conv2d_reference(&input, &weights, &geom);
+        stonne_tensor::assert_slices_close(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn predictive_mode_cuts_deeper_than_exact() {
+        let mut rng = SeededRng::new(31);
+        let w = Matrix::random(16, 64, &mut rng);
+        let x = nonneg_inputs(64, 16, 32);
+        let exact = SnapeaConfig::paper(SnapeaMode::SnapeaLike);
+        let spec = SnapeaConfig::paper(SnapeaMode::Predictive { margin: 0.5 });
+        let (_, es) = run_operand(&exact, "e", &w, &x);
+        let (_, ss) = run_operand(&spec, "p", &w, &x);
+        assert!(
+            ss.counters.multiplications <= es.counters.multiplications,
+            "predictive must cut at least as much"
+        );
+        assert!(ss.cycles <= es.cycles);
+    }
+
+    #[test]
+    fn predictive_zero_margin_equals_exact() {
+        let mut rng = SeededRng::new(33);
+        let w = Matrix::random(8, 32, &mut rng);
+        let x = nonneg_inputs(32, 8, 34);
+        let exact = SnapeaConfig::paper(SnapeaMode::SnapeaLike);
+        let spec = SnapeaConfig::paper(SnapeaMode::Predictive { margin: 0.0 });
+        let (eo, es) = run_operand(&exact, "e", &w, &x);
+        let (so, ss) = run_operand(&spec, "p", &w, &x);
+        assert_eq!(eo, so);
+        assert_eq!(es.cycles, ss.cycles);
+    }
+
+    #[test]
+    fn predictive_errors_are_bounded_after_relu() {
+        // A mispredicted cut only happens when psum < margin with all
+        // negatives remaining, so the true output is < margin: the
+        // post-ReLU error per element is at most the margin.
+        let mut rng = SeededRng::new(35);
+        let w = Matrix::random(12, 48, &mut rng);
+        let x = nonneg_inputs(48, 12, 36);
+        let margin = 0.3f32;
+        let (bo, _) = run_operand(&SnapeaConfig::paper(SnapeaMode::Baseline), "b", &w, &x);
+        let (so, _) = run_operand(
+            &SnapeaConfig::paper(SnapeaMode::Predictive { margin }),
+            "p",
+            &w,
+            &x,
+        );
+        for (b, s) in bo.as_slice().iter().zip(so.as_slice()) {
+            let err = (b.max(0.0) - s.max(0.0)).abs();
+            assert!(err <= margin + 1e-5, "post-ReLU error {err} exceeds margin");
+        }
+    }
+
+    #[test]
+    fn memory_accesses_shrink_less_than_ops() {
+        // Fig. 6c vs 6d: ops drop ~30%, memory only ~16% — shared input
+        // fetches persist while individual PEs cut.
+        let mut rng = SeededRng::new(9);
+        let w = Matrix::random(64, 128, &mut rng);
+        let x = nonneg_inputs(128, 8, 10);
+        let (_, bs) = run_operand(&SnapeaConfig::paper(SnapeaMode::Baseline), "b", &w, &x);
+        let (_, ss) = run_operand(&SnapeaConfig::paper(SnapeaMode::SnapeaLike), "s", &w, &x);
+        let op_red = 1.0 - op_count(&ss) as f64 / op_count(&bs) as f64;
+        let mem_red = 1.0 - memory_accesses(&ss) as f64 / memory_accesses(&bs) as f64;
+        assert!(op_red > 0.0);
+        assert!(
+            mem_red < op_red,
+            "mem {mem_red} should shrink less than ops {op_red}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! SNAPEA: predictive early activation — the paper's use case B
+//! (Section VI-B), a *back-end* extension of the simulator.
+//!
+//! SNAPEA exploits a CNN property: activations entering a convolution are
+//! non-negative (images, ReLU outputs), so once a partial sum can only
+//! decrease — every remaining weight is negative — and it has already
+//! dropped to zero or below, the output is guaranteed to be zeroed by the
+//! following ReLU, and the remaining multiplications and fetches can be
+//! cut. This is SNAPEA's *exact mode*: no accuracy loss.
+//!
+//! Following the paper's implementation sketch, this crate provides:
+//!
+//! 1. a prior-simulation pass ([`reorder_filter_by_sign`]) that sorts each
+//!    filter's weights positive-first (negatives most-negative-first) and
+//!    records the index table matching weights to activations;
+//! 2. an extended output-stationary memory controller / engine
+//!    ([`engine::run_conv_snapea`]) that walks the reordered weights and
+//!    performs the single-bit sign check each cycle;
+//! 3. a SNAPEA-specific energy table ([`energy::SnapeaEnergyTable`]);
+//! 4. a full-model runner ([`run_model_snapea`]) with the paper's
+//!    `Baseline` (no early termination) and `SnapeaLike` variants.
+
+pub mod energy;
+pub mod engine;
+pub mod runner;
+
+pub use energy::{snapea_energy_uj, SnapeaEnergyTable};
+pub use engine::{run_conv_snapea, run_linear_snapea, SnapeaConfig, SnapeaMode};
+pub use runner::{run_model_snapea, SnapeaRun};
+
+use stonne_tensor::Elem;
+
+/// One filter's sign-reordered weight stream: values plus the index table
+/// locating each weight's activation (the paper's "table of indexes").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderedFilter {
+    /// Non-zero weights, positives first, then negatives sorted
+    /// most-negative-first (reaching the cut condition soonest).
+    pub weights: Vec<Elem>,
+    /// For each weight, the index of the matching input tap.
+    pub indices: Vec<usize>,
+    /// Number of leading positive weights.
+    pub positive_count: usize,
+}
+
+/// Sign-reorders one filter's dense tap vector, dropping exact zeros.
+pub fn reorder_filter_by_sign(taps: &[Elem]) -> ReorderedFilter {
+    let mut pos: Vec<(usize, Elem)> = Vec::new();
+    let mut neg: Vec<(usize, Elem)> = Vec::new();
+    for (i, &w) in taps.iter().enumerate() {
+        if w > 0.0 {
+            pos.push((i, w));
+        } else if w < 0.0 {
+            neg.push((i, w));
+        }
+    }
+    // Most-negative-first drives the psum below zero fastest.
+    neg.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let positive_count = pos.len();
+    let mut weights = Vec::with_capacity(pos.len() + neg.len());
+    let mut indices = Vec::with_capacity(pos.len() + neg.len());
+    for (i, w) in pos.into_iter().chain(neg) {
+        indices.push(i);
+        weights.push(w);
+    }
+    ReorderedFilter {
+        weights,
+        indices,
+        positive_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorder_puts_positives_first() {
+        let f = reorder_filter_by_sign(&[-1.0, 2.0, 0.0, -3.0, 4.0]);
+        assert_eq!(f.positive_count, 2);
+        assert_eq!(f.weights, vec![2.0, 4.0, -3.0, -1.0]);
+        assert_eq!(f.indices, vec![1, 4, 3, 0]);
+    }
+
+    #[test]
+    fn reorder_drops_zeros() {
+        let f = reorder_filter_by_sign(&[0.0, 0.0, 1.0]);
+        assert_eq!(f.weights, vec![1.0]);
+        assert_eq!(f.indices, vec![2]);
+    }
+
+    #[test]
+    fn reorder_preserves_sum() {
+        let taps = vec![0.3, -0.7, 0.0, 1.5, -0.1];
+        let f = reorder_filter_by_sign(&taps);
+        let direct: f32 = taps.iter().sum();
+        let reordered: f32 = f.weights.iter().sum();
+        assert!((direct - reordered).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_negative_filter_has_zero_positive_count() {
+        let f = reorder_filter_by_sign(&[-1.0, -2.0]);
+        assert_eq!(f.positive_count, 0);
+        assert_eq!(f.weights, vec![-2.0, -1.0]);
+    }
+}

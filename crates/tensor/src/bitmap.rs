@@ -1,0 +1,225 @@
+//! Bitmap sparse matrix encoding.
+//!
+//! The second sparse format the paper's sparse controller supports (used by
+//! SIGMA): a dense bit-mask marking non-zero positions plus a packed vector
+//! of the non-zero values in row-major order.
+
+use crate::{Elem, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix encoded as a bitmap plus packed non-zero values.
+///
+/// ```
+/// use stonne_tensor::{BitmapMatrix, Matrix};
+/// let dense = Matrix::from_rows(&[&[0.0, 7.0], &[8.0, 0.0]]);
+/// let bm = BitmapMatrix::from_dense(&dense);
+/// assert!(bm.is_set(0, 1));
+/// assert!(!bm.is_set(0, 0));
+/// assert_eq!(bm.to_dense(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitmapMatrix {
+    rows: usize,
+    cols: usize,
+    /// One bit per element, row-major, packed into 64-bit words.
+    words: Vec<u64>,
+    /// Non-zero values in row-major scan order.
+    vals: Vec<Elem>,
+}
+
+impl BitmapMatrix {
+    /// Builds a bitmap matrix from a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let total = m.rows() * m.cols();
+        let mut words = vec![0u64; total.div_ceil(64)];
+        let mut vals = Vec::new();
+        for (i, &v) in m.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                words[i / 64] |= 1u64 << (i % 64);
+                vals.push(v);
+            }
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            words,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether position `(r, c)` holds a non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn is_set(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let i = r * self.cols + c;
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of non-zeros in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (0..self.cols).filter(|&c| self.is_set(r, c)).count()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r` in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, Elem)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        // Rank of the first bit of row r = popcount of all bits before it.
+        let start_bit = r * self.cols;
+        let mut rank = 0usize;
+        for w in 0..start_bit / 64 {
+            rank += self.words[w].count_ones() as usize;
+        }
+        let rem = start_bit % 64;
+        if rem > 0 {
+            rank += (self.words[start_bit / 64] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        let mut val_pos = rank;
+        (0..self.cols).filter_map(move |c| {
+            if self.is_set(r, c) {
+                let v = self.vals[val_pos];
+                val_pos += 1;
+                Some((c, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Fraction of zero elements.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        let mut val_pos = 0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.is_set(r, c) {
+                    m.set(r, c, self.vals[val_pos]);
+                    val_pos += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Size of the encoding in element-sized units: the packed values plus
+    /// the bitmap charged at one element per 16 bits (FP16 baseline),
+    /// matching the element-granularity traffic counters.
+    pub fn storage_elements(&self) -> usize {
+        self.vals.len() + (self.rows * self.cols).div_ceil(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[2.0, 0.0, 3.0]]);
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert_eq!(bm.to_dense(), dense);
+        assert_eq!(bm.nnz(), 3);
+    }
+
+    #[test]
+    fn roundtrip_across_word_boundary() {
+        // 9x9 = 81 bits spans two u64 words.
+        let mut rng = SeededRng::new(21);
+        let mut dense = Matrix::random(9, 9, &mut rng);
+        for i in 0..81 {
+            if i % 3 == 0 {
+                dense.set(i / 9, i % 9, 0.0);
+            }
+        }
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert_eq!(bm.to_dense(), dense);
+    }
+
+    #[test]
+    fn row_entries_match_dense_row() {
+        let dense = Matrix::from_rows(&[&[0.0, 5.0, 0.0, 6.0], &[7.0, 0.0, 0.0, 0.0]]);
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert_eq!(
+            bm.row_entries(0).collect::<Vec<_>>(),
+            vec![(1, 5.0), (3, 6.0)]
+        );
+        assert_eq!(bm.row_entries(1).collect::<Vec<_>>(), vec![(0, 7.0)]);
+    }
+
+    #[test]
+    fn row_entries_rank_is_correct_on_large_matrix() {
+        let mut rng = SeededRng::new(77);
+        let mut dense = Matrix::random(20, 17, &mut rng);
+        for r in 0..20 {
+            for c in 0..17 {
+                if (r * 17 + c) % 4 == 1 {
+                    dense.set(r, c, 0.0);
+                }
+            }
+        }
+        let bm = BitmapMatrix::from_dense(&dense);
+        for r in 0..20 {
+            let expected: Vec<(usize, Elem)> = dense
+                .row(r)
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != 0.0)
+                .map(|(c, v)| (c, *v))
+                .collect();
+            assert_eq!(bm.row_entries(r).collect::<Vec<_>>(), expected, "row {r}");
+        }
+    }
+
+    #[test]
+    fn is_set_tracks_zeros() {
+        let dense = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert!(!bm.is_set(0, 0));
+        assert!(bm.is_set(0, 1));
+    }
+
+    #[test]
+    fn storage_includes_bitmap_overhead() {
+        let dense = Matrix::from_rows(&[&[1.0; 16]]);
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert_eq!(bm.storage_elements(), 16 + 1);
+    }
+
+    #[test]
+    fn sparsity_matches_dense() {
+        let dense = Matrix::from_rows(&[&[0.0, 0.0, 1.0, 0.0]]);
+        let bm = BitmapMatrix::from_dense(&dense);
+        assert!((bm.sparsity() - 0.75).abs() < 1e-12);
+    }
+}

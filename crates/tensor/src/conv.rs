@@ -1,0 +1,272 @@
+//! Reference convolution and pooling functional models.
+
+use crate::{Elem, Tensor4};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D (possibly grouped) convolution.
+///
+/// Mirrors the paper's `Layer(R, S, C, K, G, N, X', Y')` definition: `kh = R`,
+/// `kw = S`, `in_c = C`, `out_c = K`, `groups = G`. Output extents are
+/// derived from the input extents, stride, and padding.
+///
+/// ```
+/// use stonne_tensor::Conv2dGeom;
+/// let g = Conv2dGeom::new(3, 16, 3, 3, 1, 1, 1);
+/// assert_eq!(g.out_hw(8, 8), (8, 8)); // 'same' padding at stride 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeom {
+    /// Input channels (`C`).
+    pub in_c: usize,
+    /// Output channels / number of filters (`K`).
+    pub out_c: usize,
+    /// Filter height (`R`).
+    pub kh: usize,
+    /// Filter width (`S`).
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Number of groups (`G`); `groups == in_c == out_c` is depthwise.
+    pub groups: usize,
+}
+
+impl Conv2dGeom {
+    /// Creates a geometry, validating divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_c` or `out_c` is not divisible by `groups`, or if
+    /// `stride == 0`.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(
+            in_c % groups,
+            0,
+            "in_c {in_c} not divisible by groups {groups}"
+        );
+        assert_eq!(
+            out_c % groups,
+            0,
+            "out_c {out_c} not divisible by groups {groups}"
+        );
+        Self {
+            in_c,
+            out_c,
+            kh,
+            kw,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    /// Input channels per group.
+    pub fn in_c_per_group(&self) -> usize {
+        self.in_c / self.groups
+    }
+
+    /// Output channels per group.
+    pub fn out_c_per_group(&self) -> usize {
+        self.out_c / self.groups
+    }
+
+    /// Output spatial extent `(X', Y')` for an input of `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the filter.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "input {h}x{w} (+pad {}) smaller than filter {}x{}",
+            self.pad,
+            self.kh,
+            self.kw
+        );
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
+    }
+
+    /// Length of one output's dot product: `R * S * C/G`.
+    pub fn dot_product_len(&self) -> usize {
+        self.kh * self.kw * self.in_c_per_group()
+    }
+
+    /// Total multiply-accumulate count for an input of `(n, h, w)`.
+    pub fn macs(&self, n: usize, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        n as u64 * self.out_c as u64 * oh as u64 * ow as u64 * self.dot_product_len() as u64
+    }
+}
+
+/// Direct 2-D convolution reference (`weights` in KCHW layout, grouped).
+///
+/// `weights` must have shape `(out_c, in_c/groups, kh, kw)`.
+///
+/// # Panics
+///
+/// Panics when tensor shapes disagree with `geom`.
+pub fn conv2d_reference(input: &Tensor4, weights: &Tensor4, geom: &Conv2dGeom) -> Tensor4 {
+    assert_eq!(input.c(), geom.in_c, "input channel mismatch");
+    assert_eq!(weights.n(), geom.out_c, "weight filter-count mismatch");
+    assert_eq!(
+        weights.c(),
+        geom.in_c_per_group(),
+        "weight channel mismatch"
+    );
+    assert_eq!(weights.h(), geom.kh, "weight height mismatch");
+    assert_eq!(weights.w(), geom.kw, "weight width mismatch");
+
+    let (oh, ow) = geom.out_hw(input.h(), input.w());
+    let mut out = Tensor4::zeros(input.n(), geom.out_c, oh, ow);
+    let cpg = geom.in_c_per_group();
+    let kpg = geom.out_c_per_group();
+
+    for n in 0..input.n() {
+        for k in 0..geom.out_c {
+            let group = k / kpg;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: Elem = 0.0;
+                    for c in 0..cpg {
+                        let ic = group * cpg + c;
+                        for fy in 0..geom.kh {
+                            for fx in 0..geom.kw {
+                                let iy = (oy * geom.stride + fy) as isize - geom.pad as isize;
+                                let ix = (ox * geom.stride + fx) as isize - geom.pad as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy as usize >= input.h()
+                                    || ix as usize >= input.w()
+                                {
+                                    continue;
+                                }
+                                acc += input.get(n, ic, iy as usize, ix as usize)
+                                    * weights.get(k, c, fy, fx);
+                            }
+                        }
+                    }
+                    out.set(n, k, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Max-pooling reference with a square window.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `stride == 0`.
+pub fn maxpool2d_reference(input: &Tensor4, window: usize, stride: usize) -> Tensor4 {
+    assert!(
+        window > 0 && stride > 0,
+        "window and stride must be positive"
+    );
+    let oh = (input.h() - window) / stride + 1;
+    let ow = (input.w() - window) / stride + 1;
+    let mut out = Tensor4::zeros(input.n(), input.c(), oh, ow);
+    for n in 0..input.n() {
+        for c in 0..input.c() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = Elem::NEG_INFINITY;
+                    for fy in 0..window {
+                        for fx in 0..window {
+                            best = best.max(input.get(n, c, oy * stride + fy, ox * stride + fx));
+                        }
+                    }
+                    out.set(n, c, oy, ox, best);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    #[test]
+    fn out_hw_same_padding() {
+        let g = Conv2dGeom::new(3, 8, 3, 3, 1, 1, 1);
+        assert_eq!(g.out_hw(32, 32), (32, 32));
+    }
+
+    #[test]
+    fn out_hw_stride_two() {
+        let g = Conv2dGeom::new(3, 8, 3, 3, 2, 1, 1);
+        assert_eq!(g.out_hw(224, 224), (112, 112));
+    }
+
+    #[test]
+    fn macs_counts_grouped_convs() {
+        // Depthwise 3x3 over 8 channels, 4x4 output: 8 * 16 * 9 MACs.
+        let g = Conv2dGeom::new(8, 8, 3, 3, 1, 1, 8);
+        assert_eq!(g.macs(1, 4, 4), 8 * 16 * 9);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1.0 == identity per channel pair.
+        let mut rng = SeededRng::new(5);
+        let input = Tensor4::random(1, 1, 4, 4, &mut rng);
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        let g = Conv2dGeom::new(1, 1, 1, 1, 1, 0, 1);
+        let out = conv2d_reference(&input, &weights, &g);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv_known_values_with_padding() {
+        // 3x3 all-ones kernel over a 2x2 all-ones input with pad 1:
+        // corners see 4 inputs, so output corners == 4.
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![1.0; 4]);
+        let weights = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let g = Conv2dGeom::new(1, 1, 3, 3, 1, 1, 1);
+        let out = conv2d_reference(&input, &weights, &g);
+        assert_eq!(out.shape(), (1, 1, 2, 2));
+        assert!(out.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn grouped_conv_keeps_channels_separate() {
+        // 2 groups, each 1->1 channels with distinct constant kernels.
+        let input = Tensor4::from_vec(1, 2, 1, 1, vec![1.0, 10.0]);
+        let weights = Tensor4::from_vec(2, 1, 1, 1, vec![2.0, 3.0]);
+        let g = Conv2dGeom::new(2, 2, 1, 1, 1, 0, 2);
+        let out = conv2d_reference(&input, &weights, &g);
+        assert_eq!(out.as_slice(), &[2.0, 30.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_window_maximum() {
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 5.0, -3.0, 2.0]);
+        let out = maxpool2d_reference(&input, 2, 2);
+        assert_eq!(out.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by groups")]
+    fn bad_group_divisibility_panics() {
+        Conv2dGeom::new(3, 8, 3, 3, 1, 1, 2);
+    }
+}

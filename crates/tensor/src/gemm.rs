@@ -1,0 +1,125 @@
+//! Reference (golden) GEMM and SpMM functional models.
+//!
+//! These run on the host CPU and define the functionally-correct output the
+//! cycle-level simulator must reproduce bit-for-bit up to floating-point
+//! reassociation (the paper's "functional validation", Section V).
+
+use crate::{CsrMatrix, Elem, Matrix};
+
+/// Dense GEMM reference: `C = A (MxK) * B (KxN)`.
+///
+/// ```
+/// use stonne_tensor::{gemm_reference, Matrix};
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+/// assert_eq!(gemm_reference(&a, &b).get(0, 0), 11.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match.
+pub fn gemm_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "GEMM inner dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, n) = (a.rows(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let mut acc: Elem = 0.0;
+            for (p, &av) in arow.iter().enumerate() {
+                acc += av * b.get(p, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Sparse × dense reference: `C = A_sparse (MxK) * B (KxN)`.
+///
+/// Accumulation visits only the non-zeros of each row of `A`, in column
+/// order — the same order the sparse controller issues multiplications, so
+/// results match the simulator exactly (no reassociation differences).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match.
+pub fn spmm_reference(a: &CsrMatrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for (p, v) in a.row_entries(i) {
+            for j in 0..b.cols() {
+                let cur = c.get(i, j);
+                c.set(i, j, cur + v * b.get(p, j));
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_slices_close, SeededRng};
+
+    #[test]
+    fn gemm_identity() {
+        let mut id = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        let mut rng = SeededRng::new(1);
+        let a = Matrix::random(3, 3, &mut rng);
+        assert_eq!(gemm_reference(&a, &id), a);
+    }
+
+    #[test]
+    fn gemm_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = gemm_reference(&a, &b);
+        assert_eq!(c.row(0), &[58.0, 64.0]);
+        assert_eq!(c.row(1), &[139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_dimension_mismatch_panics() {
+        gemm_reference(&Matrix::zeros(2, 3), &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let mut rng = SeededRng::new(2);
+        let mut a = Matrix::random(6, 8, &mut rng);
+        // Zero out ~half the entries.
+        for r in 0..6 {
+            for c in 0..8 {
+                if (r + c) % 2 == 0 {
+                    a.set(r, c, 0.0);
+                }
+            }
+        }
+        let b = Matrix::random(8, 5, &mut rng);
+        let dense = gemm_reference(&a, &b);
+        let sparse = spmm_reference(&CsrMatrix::from_dense(&a), &b);
+        assert_slices_close(sparse.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn spmm_all_zero_rows_give_zero_output() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(4, 4));
+        let b = Matrix::from_rows(&[&[1.0; 3]; 4].map(|r| &r[..]));
+        let c = spmm_reference(&a, &b);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use stonne_tensor::{
+    assert_slices_close, col2im_output, conv2d_reference, gemm_reference, im2col_matrix,
+    prune_to_sparsity, spmm_reference, weights_matrix, BitmapMatrix, Conv2dGeom, CsrMatrix, Matrix,
+    SeededRng, Tensor4,
+};
+
+/// Strategy producing a random matrix with ~`sparsity` zero fraction.
+fn sparse_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    let mut m = Matrix::random(rows, cols, &mut rng);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.chance(sparsity) {
+                m.set(r, c, 0.0);
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrip(rows in 1usize..20, cols in 1usize..20, sp in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = sparse_matrix(rows, cols, sp, seed);
+        prop_assert_eq!(CsrMatrix::from_dense(&m).to_dense(), m);
+    }
+
+    #[test]
+    fn bitmap_roundtrip(rows in 1usize..20, cols in 1usize..20, sp in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = sparse_matrix(rows, cols, sp, seed);
+        prop_assert_eq!(BitmapMatrix::from_dense(&m).to_dense(), m);
+    }
+
+    #[test]
+    fn csr_and_bitmap_agree(rows in 1usize..16, cols in 1usize..16, sp in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = sparse_matrix(rows, cols, sp, seed);
+        let csr = CsrMatrix::from_dense(&m);
+        let bm = BitmapMatrix::from_dense(&m);
+        prop_assert_eq!(csr.nnz(), bm.nnz());
+        for r in 0..rows {
+            let a: Vec<_> = csr.row_entries(r).collect();
+            let b: Vec<_> = bm.row_entries(r).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn spmm_matches_gemm(m in 1usize..10, k in 1usize..12, n in 1usize..10, sp in 0.0f64..0.95, seed in 0u64..1000) {
+        let a = sparse_matrix(m, k, sp, seed);
+        let mut rng = SeededRng::new(seed ^ 0xdead);
+        let b = Matrix::random(k, n, &mut rng);
+        let dense = gemm_reference(&a, &b);
+        let sparse = spmm_reference(&CsrMatrix::from_dense(&a), &b);
+        assert_slices_close(sparse.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn prune_hits_target(len in 1usize..400, target in 0.0f64..1.0, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let mut data: Vec<f32> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let achieved = prune_to_sparsity(&mut data, target);
+        let zeros = data.iter().filter(|v| **v == 0.0).count();
+        prop_assert_eq!(zeros as f64 / len as f64, achieved);
+        // Achieved is within one element of the rounded target (or above it
+        // if the data already contained zeros — excluded here by uniform gen).
+        let want = (len as f64 * target).round() as usize;
+        prop_assert!(zeros >= want.saturating_sub(1) && zeros <= want + 1,
+            "zeros={} want={}", zeros, want);
+    }
+
+    #[test]
+    fn gemm_is_linear_in_first_operand(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a1 = Matrix::random(m, k, &mut rng);
+        let a2 = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let mut sum = Matrix::zeros(m, k);
+        for r in 0..m {
+            for c in 0..k {
+                sum.set(r, c, a1.get(r, c) + a2.get(r, c));
+            }
+        }
+        let lhs = gemm_reference(&sum, &b);
+        let c1 = gemm_reference(&a1, &b);
+        let c2 = gemm_reference(&a2, &b);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((lhs.get(i, j) - (c1.get(i, j) + c2.get(i, j))).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_equals_direct_conv(
+        in_c in 1usize..4,
+        out_c in 1usize..5,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 3usize..8,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let geom = Conv2dGeom::new(in_c, out_c, k, k, stride, pad, 1);
+        let mut rng = SeededRng::new(seed);
+        let input = Tensor4::random(1, in_c, hw, hw, &mut rng);
+        let weights = Tensor4::random(out_c, in_c, k, k, &mut rng);
+        let direct = conv2d_reference(&input, &weights, &geom);
+        let (oh, ow) = geom.out_hw(hw, hw);
+        let outs = vec![gemm_reference(
+            &weights_matrix(&weights, &geom, 0),
+            &im2col_matrix(&input, &geom, 0),
+        )];
+        let lowered = col2im_output(&outs, &geom, 1, oh, ow);
+        assert_slices_close(lowered.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn transpose_preserves_elements(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let m = Matrix::random(rows, cols, &mut rng);
+        let t = m.transposed();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+}

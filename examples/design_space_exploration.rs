@@ -1,0 +1,95 @@
+//! Design-space exploration: the workflow the paper positions STONNE for
+//! — sweep architectural parameters of a flexible accelerator and watch
+//! cycle-level effects (bandwidth stalls, psum spilling, tile shape) that
+//! analytical models miss.
+//!
+//! Run with: `cargo run -p stonne --release --example design_space_exploration`
+
+use stonne::analytical::maeri::MaeriWorkload;
+use stonne::analytical::maeri_cycles;
+use stonne::core::{AcceleratorConfig, LayerDims, RnKind, Stonne, Tile};
+use stonne::energy::{area_um2, EnergyModel};
+use stonne::tensor::{Matrix, SeededRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The workload: one representative convolution lowered to GEMM
+    // (128 filters, 1152-tap dot products, 256 output positions).
+    let (m, n, k) = (128, 256, 1152);
+    let mut rng = SeededRng::new(7);
+    let a = Matrix::random(m, k, &mut rng);
+    let b = Matrix::random(k, n, &mut rng);
+    let layer = LayerDims::from_gemm(m, n, k);
+
+    println!(
+        "workload: GEMM {m}x{n}x{k} ({} MMACs)\n",
+        (m * n * k) / 1_000_000
+    );
+
+    // Sweep 1: global-buffer bandwidth under a fixed mapping — the
+    // cycle-level divergence of Fig. 1b, as a design decision.
+    println!("-- bandwidth sweep (256 MS, fixed full-bw mapping) --");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "bw", "cycles", "analytical", "util", "energy µJ"
+    );
+    let fixed_tile = Tile::auto(&layer, 256);
+    for bw in [256, 128, 64, 32] {
+        let cfg = AcceleratorConfig::maeri_like(256, bw);
+        let mut sim = Stonne::new(cfg.clone())?;
+        let (_, stats) = sim.run_gemm_tiled("dse", &a, &b, &fixed_tile);
+        let w = MaeriWorkload::from_gemm(m, n, k, 256);
+        let e = EnergyModel::for_config(&cfg).breakdown(&stats);
+        println!(
+            "{:>6} {:>12} {:>12} {:>9.1}% {:>12.2}",
+            bw,
+            stats.cycles,
+            maeri_cycles(&w, bw),
+            stats.ms_utilization() * 100.0,
+            e.total_uj()
+        );
+    }
+
+    // Sweep 2: let the mapper adapt the tile to each bandwidth — the
+    // cycle-level simulator shows how much smart mapping buys back.
+    println!("\n-- same sweep with bandwidth-aware tiles --");
+    println!("{:>6} {:>12} {:>10}", "bw", "cycles", "util");
+    for bw in [256, 128, 64, 32] {
+        let cfg = AcceleratorConfig::maeri_like(256, bw);
+        let mut sim = Stonne::new(cfg)?;
+        let (_, stats) = sim.run_gemm("dse-adaptive", &a, &b);
+        println!(
+            "{:>6} {:>12} {:>9.1}%",
+            bw,
+            stats.cycles,
+            stats.ms_utilization() * 100.0
+        );
+    }
+
+    // Sweep 3: reduction-network choice — accumulators vs psum spilling,
+    // plus the area each option costs.
+    println!("\n-- reduction-network choice (256 MS, bw 64) --");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "RN", "cycles", "energy µJ", "RN area µm²"
+    );
+    for rn in [RnKind::ArtAcc, RnKind::Art, RnKind::Fan] {
+        let mut cfg = AcceleratorConfig::maeri_like(256, 64);
+        cfg.rn = rn;
+        let mut sim = Stonne::new(cfg.clone())?;
+        let (_, stats) = sim.run_gemm("dse-rn", &a, &b);
+        let e = EnergyModel::for_config(&cfg).breakdown(&stats);
+        println!(
+            "{:>8} {:>12} {:>12.2} {:>14.0}",
+            format!("{rn:?}"),
+            stats.cycles,
+            e.total_uj(),
+            area_um2(&cfg).rn_um2
+        );
+    }
+
+    println!("\nTakeaways: halving bandwidth doubles runtime under a fixed mapping");
+    println!("but a bandwidth-aware tile recovers most of it; ART+ACC avoids the");
+    println!("psum round-trips plain ART pays; FAN trades a little latency for");
+    println!("half the reduction-network area.");
+    Ok(())
+}

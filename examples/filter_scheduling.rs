@@ -1,0 +1,60 @@
+//! Use case C: the worked filter-scheduling example of Fig. 8 — four
+//! sparse 1×5 filters (effective sizes 4, 2, 4, 2) on an 8-multiplier
+//! SIGMA-like engine. No Scheduling maps {F0,F1} then {F2,F3}
+//! (unbalanced clusters); Largest-Filter-First maps {F0,F2} then
+//! {F1,F3} (perfect balance), finishing the four dot products sooner.
+//!
+//! Run with: `cargo run -p stonne --release --example filter_scheduling`
+
+use stonne::core::{AcceleratorConfig, NaturalOrder, RowSchedule, Stonne};
+use stonne::sched::LargestFilterFirst;
+use stonne::tensor::{CsrMatrix, Matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The example layer of Fig. 8: a 1x5 input vector and four sparse
+    // 1x5 filters; F0/F2 have 4 non-zeros, F1/F3 have 2.
+    let mut filters = Matrix::zeros(4, 5);
+    for (row, cols) in [
+        (0usize, vec![0usize, 1, 2, 3]), // F0, size 4
+        (1, vec![0, 4]),                 // F1, size 2
+        (2, vec![1, 2, 3, 4]),           // F2, size 4
+        (3, vec![2, 3]),                 // F3, size 2
+    ] {
+        for c in cols {
+            filters.set(row, c, (row + 1) as f32);
+        }
+    }
+    let csr = CsrMatrix::from_dense(&filters);
+    // Two streaming input columns (one would trigger the GEMV mapping).
+    let inputs = Matrix::from_rows(&[
+        &[1.0, 0.5],
+        &[2.0, 1.0],
+        &[3.0, 1.5],
+        &[4.0, 2.0],
+        &[5.0, 2.5],
+    ]);
+
+    println!(
+        "filter sizes: {:?}\n",
+        (0..4).map(|r| csr.row_nnz(r)).collect::<Vec<_>>()
+    );
+    for schedule in [&NaturalOrder as &dyn RowSchedule, &LargestFilterFirst] {
+        let mut sim = Stonne::new(AcceleratorConfig::sigma_like(8, 8))?;
+        let run = sim.run_spmm_scheduled("fig8", &csr, &inputs, schedule);
+        println!("{} schedule:", schedule.name());
+        for (i, it) in run.iterations.iter().enumerate() {
+            println!(
+                "  iteration {i}: {} filters mapped, {}/8 multipliers busy",
+                it.segments, it.ms_occupied
+            );
+        }
+        println!(
+            "  -> {} cycles, utilization {:.0}%\n",
+            run.stats.cycles,
+            run.stats.ms_utilization() * 100.0
+        );
+    }
+    println!("LFF packs the two size-4 filters together (8/8 multipliers),");
+    println!("reproducing the balanced mapping of Fig. 8b.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate a convolution layer on a MAERI-like flexible
+//! accelerator and read back cycles, utilization and energy.
+//!
+//! Run with: `cargo run -p stonne --release --example quickstart`
+
+use stonne::core::{summary_json, AcceleratorConfig, Stonne};
+use stonne::energy::{area_um2, EnergyModel};
+use stonne::tensor::{Conv2dGeom, SeededRng, Tensor4};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3x3 convolution: 32 -> 64 channels over a 16x16 feature map.
+    let geom = Conv2dGeom::new(32, 64, 3, 3, 1, 1, 1);
+    let mut rng = SeededRng::new(42);
+    let input = Tensor4::random(1, 32, 16, 16, &mut rng);
+    let weights = Tensor4::random(64, 32, 3, 3, &mut rng);
+
+    // A 128-multiplier MAERI-like accelerator with 32 elements/cycle of
+    // Global-Buffer bandwidth (see Table IV of the paper for the presets).
+    let config = AcceleratorConfig::maeri_like(128, 32);
+    let mut sim = Stonne::new(config.clone())?;
+
+    // Run the layer cycle-by-cycle; the mapper derives a tile
+    // automatically (pass `Some(tile)` to pin one).
+    let (output, stats) = sim.run_conv("conv3x3", &input, &weights, &geom, None);
+
+    println!("output shape: {:?}", output.shape());
+    println!("cycles:       {}", stats.cycles);
+    println!("utilization:  {:.1}%", stats.ms_utilization() * 100.0);
+    println!("multiplies:   {}", stats.counters.multiplications);
+
+    // The Output Module: JSON summary + energy/area from the table model.
+    let energy = EnergyModel::for_config(&config).breakdown(&stats);
+    println!(
+        "energy:       {:.3} µJ (RN share {:.0}%)",
+        energy.total_uj(),
+        energy.rn_fraction() * 100.0
+    );
+    let area = area_um2(&config);
+    println!(
+        "area:         {:.2} mm² (GB share {:.0}%)",
+        area.total() / 1e6,
+        area.gb_fraction() * 100.0
+    );
+    println!("\nJSON summary:\n{}", summary_json(&stats));
+    Ok(())
+}

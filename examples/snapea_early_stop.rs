@@ -1,0 +1,63 @@
+//! Use case B: the SNAPEA back-end extension. Runs a CNN on the SNAPEA
+//! array with and without early-negative termination and reports the
+//! Fig. 6 metrics (speedup, energy, operations, memory accesses).
+//!
+//! Run with: `cargo run -p stonne --release --example snapea_early_stop`
+
+use stonne::models::{zoo, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::snapea::{reorder_filter_by_sign, run_model_snapea, SnapeaConfig, SnapeaMode};
+
+fn main() {
+    // The prior-simulation pass on one filter, visualized:
+    let taps = [0.4, -0.9, 0.0, 1.2, -0.1, 0.7];
+    let reordered = reorder_filter_by_sign(&taps);
+    println!("filter taps:        {taps:?}");
+    println!("sign-reordered:     {:?}", reordered.weights);
+    println!("index table:        {:?}", reordered.indices);
+    println!("positive prefix:    {}\n", reordered.positive_count);
+
+    // Full-model comparison on AlexNet (dense weights, as in SNAPEA).
+    let model = zoo::alexnet(ModelScale::Tiny);
+    let params = ModelParams::generate_relu_biased(&model, 1, 0.0, 0.1);
+    let input = generate_input(&model, 2);
+
+    let base = run_model_snapea(
+        &model,
+        &params,
+        &input,
+        SnapeaConfig::paper(SnapeaMode::Baseline),
+    );
+    let snap = run_model_snapea(
+        &model,
+        &params,
+        &input,
+        SnapeaConfig::paper(SnapeaMode::SnapeaLike),
+    );
+
+    println!("AlexNet on the 64-PE SNAPEA array:");
+    println!(
+        "  baseline: {:>10} cycles, {:>12} ops, {:>10} mem, {:>8.2} µJ",
+        base.total.cycles, base.operations, base.memory_accesses, base.energy_uj
+    );
+    println!(
+        "  SNAPEA:   {:>10} cycles, {:>12} ops, {:>10} mem, {:>8.2} µJ",
+        snap.total.cycles, snap.operations, snap.memory_accesses, snap.energy_uj
+    );
+    println!(
+        "  speedup {:.2}x | ops -{:.0}% | mem -{:.0}% | energy -{:.0}%",
+        base.total.cycles as f64 / snap.total.cycles as f64,
+        (1.0 - snap.operations as f64 / base.operations as f64) * 100.0,
+        (1.0 - snap.memory_accesses as f64 / base.memory_accesses as f64) * 100.0,
+        (1.0 - snap.energy_uj / base.energy_uj) * 100.0
+    );
+
+    // Exact mode: the final predictions match bit-for-bit after ReLU.
+    let b = base.outputs.last().unwrap().as_slice();
+    let s = snap.outputs.last().unwrap().as_slice();
+    let equal = b
+        .iter()
+        .zip(s)
+        .all(|(x, y)| stonne::tensor::approx_eq(*x, *y));
+    println!("  final predictions identical: {equal}");
+}

@@ -1,0 +1,77 @@
+//! The motivation experiments (paper Fig. 1): analytical models are
+//! accurate for rigid architectures and full-bandwidth/dense executions,
+//! but underestimate flexible architectures under bandwidth pressure and
+//! sparse executions with real zero distributions.
+
+use stonne::models::ModelScale;
+use stonne_bench::fig1::{fig1a, fig1b, fig1c};
+
+#[test]
+fn rigid_systolic_arrays_match_the_analytical_model() {
+    // Fig. 1a: "almost the same number of cycles for both alternatives".
+    for row in fig1a(ModelScale::Tiny, &[16, 32, 64]) {
+        let d = row.divergence_pct().abs();
+        assert!(
+            d < 12.0,
+            "{} @ {}: {d:.1}% divergence on a rigid array",
+            row.layer,
+            row.param
+        );
+    }
+}
+
+#[test]
+fn maeri_analytical_matches_at_full_bandwidth() {
+    let rows = fig1b(ModelScale::Tiny, &[128]);
+    let avg: f64 = rows.iter().map(|r| r.divergence_pct().abs()).sum::<f64>() / rows.len() as f64;
+    // Paper: 1.03% average difference at full bandwidth.
+    assert!(avg < 15.0, "full-bandwidth average divergence {avg:.1}%");
+}
+
+#[test]
+fn maeri_analytical_underestimates_at_low_bandwidth() {
+    let rows = fig1b(ModelScale::Tiny, &[128, 32]);
+    let at = |p: &str| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.param == p)
+            .map(|r| r.divergence_pct())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let full = at("bw128");
+    let low = at("bw32");
+    assert!(
+        low > full + 30.0,
+        "bw32 divergence {low:.1}% must far exceed bw128 {full:.1}%"
+    );
+    // At least one layer suffers badly (paper: up to 400%).
+    let worst = rows
+        .iter()
+        .filter(|r| r.param == "bw32")
+        .map(|r| r.divergence_pct())
+        .fold(f64::MIN, f64::max);
+    assert!(worst > 100.0, "worst-case bw32 divergence only {worst:.1}%");
+}
+
+#[test]
+fn sigma_analytical_matches_dense_but_underestimates_sparse() {
+    let rows = fig1c(ModelScale::Tiny, &[0.0, 0.6, 0.9]);
+    let avg = |p: &str| -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.param == p)
+            .map(|r| r.divergence_pct())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let dense = avg("0%");
+    assert!(
+        dense.abs() < 2.0,
+        "dense divergence {dense:.2}% (paper: perfect match)"
+    );
+    let s60 = avg("60%");
+    let s90 = avg("90%");
+    assert!(s60 > dense, "60% sparsity must diverge ({s60:.1}%)");
+    assert!(s90 > 5.0, "90% sparsity divergence only {s90:.1}%");
+}

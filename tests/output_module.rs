@@ -1,0 +1,74 @@
+//! The Output Module end to end: JSON summary, counter file, and the
+//! energy post-processing script, exercised through a full-model run and
+//! written to disk the way the paper's tooling consumes them.
+
+use stonne::core::{counter_file, parse_counter_file, summary_json, AcceleratorConfig};
+use stonne::energy::{energy_from_counter_file, EnergyModel};
+use stonne::models::{zoo, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::nn::runner::run_model_simulated;
+
+#[test]
+fn full_model_outputs_flow_through_files() {
+    let model = zoo::squeezenet(ModelScale::Tiny);
+    let params = ModelParams::generate(&model, 81);
+    let input = generate_input(&model, 82);
+    let cfg = AcceleratorConfig::sigma_like(64, 64);
+    let run = run_model_simulated(&model, &params, &input, cfg.clone()).unwrap();
+
+    let dir = std::env::temp_dir().join("stonne_output_module_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Per-operation JSON summary + counter file, as the paper describes.
+    let first = &run.layers[0].stats;
+    let json_path = dir.join("summary.json");
+    let counter_path = dir.join("counters.txt");
+    std::fs::write(&json_path, summary_json(first)).unwrap();
+    std::fs::write(&counter_path, counter_file(first)).unwrap();
+
+    // The JSON round-trips through serde.
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let parsed: stonne::core::SimStats = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed.cycles, first.cycles);
+
+    // The counter file parses and drives the energy script.
+    let counters = std::fs::read_to_string(&counter_path).unwrap();
+    let pairs = parse_counter_file(&counters);
+    assert!(pairs.iter().any(|(n, _)| n == "multiplier.multiplications"));
+    let model_e = EnergyModel::for_config(&cfg);
+    let from_file = energy_from_counter_file(&model_e, &counters);
+    let direct = model_e.breakdown(first);
+    assert_eq!(from_file.gb_uj, direct.gb_uj);
+    assert_eq!(from_file.rn_uj, direct.rn_uj);
+
+    // The full-model report serializes too.
+    let report_path = dir.join("model_report.json");
+    std::fs::write(&report_path, run.report_json()).unwrap();
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(
+        report["layers"].as_array().unwrap().len(),
+        run.layers.len()
+    );
+    assert!(report["energy"]["gb_uj"].as_f64().unwrap() >= 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn per_layer_cycles_sum_to_the_model_total() {
+    let model = zoo::mobilenet_v1(ModelScale::Tiny);
+    let params = ModelParams::generate(&model, 83);
+    let input = generate_input(&model, 84);
+    let run = run_model_simulated(
+        &model,
+        &params,
+        &input,
+        AcceleratorConfig::maeri_like(64, 32),
+    )
+    .unwrap();
+    let sum: u64 = run.layers.iter().map(|l| l.stats.cycles).sum();
+    assert_eq!(sum, run.total.cycles);
+    let mults: u64 = run.layers.iter().map(|l| l.stats.counters.multiplications).sum();
+    assert_eq!(mults, run.total.counters.multiplications);
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests: functional equivalence of every
+//! engine against the reference models for randomized shapes, plus
+//! scheduling and validation invariants.
+
+use proptest::prelude::*;
+use stonne::core::{AcceleratorConfig, NaturalOrder, Stonne};
+use stonne::sched::LargestFilterFirst;
+use stonne::tensor::{
+    assert_slices_close, conv2d_reference, gemm_reference, prune_matrix_to_sparsity,
+    spmm_reference, Conv2dGeom, CsrMatrix, Matrix, SeededRng, Tensor4,
+};
+
+fn random_gemm(m: usize, n: usize, k: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = SeededRng::new(seed);
+    (
+        Matrix::random(m, k, &mut rng),
+        Matrix::random(k, n, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn systolic_gemm_matches_reference(
+        m in 1usize..24, n in 1usize..24, k in 1usize..40, seed in 0u64..500
+    ) {
+        let (a, b) = random_gemm(m, n, k, seed);
+        let mut sim = Stonne::new(AcceleratorConfig::tpu_like(8)).unwrap();
+        let (out, stats) = sim.run_gemm("p", &a, &b);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        prop_assert_eq!(stats.counters.multiplications, (m * n * k) as u64);
+    }
+
+    #[test]
+    fn flexible_gemm_matches_reference(
+        m in 1usize..20, n in 1usize..20, k in 1usize..80,
+        bw in 1usize..32, seed in 0u64..500
+    ) {
+        let (a, b) = random_gemm(m, n, k, seed);
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, bw.max(1))).unwrap();
+        let (out, stats) = sim.run_gemm("p", &a, &b);
+        assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
+        prop_assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn sparse_gemm_matches_reference(
+        m in 1usize..24, n in 1usize..12, k in 1usize..64,
+        sparsity in 0.0f64..0.95, seed in 0u64..500
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut a = Matrix::random(m, k, &mut rng);
+        prune_matrix_to_sparsity(&mut a, sparsity);
+        let b = Matrix::random(k, n, &mut rng);
+        let csr = CsrMatrix::from_dense(&a);
+        let mut sim = Stonne::new(AcceleratorConfig::sigma_like(32, 32)).unwrap();
+        let (out, stats) = sim.run_spmm("p", &csr, &b);
+        assert_slices_close(out.as_slice(), spmm_reference(&csr, &b).as_slice());
+        // The sparse engine never multiplies zeros.
+        prop_assert_eq!(stats.counters.multiplications, (csr.nnz() * n) as u64);
+    }
+
+    #[test]
+    fn conv_matches_reference_on_every_preset(
+        in_c in 1usize..4, out_c in 1usize..5, hw in 4usize..8,
+        kernel in 1usize..4, pad in 0usize..2, seed in 0u64..500
+    ) {
+        prop_assume!(hw + 2 * pad >= kernel);
+        let geom = Conv2dGeom::new(in_c, out_c, kernel, kernel, 1, pad, 1);
+        let mut rng = SeededRng::new(seed);
+        let input = Tensor4::random(1, in_c, hw, hw, &mut rng);
+        let weights = Tensor4::random(out_c, in_c, kernel, kernel, &mut rng);
+        let expected = conv2d_reference(&input, &weights, &geom);
+        for cfg in [
+            AcceleratorConfig::tpu_like(4),
+            AcceleratorConfig::maeri_like(32, 8),
+            AcceleratorConfig::sigma_like(32, 32),
+        ] {
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (out, _) = sim.run_conv("p", &input, &weights, &geom, None);
+            assert_slices_close(out.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn lff_never_needs_more_iterations_or_cycles(
+        m in 2usize..32, k in 4usize..48, n in 1usize..8,
+        sparsity in 0.3f64..0.9, seed in 0u64..500
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut a = Matrix::random_filterwise(m, k, 0.8, &mut rng);
+        prune_matrix_to_sparsity(&mut a, sparsity);
+        let b = Matrix::random(k, n.max(2), &mut rng);
+        let csr = CsrMatrix::from_dense(&a);
+        let cfg = AcceleratorConfig::sigma_like(32, 32);
+        let mut sim = Stonne::new(cfg.clone()).unwrap();
+        let ns = sim.run_spmm_scheduled("ns", &csr, &b, &NaturalOrder);
+        let mut sim = Stonne::new(cfg).unwrap();
+        let lff = sim.run_spmm_scheduled("lff", &csr, &b, &LargestFilterFirst);
+        prop_assert!(lff.iterations.len() <= ns.iterations.len());
+        prop_assert!(lff.stats.cycles <= ns.stats.cycles);
+        assert_slices_close(lff.output.as_slice(), ns.output.as_slice());
+    }
+
+    #[test]
+    fn linear_layers_match_reference(
+        seq in 1usize..6, in_f in 1usize..32, out_f in 1usize..16, seed in 0u64..500
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let input = Matrix::random(seq, in_f, &mut rng);
+        let weights = Matrix::random(out_f, in_f, &mut rng);
+        let expected = gemm_reference(&input, &weights.transposed());
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(32, 16)).unwrap();
+        let (out, _) = sim.run_linear("p", &input, &weights);
+        assert_slices_close(out.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn cycle_counts_are_deterministic(
+        m in 1usize..16, n in 1usize..16, k in 1usize..32, seed in 0u64..500
+    ) {
+        let (a, b) = random_gemm(m, n, k, seed);
+        let run = |a: &Matrix, b: &Matrix| {
+            let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16)).unwrap();
+            sim.run_gemm("p", a, b).1.cycles
+        };
+        prop_assert_eq!(run(&a, &b), run(&a, &b));
+    }
+}

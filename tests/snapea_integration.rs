@@ -1,0 +1,111 @@
+//! Use case B end to end: the SNAPEA back-end extension on full CNNs
+//! (the Fig. 6 claims as invariants).
+
+use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::snapea::{run_model_snapea, SnapeaConfig, SnapeaMode};
+
+fn run_pair(id: ModelId, seed: u64) -> (stonne::snapea::SnapeaRun, stonne::snapea::SnapeaRun) {
+    let model = zoo::build(id, ModelScale::Tiny);
+    let params = ModelParams::generate_relu_biased(&model, seed, 0.0, 0.1);
+    let input = generate_input(&model, seed ^ 1);
+    let base = run_model_snapea(
+        &model,
+        &params,
+        &input,
+        SnapeaConfig::paper(SnapeaMode::Baseline),
+    );
+    let snap = run_model_snapea(
+        &model,
+        &params,
+        &input,
+        SnapeaConfig::paper(SnapeaMode::SnapeaLike),
+    );
+    (base, snap)
+}
+
+#[test]
+fn snapea_improves_all_four_cnn_models() {
+    for id in ModelId::CNN_MODELS {
+        let (base, snap) = run_pair(id, 50);
+        assert!(
+            snap.total.cycles < base.total.cycles,
+            "{}: no speedup ({} vs {})",
+            id.name(),
+            snap.total.cycles,
+            base.total.cycles
+        );
+        assert!(
+            snap.operations < base.operations,
+            "{}: no op cut",
+            id.name()
+        );
+        assert!(
+            snap.energy_uj < base.energy_uj,
+            "{}: no energy cut",
+            id.name()
+        );
+        assert!(
+            snap.memory_accesses <= base.memory_accesses,
+            "{}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn predictions_match_exactly_across_modes() {
+    // Exact mode: "we have compared the output of the last DNN layer …
+    // they perfectly match".
+    for id in [ModelId::AlexNet, ModelId::SqueezeNet] {
+        let (base, snap) = run_pair(id, 51);
+        let b = base.outputs.last().unwrap().as_slice();
+        let s = snap.outputs.last().unwrap().as_slice();
+        for (x, y) in b.iter().zip(s.iter()) {
+            assert!(
+                stonne::tensor::approx_eq(*x, *y),
+                "{}: {x} vs {y}",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gains_hold_across_input_images() {
+    // The paper averages over 20 images; check the speedup sign is stable
+    // across several samples.
+    let model = zoo::alexnet(ModelScale::Tiny);
+    let params = ModelParams::generate_relu_biased(&model, 52, 0.0, 0.1);
+    for img in 0..4u64 {
+        let input = generate_input(&model, 500 + img);
+        let base = run_model_snapea(
+            &model,
+            &params,
+            &input,
+            SnapeaConfig::paper(SnapeaMode::Baseline),
+        );
+        let snap = run_model_snapea(
+            &model,
+            &params,
+            &input,
+            SnapeaConfig::paper(SnapeaMode::SnapeaLike),
+        );
+        assert!(snap.total.cycles < base.total.cycles, "image {img}");
+    }
+}
+
+#[test]
+fn op_reduction_exceeds_memory_reduction() {
+    // Fig. 6c vs 6d: operations shrink more than memory accesses (shared
+    // activation fetches persist).
+    let (base, snap) = run_pair(ModelId::SqueezeNet, 53);
+    let ops = 1.0 - snap.operations as f64 / base.operations as f64;
+    let mem = 1.0 - snap.memory_accesses as f64 / base.memory_accesses as f64;
+    assert!(
+        ops > mem,
+        "ops -{:.1}% vs mem -{:.1}%",
+        ops * 100.0,
+        mem * 100.0
+    );
+}
