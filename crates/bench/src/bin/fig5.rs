@@ -2,18 +2,46 @@
 //! complete inference of the seven Table I models — cycles (5a), energy
 //! breakdown (5b) and area (5c).
 //!
-//! Usage: `cargo run -p stonne-bench --release --bin fig5 [tiny|reduced]`
+//! Usage:
+//! `cargo run -p stonne-bench --release --bin fig5 -- [tiny|reduced]
+//!    [--cycle-breakdown] [--trace PATH]`
+//!
+//! `--cycle-breakdown` appends the per-phase cycle split of every row;
+//! `--trace PATH` additionally records one representative inference
+//! (SqueezeNet × SIGMA) and writes its Chrome-trace timeline to PATH
+//! (open in `ui.perfetto.dev`).
 
+use std::process::ExitCode;
+use stonne::core::chrome_trace_json;
 use stonne::models::{ModelId, ModelScale};
-use stonne_bench::fig5::{fig5, fig5c_areas, Arch};
+use stonne_bench::fig5::{fig5, fig5c_areas, run_one_traced, Arch};
 
-fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("tiny") => ModelScale::Tiny,
-        _ => ModelScale::Reduced,
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "tiny") {
+        ModelScale::Tiny
+    } else {
+        ModelScale::Reduced
     };
+    let breakdown = args.iter().any(|a| a == "--cycle-breakdown");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: --trace needs a file path");
+                std::process::exit(2);
+            }
+        });
     eprintln!("running 7 models x 3 architectures at {scale:?} scale …");
-    let rows = fig5(scale, &ModelId::ALL);
+    let rows = match fig5(scale, &ModelId::ALL) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("\nFigure 5a — inference cycles");
     println!(
@@ -75,4 +103,37 @@ fn main() {
             a.gb_fraction() * 100.0
         );
     }
+
+    if breakdown {
+        println!("\nCycle breakdown — fill / steady / drain / dram / fifo / reduction");
+        for r in &rows {
+            let b = &r.breakdown;
+            println!(
+                "{:<16} {:<8} {:>12} {:>12} {:>10} {:>10} {:>12} {:>10}",
+                r.model.name(),
+                r.arch.name(),
+                b.fill_cycles,
+                b.steady_cycles,
+                b.drain_cycles,
+                b.dram_stall_cycles,
+                b.fifo_stall_cycles,
+                b.reduction_stall_cycles
+            );
+        }
+    }
+
+    if let Some(path) = trace_path {
+        eprintln!("tracing SqueezeNet x SIGMA at {scale:?} scale …");
+        let (row, trace) = run_one_traced(ModelId::SqueezeNet, Arch::Sigma, scale, 21);
+        if let Err(e) = std::fs::write(&path, chrome_trace_json(&trace)) {
+            eprintln!("error: --trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: {} events over {} cycles written to {path} (open in ui.perfetto.dev)",
+            trace.events().len(),
+            row.cycles
+        );
+    }
+    ExitCode::SUCCESS
 }

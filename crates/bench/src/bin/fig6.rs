@@ -3,10 +3,11 @@
 //!
 //! Usage: `cargo run -p stonne-bench --release --bin fig6 [tiny|reduced] [images]`
 
+use std::process::ExitCode;
 use stonne::models::ModelScale;
 use stonne_bench::fig6::fig6;
 
-fn main() {
+fn main() -> ExitCode {
     let scale = match std::env::args().nth(1).as_deref() {
         Some("tiny") => ModelScale::Tiny,
         _ => ModelScale::Reduced,
@@ -16,7 +17,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     eprintln!("running 4 CNNs x 2 modes x {images} images at {scale:?} scale …");
-    let rows = fig6(scale, images);
+    let rows = match fig6(scale, images) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("\nFigure 6 — SNAPEA vs baseline (64 PEs, 64 elems/cycle)");
     println!(
         "{:<14} {:>9} {:>12} {:>10} {:>10}",
@@ -46,4 +53,5 @@ fn main() {
         op / n * 100.0,
         me / n * 100.0
     );
+    ExitCode::SUCCESS
 }

@@ -4,10 +4,11 @@
 //!
 //! Usage: `cargo run -p stonne-bench --release --bin fig9 [tiny|reduced] [--layers]`
 
+use std::process::ExitCode;
 use stonne::models::{ModelId, ModelScale};
 use stonne_bench::fig9::{fig9, fig9c, Policy};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "tiny") {
         ModelScale::Tiny
@@ -30,10 +31,16 @@ fn main() {
                 r.utilization_gain() * 100.0
             );
         }
-        return;
+        return ExitCode::SUCCESS;
     }
     eprintln!("running 7 models x 3 policies at {scale:?} scale …");
-    let rows = fig9(scale, &ModelId::ALL);
+    let rows = match fig9(scale, &ModelId::ALL) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("\nFigure 9a/9b — runtime and energy normalized to NS (256-MS SIGMA-like)");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
@@ -57,4 +64,5 @@ fn main() {
             lff.energy_uj / ns.energy_uj
         );
     }
+    ExitCode::SUCCESS
 }

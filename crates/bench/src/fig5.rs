@@ -6,12 +6,13 @@
 //! bandwidth for MAERI and SIGMA; 256 PEs at full bandwidth for the TPU;
 //! 28 nm, 1 GHz, FP8, 108-KiB GB, dual HBM2.
 
+use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};
-use stonne::core::AcceleratorConfig;
+use stonne::core::{AcceleratorConfig, CycleBreakdown, Trace};
 use stonne::energy::{area_um2, AreaBreakdown, EnergyBreakdown};
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
-use stonne::nn::runner::run_model_simulated;
+use stonne::nn::runner::{run_model_simulated, run_model_simulated_traced};
 
 /// The three compared architectures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -60,6 +61,9 @@ pub struct Fig5Row {
     pub energy: EnergyBreakdown,
     /// Average multiplier utilization.
     pub utilization: f64,
+    /// Per-phase cycle split of the whole inference.
+    #[serde(default)]
+    pub breakdown: CycleBreakdown,
 }
 
 /// Runs one model on one architecture.
@@ -75,23 +79,55 @@ pub fn run_one(model_id: ModelId, arch: Arch, scale: ModelScale, seed: u64) -> F
         cycles: run.total.cycles,
         energy: run.energy,
         utilization: run.total.ms_utilization(),
+        breakdown: run.total.breakdown,
     }
 }
 
+/// Like [`run_one`] but also records the cycle-level timeline of the
+/// whole inference (see [`stonne::core::trace`]).
+pub fn run_one_traced(
+    model_id: ModelId,
+    arch: Arch,
+    scale: ModelScale,
+    seed: u64,
+) -> (Fig5Row, Trace) {
+    let model = zoo::build(model_id, scale);
+    let params = ModelParams::generate(&model, seed);
+    let input = generate_input(&model, seed ^ 0xf00d);
+    let (run, trace) = run_model_simulated_traced(
+        &model,
+        &params,
+        &input,
+        arch.config(),
+        stonne::core::trace::DEFAULT_CAPACITY,
+    )
+    .expect("preset configs are valid");
+    let row = Fig5Row {
+        model: model_id,
+        arch,
+        cycles: run.total.cycles,
+        energy: run.energy,
+        utilization: run.total.ms_utilization(),
+        breakdown: run.total.breakdown,
+    };
+    (row, trace)
+}
+
 /// Runs the full 7-model × 3-architecture sweep. The combinations are
-/// independent simulations, so they fan out across OS threads (results
-/// stay deterministic: every run is seeded).
-pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Vec<Fig5Row> {
-    let mut handles = Vec::new();
+/// independent simulations fanned out on a core-count-capped worker pool
+/// (results stay deterministic: every run is seeded).
+///
+/// # Errors
+///
+/// Returns [`ParallelError`] when a simulation panics.
+pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig5Row>, ParallelError> {
+    let mut tasks: Vec<Box<dyn FnOnce() -> Fig5Row + Send>> = Vec::new();
     for &model in models {
         for arch in Arch::ALL {
-            handles.push(std::thread::spawn(move || run_one(model, arch, scale, 21)));
+            tasks.push(Box::new(move || run_one(model, arch, scale, 21)));
         }
     }
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("simulation thread panicked"))
-        .collect()
+    run_parallel(tasks)
 }
 
 /// Area estimates of the three architectures (Fig. 5c); model-independent.

@@ -6,6 +6,7 @@
 //! images (we use seeded synthetic images — non-negative, like real
 //! pixel data).
 
+use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
@@ -102,16 +103,18 @@ pub fn run_one(model_id: ModelId, scale: ModelScale, images: usize) -> Fig6Row {
     row
 }
 
-/// Runs the full Fig. 6 sweep over the four CNN models, one thread each.
-pub fn fig6(scale: ModelScale, images: usize) -> Vec<Fig6Row> {
-    let handles: Vec<_> = ModelId::CNN_MODELS
+/// Runs the full Fig. 6 sweep over the four CNN models on a
+/// core-count-capped worker pool.
+///
+/// # Errors
+///
+/// Returns [`ParallelError`] when a simulation panics.
+pub fn fig6(scale: ModelScale, images: usize) -> Result<Vec<Fig6Row>, ParallelError> {
+    let tasks: Vec<_> = ModelId::CNN_MODELS
         .iter()
-        .map(|&m| std::thread::spawn(move || run_one(m, scale, images)))
+        .map(|&m| move || run_one(m, scale, images))
         .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("simulation thread panicked"))
-        .collect()
+    run_parallel(tasks)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! against No Scheduling, plus the per-layer ResNet-50 sensitivity
 //! analysis (9c).
 
+use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use stonne::core::{AcceleratorConfig, NaturalOrder, RowSchedule};
@@ -83,21 +84,21 @@ pub fn run_one(model_id: ModelId, policy: Policy, scale: ModelScale, seed: u64) 
     }
 }
 
-/// Runs the full sweep: every Table I model under NS, RDM and LFF, fanned
-/// out across OS threads (each run is an independent, seeded simulation).
-pub fn fig9(scale: ModelScale, models: &[ModelId]) -> Vec<Fig9Row> {
-    let mut handles = Vec::new();
+/// Runs the full sweep: every Table I model under NS, RDM and LFF on a
+/// core-count-capped worker pool (each run is an independent, seeded
+/// simulation).
+///
+/// # Errors
+///
+/// Returns [`ParallelError`] when a simulation panics.
+pub fn fig9(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig9Row>, ParallelError> {
+    let mut tasks: Vec<Box<dyn FnOnce() -> Fig9Row + Send>> = Vec::new();
     for &model in models {
         for policy in Policy::ALL {
-            handles.push(std::thread::spawn(move || {
-                run_one(model, policy, scale, 61)
-            }));
+            tasks.push(Box::new(move || run_one(model, policy, scale, 61)));
         }
     }
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("simulation thread panicked"))
-        .collect()
+    run_parallel(tasks)
 }
 
 /// Fig. 9c: per-layer LFF sensitivity of ResNet-50, reduced to the 14

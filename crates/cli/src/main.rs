@@ -21,7 +21,9 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 
-use stonne::core::{counter_file, summary_json, AcceleratorConfig, SimStats, Stonne};
+use stonne::core::{
+    chrome_trace_json, counter_file, summary_json, trace, AcceleratorConfig, SimStats, Stonne,
+};
 use stonne::energy::{area_um2, EnergyModel};
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
@@ -52,7 +54,9 @@ fn usage() -> &'static str {
        --seed N                 RNG seed                  [default: 1]\n\
        --json                   print the JSON stats summary\n\
        --counters               print the counter file\n\
-       --energy                 print the energy/area estimate\n"
+       --energy                 print the energy/area estimate\n\
+       --cycle-breakdown        print the per-phase cycle split\n\
+       --trace PATH             write a Chrome-trace (Perfetto) timeline\n"
 }
 
 /// Parsed `--key value` arguments (flags map to "true").
@@ -69,7 +73,7 @@ impl Args {
             let Some(key) = t.strip_prefix("--") else {
                 return Err(format!("unexpected token `{t}` (expected --key)"));
             };
-            let flag = matches!(key, "json" | "counters" | "energy");
+            let flag = matches!(key, "json" | "counters" | "energy" | "cycle-breakdown");
             if flag {
                 map.insert(key.to_owned(), "true".to_owned());
                 i += 1;
@@ -108,6 +112,35 @@ impl Args {
     fn flag(&self, key: &str) -> bool {
         self.map.contains_key(key)
     }
+
+    fn get_opt(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+}
+
+/// Starts trace recording when `--trace PATH` was given; returns the path.
+fn maybe_start_trace(args: &Args) -> Option<String> {
+    let path = args.get_opt("trace")?.to_owned();
+    trace::start(trace::DEFAULT_CAPACITY);
+    Some(path)
+}
+
+/// Finishes recording and writes the Chrome-trace JSON to `path`.
+fn write_trace(path: Option<String>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let captured = trace::finish().ok_or("tracing was not active")?;
+    std::fs::write(&path, chrome_trace_json(&captured))
+        .map_err(|e| format!("--trace {path}: {e}"))?;
+    eprintln!(
+        "trace: {} events written to {path} (open in ui.perfetto.dev){}",
+        captured.events().len(),
+        if captured.dropped() > 0 {
+            format!("; {} oldest events dropped", captured.dropped())
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
 }
 
 fn build_config(args: &Args) -> Result<AcceleratorConfig, String> {
@@ -138,6 +171,19 @@ fn report(args: &Args, cfg: &AcceleratorConfig, stats: &SimStats) {
         stats.ms_utilization() * 100.0,
         stats.counters.multiplications
     );
+    if args.flag("cycle-breakdown") {
+        let b = &stats.breakdown;
+        println!(
+            "cycle breakdown: fill {} / steady {} / drain {} / stalls: dram {} fifo {} reduction {} (sum {})",
+            b.fill_cycles,
+            b.steady_cycles,
+            b.drain_cycles,
+            b.dram_stall_cycles,
+            b.fifo_stall_cycles,
+            b.reduction_stall_cycles,
+            b.total()
+        );
+    }
     if args.flag("json") {
         println!("{}", summary_json(stats));
     }
@@ -181,7 +227,9 @@ fn cmd_gemm(args: &Args) -> Result<(), String> {
     }
     let b = Matrix::random(k, n, &mut rng);
     let mut sim = Stonne::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let trace_path = maybe_start_trace(args);
     let (_, stats) = sim.run_gemm(&format!("gemm {m}x{n}x{k}"), &a, &b);
+    write_trace(trace_path)?;
     report(args, &cfg, &stats);
     Ok(())
 }
@@ -209,6 +257,7 @@ fn cmd_conv(args: &Args) -> Result<(), String> {
         stonne::tensor::prune_tensor_to_sparsity(&mut weights, sparsity);
     }
     let mut sim = Stonne::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let trace_path = maybe_start_trace(args);
     let (_, stats) = sim.run_conv(
         &format!("conv {in_c}->{out_c} {kernel}x{kernel}/{stride} @{hw}"),
         &input,
@@ -216,6 +265,7 @@ fn cmd_conv(args: &Args) -> Result<(), String> {
         &geom,
         None,
     );
+    write_trace(trace_path)?;
     report(args, &cfg, &stats);
     Ok(())
 }
@@ -251,8 +301,10 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         sparsity * 100.0,
         cfg.name
     );
+    let trace_path = maybe_start_trace(args);
     let run =
         run_model_simulated(&model, &params, &input, cfg.clone()).map_err(|e| e.to_string())?;
+    write_trace(trace_path)?;
     for layer in &run.layers {
         println!(
             "  {:<28} {:>12} cycles  util {:>5.1}%",
@@ -402,6 +454,30 @@ mod tests {
     fn conv_command_validates_groups() {
         let a = args("--in-c 3 --out-c 4 --groups 2");
         assert!(cmd_conv(&a).is_err());
+    }
+
+    #[test]
+    fn cycle_breakdown_is_a_flag_and_trace_takes_a_value() {
+        let a = args("--cycle-breakdown --trace /tmp/t.json --m 4");
+        assert!(a.flag("cycle-breakdown"));
+        assert_eq!(a.get_opt("trace"), Some("/tmp/t.json"));
+        assert_eq!(a.get_usize("m", 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn gemm_with_trace_writes_chrome_json() {
+        let dir = std::env::temp_dir().join("stonne-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gemm.json");
+        let a = args(&format!(
+            "--m 8 --n 8 --k 8 --arch tpu --ms 16 --cycle-breakdown --trace {}",
+            path.display()
+        ));
+        cmd_gemm(&a).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\": \"X\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::engine::sparse::{run_spmm, NaturalOrder, RowSchedule, SparseRun};
 use crate::engine::{conv_operand, pool, systolic};
 use crate::mapping::{LayerDims, Tile};
 use crate::stats::SimStats;
+use crate::trace::{Component, Probe};
 use stonne_tensor::{col2im_output, Conv2dGeom, CsrMatrix, Matrix, Tensor4};
 
 /// A simulated DNN inference accelerator instance.
@@ -78,6 +79,9 @@ impl Stonne {
         if self.config.model_dram {
             self.apply_dram(&mut stats, operand_elems, output_elems);
         }
+        // Shift the trace timeline so the next operation's spans start
+        // where this one ended (no-op when tracing is off).
+        crate::trace::advance(stats.cycles);
         self.history.push(stats.clone());
         stats
     }
@@ -88,9 +92,16 @@ impl Stonne {
         let per_cycle = self.config.dram.elements_per_cycle();
         let fetch_cycles =
             (operand_elems as f64 / per_cycle).ceil() as u64 + self.config.dram.latency_cycles;
-        let stall = fetch_cycles.saturating_sub(stats.cycles);
+        let compute = stats.cycles;
+        let stall = fetch_cycles.saturating_sub(compute);
+        let dram = Probe::new(Component::Dram);
+        dram.span("fetch", 0, fetch_cycles.min(compute));
+        if stall > 0 {
+            dram.span("stall", compute, compute + stall);
+        }
         stats.cycles += stall;
         stats.dram_stall_cycles += stall;
+        stats.breakdown.dram_stall_cycles += stall;
         stats.counters.dram_reads += operand_elems;
         stats.counters.dram_writes += output_elems;
     }
@@ -144,16 +155,20 @@ impl Stonne {
         assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
         let layer = LayerDims::from_gemm(a.rows(), b.cols(), a.cols());
         let mut best: Option<(Tile, u64)> = None;
-        for tile in crate::mapping::candidate_tiles(&layer, self.config.ms_size) {
-            let mut probe = Stonne {
-                config: self.config.clone(),
-                history: Vec::new(),
-            };
-            let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
-            if best.as_ref().is_none_or(|(_, c)| stats.cycles < *c) {
-                best = Some((tile, stats.cycles));
+        // Exploration runs are suspended from the trace timeline: only the
+        // mapping the caller ultimately commits to should appear in it.
+        crate::trace::suspended(|| {
+            for tile in crate::mapping::candidate_tiles(&layer, self.config.ms_size) {
+                let mut probe = Stonne {
+                    config: self.config.clone(),
+                    history: Vec::new(),
+                };
+                let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
+                if best.as_ref().is_none_or(|(_, c)| stats.cycles < *c) {
+                    best = Some((tile, stats.cycles));
+                }
             }
-        }
+        });
         best.expect("candidate_tiles is never empty")
     }
 
@@ -320,6 +335,21 @@ impl Stonne {
             stats.cycles = stats.cycles.div_ceil(concurrent);
             stats.compute_cycles = stats.compute_cycles.div_ceil(concurrent);
             stats.bandwidth_stall_cycles = stats.bandwidth_stall_cycles.div_ceil(concurrent);
+            // Rescale the breakdown to the overlapped cycle count: floor
+            // each auxiliary phase and fold the rounding residue into the
+            // steady phase so the breakdown still sums to `cycles` exactly.
+            let b = &mut stats.breakdown;
+            b.fill_cycles /= concurrent;
+            b.drain_cycles /= concurrent;
+            b.dram_stall_cycles /= concurrent;
+            b.fifo_stall_cycles /= concurrent;
+            b.reduction_stall_cycles /= concurrent;
+            let others = b.fill_cycles
+                + b.drain_cycles
+                + b.dram_stall_cycles
+                + b.fifo_stall_cycles
+                + b.reduction_stall_cycles;
+            b.steady_cycles = stats.cycles.saturating_sub(others);
         }
         let out = col2im_output(&group_outputs, geom, input.n(), oh, ow);
         (out, stats)
@@ -627,6 +657,61 @@ mod tests {
             "search {best_cycles} worse than auto {} ({best_tile:?})",
             auto_stats.cycles
         );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_cycles_across_presets() {
+        let mut rng = SeededRng::new(11);
+        let a = Matrix::random(10, 20, &mut rng);
+        let b = Matrix::random(20, 6, &mut rng);
+        for cfg in presets() {
+            let name = cfg.name.clone();
+            let mut sim = Stonne::new(cfg).unwrap();
+            let (_, stats) = sim.run_gemm("g", &a, &b);
+            assert_eq!(stats.breakdown.total(), stats.cycles, "gemm on {name}");
+        }
+    }
+
+    #[test]
+    fn breakdown_holds_for_grouped_conv_and_pool_and_dram() {
+        let geom = Conv2dGeom::new(4, 4, 3, 3, 1, 1, 4); // depthwise
+        let mut rng = SeededRng::new(12);
+        let input = Tensor4::random(1, 4, 5, 5, &mut rng);
+        let weights = Tensor4::random(4, 1, 3, 3, &mut rng);
+        for cfg in presets() {
+            let name = cfg.name.clone();
+            let mut sim = Stonne::new(cfg).unwrap();
+            // Grouped conv exercises the concurrent-group cycle division
+            // on the flexible dense preset.
+            let (_, stats) = sim.run_conv("dw", &input, &weights, &geom, None);
+            assert_eq!(stats.breakdown.total(), stats.cycles, "conv on {name}");
+            let (_, pstats) = sim.run_maxpool("pool", &input, 2, 2);
+            assert_eq!(pstats.breakdown.total(), pstats.cycles, "pool on {name}");
+        }
+        // DRAM stalls are part of the breakdown too.
+        let mut slow = AcceleratorConfig::maeri_like(64, 64).with_dram_modeling(true);
+        slow.dram.bandwidth_gbps_per_channel = 0.5;
+        slow.dram.channels = 1;
+        let mut rng = SeededRng::new(13);
+        let a = Matrix::random(16, 16, &mut rng);
+        let b = Matrix::random(16, 16, &mut rng);
+        let mut sim = Stonne::new(slow).unwrap();
+        let (_, stats) = sim.run_gemm("g", &a, &b);
+        assert!(stats.breakdown.dram_stall_cycles > 0);
+        assert_eq!(stats.breakdown.total(), stats.cycles);
+    }
+
+    #[test]
+    fn tile_search_does_not_pollute_the_trace() {
+        use crate::trace;
+        let mut rng = SeededRng::new(14);
+        let a = Matrix::random(8, 32, &mut rng);
+        let b = Matrix::random(32, 8, &mut rng);
+        let sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16)).unwrap();
+        trace::start(1024);
+        let _ = sim.search_best_tile(&a, &b);
+        let t = trace::finish().unwrap();
+        assert!(t.events().is_empty(), "exploration must stay off-timeline");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::accelerator::Stonne;
 use crate::config::{AcceleratorConfig, ConfigError};
 use crate::mapping::Tile;
 use crate::stats::SimStats;
+use crate::trace::Trace;
 use std::fmt;
 use stonne_tensor::{Conv2dGeom, CsrMatrix, Matrix, Tensor4};
 
@@ -156,12 +157,35 @@ pub struct StonneMachine {
     instance: Option<Stonne>,
     op: Option<OpConfig>,
     data: Option<OperandData>,
+    tracing: bool,
 }
 
 impl StonneMachine {
     /// Creates an empty machine (no instance yet).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables cycle-level tracing for operations run through this
+    /// machine: starts a recording on the current thread with the given
+    /// ring-buffer capacity (events; see
+    /// [`trace::DEFAULT_CAPACITY`](crate::trace::DEFAULT_CAPACITY)).
+    /// Retrieve the timeline with [`Self::take_trace`] after the run.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        crate::trace::start(capacity);
+        self.tracing = true;
+        self
+    }
+
+    /// Stops tracing and returns the recorded timeline. Returns `None`
+    /// when [`Self::with_trace`] was never called (or the trace was
+    /// already taken).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if !self.tracing {
+            return None;
+        }
+        self.tracing = false;
+        crate::trace::finish()
     }
 
     /// Access to the live instance (for stats inspection).
@@ -315,6 +339,41 @@ mod tests {
         let out = out.into_matrix();
         stonne_tensor::assert_slices_close(out.as_slice(), gemm_reference(&a, &b).as_slice());
         assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn traced_machine_yields_continuous_controller_timeline() {
+        let mut rng = SeededRng::new(4);
+        let a = Matrix::random(4, 8, &mut rng);
+        let b = Matrix::random(8, 4, &mut rng);
+        let mut m = machine_with_instance().with_trace(4096);
+        m.execute(Instruction::Configure(OpConfig::Dmm)).unwrap();
+        m.execute(Instruction::ConfigureData(OperandData::Matrices {
+            a: a.clone(),
+            b,
+        }))
+        .unwrap();
+        let mut total = 0u64;
+        for name in ["op0", "op1"] {
+            let (_, stats) = m
+                .execute(Instruction::RunOperation { name: name.into() })
+                .unwrap()
+                .unwrap();
+            total += stats.cycles;
+        }
+        let trace = m.take_trace().expect("tracing was enabled");
+        assert!(m.take_trace().is_none(), "trace can only be taken once");
+        use crate::trace::Component;
+        // Controller spans are contiguous and cover every simulated cycle.
+        assert_eq!(trace.span_cycles(Component::Controller), total);
+        let last_end = trace
+            .events()
+            .iter()
+            .filter(|e| e.component == Component::Controller)
+            .map(|e| e.end)
+            .max()
+            .unwrap();
+        assert_eq!(last_end, total, "ops occupy disjoint, abutting ranges");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::config::{AcceleratorConfig, Dataflow};
 use crate::mapping::{LayerDims, Tile};
 use crate::networks::{DistributionNetwork, MultiplierNetwork, ReductionNetwork};
 use crate::stats::SimStats;
+use crate::trace::{Component, Probe};
 use stonne_tensor::{Elem, Matrix};
 
 /// Address marker for zero-padding taps (nothing is fetched).
@@ -220,6 +221,10 @@ fn run_weight_stationary(
     let mut cycles: u64 = 0;
     let mut scratch = Vec::with_capacity(cluster * t_pos);
     let pos_chunks = position_chunks(layer, n, t_pos);
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
 
     // Position-blocked schedule: the controller walks output positions in
     // blocks small enough that the block's psums live entirely in the RN
@@ -252,9 +257,13 @@ fn run_weight_stationary(
                 // clusters.
                 let w_unique = chunk_filters * fold_rows;
                 let w_cycles = dn.delivery_cycles(w_unique).max(1);
+                ctrl.span("load-weights", cycles, cycles + w_cycles);
+                dn_probe.span("weights", cycles, cycles + w_cycles);
                 cycles += w_cycles;
+                stats.breakdown.fill_cycles += w_cycles;
                 dn.account(&mut stats.counters, w_unique, chunk_filters * fold_rows);
                 stats.counters.gb_reads += w_unique as u64;
+                let stream_start = cycles;
 
                 for &(pos, pos_hi) in block {
                     let chunk_pos = pos_hi - pos;
@@ -314,13 +323,23 @@ fn run_weight_stationary(
                     }
 
                     stats.bandwidth_stall_cycles += step.saturating_sub(1);
+                    let deliver_floor = deliver.max(1);
+                    stats.breakdown.steady_cycles += 1;
+                    stats.breakdown.fifo_stall_cycles += deliver_floor - 1;
+                    stats.breakdown.reduction_stall_cycles += step - deliver_floor;
                     cycles += step;
                     stats.compute_cycles += 1;
                 }
+                ctrl.span("stream", stream_start, cycles);
+                mn_probe.span("compute", stream_start, cycles);
             }
         }
         // Pipeline drain of the reduction tree for this filter chunk.
-        cycles += rn.reduce(&[cluster]).latency + 1;
+        let drain = rn.reduce(&[cluster]).latency + 1;
+        ctrl.span("drain", cycles, cycles + drain);
+        rn_probe.span("drain", cycles, cycles + drain);
+        cycles += drain;
+        stats.breakdown.drain_cycles += drain;
         stats.iterations += 1;
     }
 
@@ -358,6 +377,9 @@ fn run_output_stationary(
     let mut cycles: u64 = 0;
     let mut scratch = Vec::with_capacity(cluster * t_pos);
     let pos_chunks = position_chunks(layer, n, t_pos);
+    let ctrl = Probe::new(Component::Controller);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
 
     // Outputs stay pinned in the accumulators; weights AND inputs stream
     // per fold, so every step pays for both operand kinds.
@@ -367,6 +389,7 @@ fn run_output_stationary(
         let chunk_filters = k_hi - k_lo;
         for &(pos, pos_hi) in &pos_chunks {
             let chunk_pos = pos_hi - pos;
+            let stream_start = cycles;
             for fold in 0..folds {
                 let row_lo = fold * cluster;
                 let row_hi = (row_lo + cluster).min(k_len);
@@ -399,16 +422,28 @@ fn run_output_stationary(
                 stats.counters.accumulator_updates += (chunk_filters * chunk_pos) as u64;
 
                 stats.bandwidth_stall_cycles += step.saturating_sub(1);
+                stats.breakdown.steady_cycles += 1;
+                stats.breakdown.fifo_stall_cycles += step - 1;
                 cycles += step;
                 stats.compute_cycles += 1;
             }
+            ctrl.span("stream", stream_start, cycles);
+            mn_probe.span("compute", stream_start, cycles);
             // Drain finished outputs.
             let outs = chunk_filters * chunk_pos;
-            cycles += rn.collection_cycles(outs);
+            let collect = rn.collection_cycles(outs);
+            ctrl.span("collect", cycles, cycles + collect);
+            rn_probe.span("collect", cycles, cycles + collect);
+            cycles += collect;
+            stats.breakdown.drain_cycles += collect;
             stats.counters.rn_collections += outs as u64;
             stats.counters.gb_writes += outs as u64;
         }
-        cycles += rn.reduce(&[cluster]).latency + 1;
+        let drain = rn.reduce(&[cluster]).latency + 1;
+        ctrl.span("drain", cycles, cycles + drain);
+        rn_probe.span("drain", cycles, cycles + drain);
+        cycles += drain;
+        stats.breakdown.drain_cycles += drain;
         stats.iterations += 1;
     }
 

@@ -8,6 +8,7 @@
 use crate::config::AcceleratorConfig;
 use crate::networks::{DistributionNetwork, ReductionNetwork};
 use crate::stats::SimStats;
+use crate::trace::{Component, Probe};
 use stonne_tensor::{maxpool2d_reference, Tensor4};
 
 /// Runs a square-window max-pool on the configured accelerator.
@@ -44,12 +45,23 @@ pub fn run_maxpool(
     let waves = num_windows.div_ceil(windows_per_wave);
     let per_wave_elems = windows_per_wave as usize * window_elems;
     let mut cycles = 0u64;
+    let ctrl = Probe::new(Component::Controller);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
     for _ in 0..waves {
         let deliver = dn.delivery_cycles(per_wave_elems).max(1);
         let collect = rn.collection_cycles(windows_per_wave as usize);
-        cycles += deliver.max(collect);
+        let step = deliver.max(collect);
+        stats.breakdown.steady_cycles += 1;
+        stats.breakdown.fifo_stall_cycles += deliver - 1;
+        stats.breakdown.reduction_stall_cycles += step - deliver;
+        cycles += step;
     }
-    cycles += rn.reduce(&[window_elems]).latency + 1;
+    ctrl.span("stream", 0, cycles);
+    let drain = rn.reduce(&[window_elems]).latency + 1;
+    ctrl.span("drain", cycles, cycles + drain);
+    rn_probe.span("drain", cycles, cycles + drain);
+    stats.breakdown.drain_cycles += drain;
+    cycles += drain;
 
     // Comparator passes count as reduction-adder activity.
     stats.counters.rn_adder_ops += num_windows * (window_elems as u64 - 1);

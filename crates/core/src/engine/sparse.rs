@@ -25,6 +25,7 @@
 use crate::config::{AcceleratorConfig, SparseFormat};
 use crate::networks::{ceil_log2, DistributionNetwork, ReductionNetwork};
 use crate::stats::SimStats;
+use crate::trace::{Component, Probe};
 use stonne_tensor::{CsrMatrix, Elem, Matrix};
 
 /// Order in which the sparse controller issues filters (MK rows).
@@ -249,6 +250,10 @@ fn run_weight_stationary(
     let mut cycles: u64 = 0;
     let mut iter_infos = Vec::new();
     let iterations = pack_segments(order, row_nnz, config.ms_size, schedule.allow_skip());
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
 
     // Cache row entries once (CSR walk is the controller's metadata read).
     let rows: Vec<Vec<(usize, Elem)>> = (0..m).map(|r| a.row_entries(r).collect()).collect();
@@ -257,6 +262,9 @@ fn run_weight_stationary(
         let occupied: usize = segments.iter().map(|s| s.len).sum();
         // Stationary load: every non-zero weight is a distinct value.
         let load_cycles = dn.delivery_cycles(occupied).max(1);
+        ctrl.span("load-weights", cycles, cycles + load_cycles);
+        dn_probe.span("weights", cycles, cycles + load_cycles);
+        stats.breakdown.fill_cycles += load_cycles;
         cycles += load_cycles;
         dn.account(&mut stats.counters, occupied, occupied);
         stats.counters.gb_reads += occupied as u64;
@@ -288,6 +296,7 @@ fn run_weight_stationary(
         // activation-sparsity support, only the column's non-zero inputs
         // among the stationary indices are delivered and multiplied.
         let dual = config.exploit_activation_sparsity;
+        let stream_start = cycles;
         for col in 0..n {
             let delivered = if dual {
                 ks.iter().filter(|&&k| b.get(k, col) != 0.0).count()
@@ -321,13 +330,23 @@ fn run_weight_stationary(
             if dual {
                 stats.counters.metadata_reads += 1; // column bitmap word
             }
+            let deliver_floor = dn.delivery_cycles(delivered).max(1);
+            stats.breakdown.steady_cycles += 1;
+            stats.breakdown.fifo_stall_cycles += deliver_floor - 1;
+            stats.breakdown.reduction_stall_cycles += step - deliver_floor;
             cycles += step;
             stats.compute_cycles += 1;
             stats.bandwidth_stall_cycles += step - 1;
         }
+        ctrl.span("stream", stream_start, cycles);
+        mn_probe.span("compute", stream_start, cycles);
 
         // FAN pipeline fill/drain between reconfigurations.
-        cycles += rn.reduce(&cluster_sizes).latency + 1;
+        let drain = rn.reduce(&cluster_sizes).latency + 1;
+        ctrl.span("drain", cycles, cycles + drain);
+        rn_probe.span("drain", cycles, cycles + drain);
+        stats.breakdown.drain_cycles += drain;
+        cycles += drain;
         stats.iterations += 1;
     }
 
@@ -359,10 +378,18 @@ fn run_input_stationary(
         ..SimStats::default()
     };
 
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
+
     // Load the dense input column stationary across the array.
     let mut cycles = (k as u64).div_ceil(config.dn_bandwidth as u64).max(1);
+    ctrl.span("load-inputs", 0, cycles);
+    dn_probe.span("inputs", 0, cycles);
+    stats.breakdown.fill_cycles += cycles;
     dn.account(&mut stats.counters, k, k);
     stats.counters.gb_reads += k as u64;
+    let stream_start = cycles;
 
     // Stream weight rows: one row dispatch per cycle minimum (metadata
     // decode granularity), more when a row exceeds the bandwidth.
@@ -380,6 +407,8 @@ fn run_input_stationary(
         cycles += dispatch;
         stats.compute_cycles += 1;
         stats.bandwidth_stall_cycles += dispatch - 1;
+        stats.breakdown.steady_cycles += 1;
+        stats.breakdown.fifo_stall_cycles += dispatch - 1;
         stats.counters.multiplications += nnz as u64;
         stats.ms_busy_cycles += nnz as u64;
         dn.account(&mut stats.counters, nnz, nnz);
@@ -391,7 +420,12 @@ fn run_input_stationary(
         stats.counters.gb_writes += 1;
         stats.iterations += 1;
     }
-    cycles += ceil_log2(config.ms_size) as u64 + 1;
+    ctrl.span("stream", stream_start, cycles);
+    let drain = ceil_log2(config.ms_size) as u64 + 1;
+    ctrl.span("drain", cycles, cycles + drain);
+    rn_probe.span("drain", cycles, cycles + drain);
+    stats.breakdown.drain_cycles += drain;
+    cycles += drain;
 
     stats.cycles = cycles;
     SparseRun {

@@ -19,6 +19,7 @@
 use crate::config::AcceleratorConfig;
 use crate::networks::{DistributionNetwork, MultiplierNetwork, ReductionNetwork};
 use crate::stats::SimStats;
+use crate::trace::{Component, Probe};
 use stonne_tensor::{Elem, Matrix};
 
 /// Fixed pipeline-fill cycles (command issue + edge injection).
@@ -57,6 +58,10 @@ pub fn run_gemm(
     };
     let mut cycles: u64 = 0;
     let mut psum = vec![0.0 as Elem; dim * dim];
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
 
     for tile_i in 0..m.div_ceil(dim) {
         for tile_j in 0..n.div_ceil(dim) {
@@ -103,10 +108,28 @@ pub fn run_gemm(
             mn.account(&mut stats.counters, busy_total, 0);
 
             // Timing: fill + (possibly stretched) wavefront + drain.
-            let tile_cycles = FILL_CYCLES + wave_cycles * stretch + DRAIN_CYCLES;
-            cycles += tile_cycles;
+            let stream_cycles = wave_cycles * stretch;
+            let tile_cycles = FILL_CYCLES + stream_cycles + DRAIN_CYCLES;
             stats.compute_cycles += wave_cycles;
             stats.bandwidth_stall_cycles += wave_cycles * (stretch - 1);
+            stats.breakdown.fill_cycles += FILL_CYCLES;
+            stats.breakdown.steady_cycles += wave_cycles;
+            stats.breakdown.fifo_stall_cycles += wave_cycles * (stretch - 1);
+            stats.breakdown.drain_cycles += DRAIN_CYCLES;
+
+            let fill_end = cycles + FILL_CYCLES;
+            let stream_end = fill_end + stream_cycles;
+            ctrl.span("fill", cycles, fill_end);
+            ctrl.span("stream", fill_end, stream_end);
+            ctrl.span("drain", stream_end, stream_end + DRAIN_CYCLES);
+            dn_probe.span_with(
+                || format!("deliver t({tile_i},{tile_j})"),
+                cycles,
+                stream_end,
+            );
+            mn_probe.span("wavefront", fill_end, stream_end);
+            rn_probe.span("collect", stream_end, stream_end + DRAIN_CYCLES);
+            cycles += tile_cycles;
 
             // Operand traffic: each tile streams tm·K + tn·K elements.
             let streamed = (tm * k + tn * k) as u64;

@@ -41,8 +41,11 @@
 //! * [`accelerator`] — the composed simulator instance ([`Stonne`]).
 //! * [`api`] — the coarse-grained STONNE API instruction set (Table III).
 //! * [`stats`] / [`output`] — activity counters, JSON summary, counter
-//!   file.
+//!   file, Chrome-trace timeline export.
+//! * [`trace`] — zero-overhead-when-disabled cycle-level span recording.
 //! * [`fifo`] — bounded FIFOs with activity accounting.
+
+#![warn(missing_docs)]
 
 pub mod accelerator;
 pub mod api;
@@ -53,6 +56,7 @@ pub mod mapping;
 pub mod networks;
 pub mod output;
 pub mod stats;
+pub mod trace;
 
 pub use accelerator::Stonne;
 pub use api::{ApiError, Instruction, OpConfig, OpOutput, OperandData, StonneMachine};
@@ -62,5 +66,6 @@ pub use config::{
 pub use engine::flexible::{DenseOperand, PAD_ADDR};
 pub use engine::sparse::{IterationInfo, NaturalOrder, RowSchedule, SparseRun};
 pub use mapping::{candidate_tiles, LayerDims, MappingSignals, Tile};
-pub use output::{counter_file, parse_counter_file, summary_json};
-pub use stats::{ActivityCounters, SimStats};
+pub use output::{chrome_trace_json, counter_file, parse_counter_file, summary_json};
+pub use stats::{ActivityCounters, CycleBreakdown, SimStats};
+pub use trace::{Component, Probe, Trace, TraceEvent};

@@ -1,7 +1,9 @@
-//! The Output Module: the JSON summary and the customized counter file the
-//! paper's simulator reports after every operation.
+//! The Output Module: the JSON summary, the customized counter file the
+//! paper's simulator reports after every operation, and the Chrome-trace
+//! timeline export for captured [`Trace`]s.
 
 use crate::stats::SimStats;
+use crate::trace::{Component, Trace};
 
 /// Renders the JSON statistics summary ("a general file in json format
 /// that includes a summary of the statistics and facilitates their
@@ -43,6 +45,87 @@ pub fn counter_file(stats: &SimStats) -> String {
     for (name, value) in rows {
         out.push_str(&format!("{name} = {value}\n"));
     }
+    out
+}
+
+/// Minimal JSON string escaping for trace event names.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a captured [`Trace`] as a Chrome-trace (Perfetto-compatible)
+/// JSON document.
+///
+/// One timestamp microsecond maps to one simulated cycle. Every
+/// [`Component`] gets its own thread track (named via `ph:"M"`
+/// thread-name metadata events), and every recorded span becomes a
+/// complete duration event (`ph:"X"`). Load the result in
+/// `https://ui.perfetto.dev` or `chrome://tracing`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("    ");
+        out.push_str(&s);
+    };
+    push(
+        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, \
+         \"args\": {\"name\": \"stonne\"}}"
+            .to_owned(),
+        &mut first,
+    );
+    for component in Component::ALL {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                component.track_id(),
+                escape_json(component.label()),
+            ),
+            &mut first,
+        );
+        // Force the track order to match the Fig. 3b stack.
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"sort_index\": {}}}}}",
+                component.track_id(),
+                component.track_id(),
+            ),
+            &mut first,
+        );
+    }
+    for ev in trace.events() {
+        push(
+            format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"{}\", \"pid\": 0, \
+                 \"tid\": {}, \"ts\": {}, \"dur\": {}}}",
+                escape_json(&ev.name),
+                escape_json(ev.component.label()),
+                ev.component.track_id(),
+                ev.start,
+                ev.cycles(),
+            ),
+            &mut first,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -100,5 +183,29 @@ mod tests {
     fn counter_file_has_comment_header() {
         let text = counter_file(&sample());
         assert!(text.starts_with("# STONNE counter file: conv1"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_named_tracks() {
+        use crate::trace::{self, Probe};
+        trace::start(64);
+        let probe = Probe::new(Component::Controller);
+        probe.span("fill", 0, 2);
+        probe.span("stream \"quoted\"", 2, 10);
+        let trace = trace::finish().unwrap();
+        let json = chrome_trace_json(&trace);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 1 process_name + 6 thread_name + 6 sort_index + 2 spans.
+        assert_eq!(events.len(), 15);
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0]["ts"].as_u64(), Some(0));
+        assert_eq!(spans[0]["dur"].as_u64(), Some(2));
+        assert_eq!(spans[1]["name"].as_str(), Some("stream \"quoted\""));
+        assert!(json.contains("\"thread_name\""));
     }
 }

@@ -75,6 +75,65 @@ impl ActivityCounters {
     }
 }
 
+/// Per-phase cycle accounting: where the cycles of an operation went.
+///
+/// The six buckets partition `SimStats::cycles` exactly —
+/// [`CycleBreakdown::total`] equals the operation's `cycles` for every
+/// engine (tested). Fill/steady/drain follow the classic dataflow
+/// pipeline phases; the three stall buckets split wait cycles by cause so
+/// a bottleneck (memory vs distribution bandwidth vs reduction) is
+/// readable straight off the summary JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles spent loading operands/weights before compute can start
+    /// (array fill, tile weight loads, sparse operand loads).
+    pub fill_cycles: u64,
+    /// Cycles in which the multiplier substrate advanced at full rate.
+    pub steady_cycles: u64,
+    /// Cycles flushing the pipeline / collecting the last partial sums.
+    pub drain_cycles: u64,
+    /// Stall cycles exposed by DRAM past double buffering.
+    pub dram_stall_cycles: u64,
+    /// Stall cycles from distribution/FIFO backpressure (delivery slower
+    /// than one operand set per cycle).
+    pub fifo_stall_cycles: u64,
+    /// Stall cycles waiting on reduction/collection bandwidth.
+    pub reduction_stall_cycles: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all six buckets; equals the operation's total cycles.
+    pub fn total(&self) -> u64 {
+        self.fill_cycles
+            + self.steady_cycles
+            + self.drain_cycles
+            + self.dram_stall_cycles
+            + self.fifo_stall_cycles
+            + self.reduction_stall_cycles
+    }
+
+    /// Multiplies every bucket by `k` (layer-dedup scaling).
+    pub fn scale(&mut self, k: u64) {
+        self.fill_cycles *= k;
+        self.steady_cycles *= k;
+        self.drain_cycles *= k;
+        self.dram_stall_cycles *= k;
+        self.fifo_stall_cycles *= k;
+        self.reduction_stall_cycles *= k;
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.fill_cycles += rhs.fill_cycles;
+        self.steady_cycles += rhs.steady_cycles;
+        self.drain_cycles += rhs.drain_cycles;
+        self.dram_stall_cycles += rhs.dram_stall_cycles;
+        self.fifo_stall_cycles += rhs.fifo_stall_cycles;
+        self.reduction_stall_cycles += rhs.reduction_stall_cycles;
+    }
+}
+
 /// Result statistics of one simulated operation (one layer / GEMM).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -98,6 +157,10 @@ pub struct SimStats {
     pub iterations: u64,
     /// Activity counters for the energy model.
     pub counters: ActivityCounters,
+    /// Per-phase cycle accounting (buckets sum to `cycles`). Defaults so
+    /// summaries written before this field existed still parse.
+    #[serde(default)]
+    pub breakdown: CycleBreakdown,
 }
 
 impl SimStats {
@@ -120,6 +183,7 @@ impl SimStats {
         self.ms_busy_cycles += other.ms_busy_cycles;
         self.iterations += other.iterations;
         self.counters += other.counters;
+        self.breakdown += other.breakdown;
         if self.ms_size == 0 {
             self.ms_size = other.ms_size;
         }
@@ -139,6 +203,7 @@ impl SimStats {
         s.dram_stall_cycles *= count;
         s.ms_busy_cycles *= count;
         s.iterations *= count;
+        s.breakdown.scale(count);
         let c = &mut s.counters;
         let k = count;
         c.multiplications *= k;
@@ -182,6 +247,7 @@ mod tests {
                 gb_writes: 40,
                 ..Default::default()
             },
+            breakdown: CycleBreakdown::default(),
         }
     }
 

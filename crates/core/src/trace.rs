@@ -1,0 +1,412 @@
+//! Cycle-level tracing: component-scoped spans recorded into per-thread
+//! ring buffers, with zero overhead when tracing is disabled.
+//!
+//! The paper's Output Module reports end-of-run totals only; this module
+//! adds the *where did the cycles go* view. Engines annotate the phases of
+//! a simulation (tile fill, steady streaming, pipeline drain, DRAM fetch)
+//! through a [`Probe`], and the resulting [`Trace`] renders to a
+//! Chrome-trace / Perfetto JSON timeline via
+//! [`chrome_trace_json`](crate::output::chrome_trace_json).
+//!
+//! # Design
+//!
+//! - **Per-thread collection.** The simulator runs one operation per
+//!   thread (bench harnesses fan out across threads), so the collector
+//!   lives in a thread-local. No locks, no cross-thread contention.
+//! - **Zero overhead when off.** [`Probe::new`] caches a single boolean
+//!   read of the thread-local enable flag; every recording method
+//!   early-returns on that cached flag without formatting, allocating, or
+//!   touching the collector. Engines construct probes unconditionally.
+//! - **Bounded memory.** Spans land in a ring buffer of configurable
+//!   capacity; once full, the oldest spans are overwritten and counted in
+//!   [`Trace::dropped`], so tracing a huge model cannot exhaust memory.
+//! - **Multi-operation timelines.** Engine cycle counts are local to one
+//!   operation. The accelerator controller calls [`advance`] after each
+//!   operation so the next operation's spans start where the previous
+//!   ones ended, producing one continuous timeline per thread.
+//!
+//! # Example
+//!
+//! ```
+//! use stonne_core::trace;
+//!
+//! trace::start(1024);
+//! let probe = trace::Probe::new(trace::Component::Controller);
+//! probe.span("fill", 0, 2);
+//! probe.span("stream", 2, 10);
+//! let t = trace::finish().expect("tracing was on");
+//! assert_eq!(t.events().len(), 2);
+//! assert_eq!(t.span_cycles(trace::Component::Controller), 10);
+//! ```
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+
+/// Default ring-buffer capacity (events) used by [`start`] callers that
+/// have no better number: large enough for full-model runs at reduced
+/// scale, bounded at ~48 bytes/event.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// The architectural component a span belongs to.
+///
+/// Mirrors the building blocks of the paper's Fig. 3b; each variant maps
+/// to its own named track in the Chrome-trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Tile/iteration control flow (mapper + configuration unit view).
+    Controller,
+    /// Distribution network: operand delivery from the Global Buffer.
+    DistributionNetwork,
+    /// Multiplier network: the compute substrate itself.
+    MultiplierNetwork,
+    /// Reduction network: adder tree / collection bandwidth.
+    ReductionNetwork,
+    /// Global Buffer port activity.
+    GlobalBuffer,
+    /// Off-chip DRAM channel activity exposed past double buffering.
+    Dram,
+}
+
+impl Component {
+    /// All components, in Chrome-trace track order.
+    pub const ALL: [Component; 6] = [
+        Component::Controller,
+        Component::DistributionNetwork,
+        Component::MultiplierNetwork,
+        Component::ReductionNetwork,
+        Component::GlobalBuffer,
+        Component::Dram,
+    ];
+
+    /// Human-readable track name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Controller => "Controller",
+            Component::DistributionNetwork => "Distribution Network",
+            Component::MultiplierNetwork => "Multiplier Network",
+            Component::ReductionNetwork => "Reduction Network",
+            Component::GlobalBuffer => "Global Buffer",
+            Component::Dram => "DRAM",
+        }
+    }
+
+    /// Stable Chrome-trace `tid` for this component's track.
+    pub fn track_id(&self) -> u64 {
+        match self {
+            Component::Controller => 0,
+            Component::DistributionNetwork => 1,
+            Component::MultiplierNetwork => 2,
+            Component::ReductionNetwork => 3,
+            Component::GlobalBuffer => 4,
+            Component::Dram => 5,
+        }
+    }
+}
+
+/// One recorded span: `[start, end)` in absolute cycles on this thread's
+/// timeline. Instant events are spans with `start == end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which architectural track the span belongs to.
+    pub component: Component,
+    /// Phase name shown in the timeline (e.g. `"fill"`, `"stream"`).
+    pub name: Cow<'static, str>,
+    /// First cycle of the span (absolute, thread timeline).
+    pub start: u64,
+    /// One past the last cycle of the span.
+    pub end: u64,
+}
+
+impl TraceEvent {
+    /// Span length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A completed recording: everything [`finish`] drains from the
+/// thread-local collector.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Recorded spans in chronological (record) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of spans overwritten because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sum of span lengths recorded for one component.
+    pub fn span_cycles(&self, component: Component) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.component == component)
+            .map(TraceEvent::cycles)
+            .sum()
+    }
+
+    /// Merges another trace (e.g. from a worker thread) into this one.
+    pub fn merge(&mut self, other: Trace) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+    }
+}
+
+struct Collector {
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    /// Cycle offset added to all recorded spans (advanced between ops).
+    base: u64,
+}
+
+impl Collector {
+    fn new(capacity: usize) -> Self {
+        Collector {
+            ring: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+            base: 0,
+        }
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn into_trace(mut self) -> Trace {
+        // Restore chronological order after ring wrap-around.
+        self.ring.rotate_left(self.head);
+        Trace {
+            events: self.ring,
+            dropped: self.dropped,
+        }
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Starts recording on the current thread with the given ring capacity
+/// (events). Any previous unfinished recording on this thread is discarded.
+pub fn start(capacity: usize) {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new(capacity)));
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Stops recording on the current thread and returns the collected trace,
+/// or `None` if tracing was never started.
+pub fn finish() -> Option<Trace> {
+    ACTIVE.with(|a| a.set(false));
+    COLLECTOR
+        .with(|c| c.borrow_mut().take())
+        .map(Collector::into_trace)
+}
+
+/// Whether the current thread is recording.
+pub fn is_active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Runs `f` with recording suspended on this thread: probes constructed
+/// inside `f` are inert and [`advance`] is a no-op. The accelerator uses
+/// this for exploratory simulations (tile-space search) whose spans would
+/// otherwise pollute the timeline.
+pub fn suspended<R>(f: impl FnOnce() -> R) -> R {
+    let was = ACTIVE.with(|a| a.replace(false));
+    let out = f();
+    ACTIVE.with(|a| a.set(was));
+    out
+}
+
+/// Advances the thread's timeline base by `cycles`. The accelerator calls
+/// this after each simulated operation so successive operations occupy
+/// disjoint cycle ranges in one continuous timeline.
+pub fn advance(cycles: u64) {
+    if !is_active() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.base += cycles;
+        }
+    });
+}
+
+/// A component-scoped recording handle.
+///
+/// Construction caches the thread's enable flag, so a probe on the
+/// traced-off path costs one boolean copy at creation and one branch per
+/// recording call — no allocation, no thread-local access.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    component: Component,
+    active: bool,
+}
+
+impl Probe {
+    /// Creates a probe for `component`, snapshotting the enable flag.
+    pub fn new(component: Component) -> Self {
+        Probe {
+            component,
+            active: is_active(),
+        }
+    }
+
+    /// Whether this probe records anything.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Records the span `[start, end)` (operation-local cycles) under a
+    /// static name. No-op when tracing is off.
+    pub fn span(&self, name: &'static str, start: u64, end: u64) {
+        if self.active {
+            self.record(Cow::Borrowed(name), start, end);
+        }
+    }
+
+    /// Records a span with a dynamically built name. The closure only runs
+    /// when tracing is on, keeping the disabled path allocation-free.
+    pub fn span_with(&self, name: impl FnOnce() -> String, start: u64, end: u64) {
+        if self.active {
+            self.record(Cow::Owned(name()), start, end);
+        }
+    }
+
+    /// Records an instant event at `cycle`. No-op when tracing is off.
+    pub fn event(&self, name: &'static str, cycle: u64) {
+        if self.active {
+            self.record(Cow::Borrowed(name), cycle, cycle);
+        }
+    }
+
+    fn record(&self, name: Cow<'static, str>, start: u64, end: u64) {
+        let component = self.component;
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                let base = col.base;
+                col.record(TraceEvent {
+                    component,
+                    name,
+                    start: base + start,
+                    end: base + end.max(start),
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        assert!(finish().is_none());
+        let p = Probe::new(Component::Controller);
+        assert!(!p.is_active());
+        p.span("fill", 0, 10);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn spans_accumulate_and_sum() {
+        start(64);
+        let p = Probe::new(Component::Controller);
+        p.span("fill", 0, 2);
+        p.span("stream", 2, 12);
+        let q = Probe::new(Component::Dram);
+        q.span("fetch", 0, 5);
+        let t = finish().expect("active");
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.span_cycles(Component::Controller), 12);
+        assert_eq!(t.span_cycles(Component::Dram), 5);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn advance_offsets_later_spans() {
+        start(64);
+        let p = Probe::new(Component::Controller);
+        p.span("op0", 0, 10);
+        advance(10);
+        p.span("op1", 0, 5);
+        let t = finish().expect("active");
+        assert_eq!(t.events()[1].start, 10);
+        assert_eq!(t.events()[1].end, 15);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_order() {
+        start(4);
+        let p = Probe::new(Component::Controller);
+        for i in 0..6u64 {
+            p.span("s", i, i + 1);
+        }
+        let t = finish().expect("active");
+        assert_eq!(t.dropped(), 2);
+        let starts: Vec<u64> = t.events().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn finish_disables_recording() {
+        start(16);
+        assert!(is_active());
+        let _ = finish();
+        assert!(!is_active());
+        // A probe created after finish is inert.
+        let p = Probe::new(Component::GlobalBuffer);
+        p.span("late", 0, 1);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn suspended_blocks_probes_and_advance() {
+        start(16);
+        let p = Probe::new(Component::Controller);
+        p.span("before", 0, 1);
+        suspended(|| {
+            let q = Probe::new(Component::Controller);
+            assert!(!q.is_active());
+            q.span("hidden", 0, 100);
+            advance(100);
+        });
+        assert!(is_active());
+        p.span("after", 1, 2);
+        let t = finish().expect("active");
+        let names: Vec<&str> = t.events().iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["before", "after"]);
+        assert_eq!(t.events()[1].start, 1, "advance inside suspended is a no-op");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        start(0);
+        let p = Probe::new(Component::Controller);
+        p.span("a", 0, 1);
+        p.span("b", 1, 2);
+        let t = finish().expect("active");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+}

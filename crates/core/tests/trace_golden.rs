@@ -1,0 +1,94 @@
+//! Golden end-to-end check of the tracing pipeline: a traced systolic
+//! GEMM must export valid Chrome-trace JSON whose Controller span cycles
+//! sum exactly to the reported `total_cycles`, and the counter file must
+//! round-trip through the parser consistently with counter merging.
+
+use stonne_core::{
+    chrome_trace_json, counter_file, parse_counter_file, trace, AcceleratorConfig, Component,
+    Stonne,
+};
+use stonne_tensor::{Matrix, SeededRng};
+
+#[test]
+fn traced_systolic_gemm_exports_consistent_chrome_trace() {
+    let mut rng = SeededRng::new(42);
+    let a = Matrix::random(24, 32, &mut rng);
+    let b = Matrix::random(32, 24, &mut rng);
+    let mut sim = Stonne::new(AcceleratorConfig::tpu_like(16)).unwrap();
+
+    trace::start(trace::DEFAULT_CAPACITY);
+    let (_, stats) = sim.run_gemm("golden", &a, &b);
+    let captured = trace::finish().expect("tracing was started");
+
+    assert!(captured.dropped() == 0, "ring must not wrap for this size");
+    // The Controller track tiles the whole run: fill + stream + drain per
+    // tile, back to back. Its span sum IS the cycle count.
+    assert_eq!(captured.span_cycles(Component::Controller), stats.cycles);
+    assert_eq!(stats.breakdown.total(), stats.cycles);
+
+    let json = chrome_trace_json(&captured);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("export is valid JSON");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+
+    // Re-derive the Controller span sum from the *exported* JSON.
+    let ctrl_tid = Component::Controller.track_id();
+    let exported_sum: u64 = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("X") && e["tid"].as_u64() == Some(ctrl_tid))
+        .map(|e| e["dur"].as_u64().unwrap())
+        .sum();
+    assert_eq!(exported_sum, stats.cycles);
+
+    // Every component track is named in the metadata.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("thread_name"))
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    for component in Component::ALL {
+        assert!(names.contains(&component.label()), "{:?}", component);
+    }
+}
+
+#[test]
+fn disabled_tracing_changes_no_statistics() {
+    let mut rng = SeededRng::new(43);
+    let a = Matrix::random(16, 16, &mut rng);
+    let b = Matrix::random(16, 16, &mut rng);
+    let cfg = AcceleratorConfig::maeri_like(64, 16);
+
+    let mut plain = Stonne::new(cfg.clone()).unwrap();
+    let (_, untraced) = plain.run_gemm("g", &a, &b);
+
+    trace::start(1024);
+    let mut traced = Stonne::new(cfg).unwrap();
+    let (_, with_trace) = traced.run_gemm("g", &a, &b);
+    let t = trace::finish().unwrap();
+
+    assert!(!t.events().is_empty());
+    assert_eq!(untraced.cycles, with_trace.cycles);
+    assert_eq!(untraced.counters, with_trace.counters);
+}
+
+#[test]
+fn counter_file_roundtrip_matches_counter_merge() {
+    let mut rng = SeededRng::new(44);
+    let a = Matrix::random(8, 16, &mut rng);
+    let b = Matrix::random(16, 8, &mut rng);
+    let mut sim = Stonne::new(AcceleratorConfig::sigma_like(64, 64)).unwrap();
+    sim.run_gemm("g1", &a, &b);
+    sim.run_gemm("g2", &a, &b);
+
+    // Parse each per-op counter file and sum the parsed values; the sums
+    // must equal the counter file of the merged stats (AddAssign path).
+    let mut summed: std::collections::BTreeMap<String, u64> = Default::default();
+    for stats in sim.history() {
+        for (name, value) in parse_counter_file(&counter_file(stats)) {
+            *summed.entry(name).or_insert(0) += value;
+        }
+    }
+    let aggregate = sim.aggregate_stats();
+    for (name, value) in parse_counter_file(&counter_file(&aggregate)) {
+        assert_eq!(summed.get(&name), Some(&value), "{name}");
+    }
+}

@@ -84,6 +84,38 @@ pub struct DramStats {
     pub busy_cycles: u64,
 }
 
+/// Direction of a logged DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramRequestKind {
+    /// Operand fetch into the Global Buffer.
+    Read,
+    /// Result writeback.
+    Write,
+}
+
+/// One request captured by the opt-in request log
+/// ([`DramModel::enable_request_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramRequest {
+    /// Read or write.
+    pub kind: DramRequestKind,
+    /// Channel the request was scheduled on.
+    pub channel: usize,
+    /// Cycle the transfer started occupying the channel.
+    pub start: u64,
+    /// Completion cycle (start + latency + transfer).
+    pub end: u64,
+    /// Elements transferred.
+    pub elements: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RequestLog {
+    capacity: usize,
+    entries: Vec<DramRequest>,
+    dropped: u64,
+}
+
 /// The off-chip memory model.
 ///
 /// Each request occupies the least-loaded channel; completion time is
@@ -96,6 +128,7 @@ pub struct DramModel {
     config: DramConfig,
     channel_free_at: Vec<u64>,
     stats: DramStats,
+    log: Option<RequestLog>,
 }
 
 impl DramModel {
@@ -105,6 +138,7 @@ impl DramModel {
             channel_free_at: vec![0; config.channels.max(1)],
             config,
             stats: DramStats::default(),
+            log: None,
         }
     }
 
@@ -118,6 +152,27 @@ impl DramModel {
         self.stats
     }
 
+    /// Enables per-request logging, keeping at most `capacity` requests
+    /// (newest dropped past the cap, so the log stays bounded on long
+    /// runs). Logging is off by default and costs nothing when off.
+    pub fn enable_request_log(&mut self, capacity: usize) {
+        self.log = Some(RequestLog {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            dropped: 0,
+        });
+    }
+
+    /// The logged requests, in issue order (empty when logging is off).
+    pub fn requests(&self) -> &[DramRequest] {
+        self.log.as_ref().map_or(&[], |l| &l.entries)
+    }
+
+    /// Requests not logged because the log was full.
+    pub fn dropped_requests(&self) -> u64 {
+        self.log.as_ref().map_or(0, |l| l.dropped)
+    }
+
     fn transfer_cycles(&self, elements: u64) -> u64 {
         let per_channel = self.config.bandwidth_gbps_per_channel
             / self.config.clock_ghz
@@ -125,7 +180,7 @@ impl DramModel {
         (elements as f64 / per_channel).ceil() as u64
     }
 
-    fn issue(&mut self, now: u64, elements: u64) -> u64 {
+    fn issue(&mut self, now: u64, elements: u64, kind: DramRequestKind) -> u64 {
         // Least-loaded channel takes the request.
         let (ch, _) = self
             .channel_free_at
@@ -138,6 +193,19 @@ impl DramModel {
         let done = start + self.config.latency_cycles + transfer;
         self.channel_free_at[ch] = start + transfer;
         self.stats.busy_cycles += transfer;
+        if let Some(log) = self.log.as_mut() {
+            if log.entries.len() < log.capacity {
+                log.entries.push(DramRequest {
+                    kind,
+                    channel: ch,
+                    start,
+                    end: done,
+                    elements,
+                });
+            } else {
+                log.dropped += 1;
+            }
+        }
         done
     }
 
@@ -146,7 +214,7 @@ impl DramModel {
     pub fn read(&mut self, now: u64, elements: u64) -> u64 {
         self.stats.read_requests += 1;
         self.stats.elements_read += elements;
-        self.issue(now, elements)
+        self.issue(now, elements, DramRequestKind::Read)
     }
 
     /// Issues a write of `elements` at cycle `now`; returns the completion
@@ -154,7 +222,7 @@ impl DramModel {
     pub fn write(&mut self, now: u64, elements: u64) -> u64 {
         self.stats.write_requests += 1;
         self.stats.elements_written += elements;
-        self.issue(now, elements)
+        self.issue(now, elements, DramRequestKind::Write)
     }
 }
 
@@ -316,6 +384,25 @@ mod tests {
         let start2 = db.acquire_tile(start + 5, 400);
         assert!(start2 > start + 5, "short compute must expose DRAM stall");
         assert!(db.stall_cycles() > 20);
+    }
+
+    #[test]
+    fn request_log_is_opt_in_and_bounded() {
+        let mut dram = DramModel::new(tiny_config());
+        dram.read(0, 4);
+        assert!(dram.requests().is_empty(), "logging is off by default");
+
+        dram.enable_request_log(2);
+        dram.read(0, 40);
+        dram.write(0, 8);
+        dram.read(0, 4);
+        let reqs = dram.requests();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(dram.dropped_requests(), 1);
+        assert_eq!(reqs[0].kind, DramRequestKind::Read);
+        assert_eq!(reqs[0].elements, 40);
+        assert_eq!(reqs[0].end, reqs[0].start + 10 + 10); // latency + transfer
+        assert_eq!(reqs[1].kind, DramRequestKind::Write);
     }
 
     #[test]

@@ -137,6 +137,27 @@ pub fn run_model_simulated_scheduled(
     })
 }
 
+/// Runs a model on a simulated accelerator while recording a cycle-level
+/// trace of every offloaded layer (one continuous timeline; see
+/// [`stonne_core::trace`]). `capacity` bounds the trace ring buffer in
+/// events — pass [`stonne_core::trace::DEFAULT_CAPACITY`] when unsure.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the accelerator configuration is invalid.
+pub fn run_model_simulated_traced(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    capacity: usize,
+) -> Result<(ModelRun, stonne_core::Trace), ConfigError> {
+    stonne_core::trace::start(capacity);
+    let run = run_model_simulated(model, params, input, config);
+    let trace = stonne_core::trace::finish().unwrap_or_default();
+    Ok((run?, trace))
+}
+
 /// Compares a simulated run against the reference run node by node,
 /// panicking on the first functional mismatch — the paper's functional
 /// validation ("they perfectly match for all cases").
@@ -226,6 +247,27 @@ mod tests {
             "sigma {} !< maeri {}",
             sigma.total.cycles,
             maeri.total.cycles
+        );
+    }
+
+    #[test]
+    fn traced_model_run_covers_every_offloaded_cycle() {
+        let model = zoo::alexnet(ModelScale::Tiny);
+        let params = ModelParams::generate(&model, 1);
+        let input = generate_input(&model, 2);
+        let (run, trace) = run_model_simulated_traced(
+            &model,
+            &params,
+            &input,
+            AcceleratorConfig::maeri_like(64, 32),
+            stonne_core::trace::DEFAULT_CAPACITY,
+        )
+        .unwrap();
+        assert_eq!(trace.dropped(), 0);
+        assert_eq!(
+            trace.span_cycles(stonne_core::Component::Controller),
+            run.total.cycles,
+            "controller spans must tile the whole model timeline"
         );
     }
 

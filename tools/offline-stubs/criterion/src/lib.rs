@@ -1,0 +1,89 @@
+//! Offline stand-in for the `criterion` crate, used only by
+//! `tools/offline-check.sh` in network-less environments.
+//!
+//! Implements just enough of the API for the workspace's benches to
+//! compile: each `bench_function` body runs **once** (a smoke test) instead
+//! of being measured, and no statistics are produced.
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("criterion-stub group: {name}");
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Registers and smoke-runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("criterion-stub bench: {}", id.into());
+        f(&mut Bencher);
+        self
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and smoke-runs a single benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        eprintln!("criterion-stub bench: {}", id.into());
+        f(&mut Bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`: runs the closure exactly once.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs the benchmarked routine once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = black_box(f());
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

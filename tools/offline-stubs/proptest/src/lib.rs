@@ -1,0 +1,35 @@
+//! Offline stand-in for the `proptest` crate, used only by
+//! `tools/offline-check.sh` in network-less environments.
+//!
+//! The `proptest!` macro swallows its body entirely, so property tests
+//! *compile away* under the offline check instead of running — the real
+//! crate (and the real properties) still run wherever the registry is
+//! reachable. This keeps the rest of each test file compiling without
+//! pulling in proptest's large dependency tree.
+
+/// No-op replacement for `proptest::proptest!`: accepts any token tree and
+/// expands to nothing.
+#[macro_export]
+macro_rules! proptest {
+    ($($tokens:tt)*) => {};
+}
+
+/// Configuration accepted (and ignored) by the swallowed macro body.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases the real crate would run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Mirrors `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Mirror of `proptest::prelude` with just the names this workspace imports.
+pub mod prelude {
+    pub use crate::proptest;
+    pub use crate::ProptestConfig;
+}

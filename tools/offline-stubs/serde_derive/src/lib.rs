@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`, used only by
+//! `tools/offline-check.sh` in network-less environments.
+//!
+//! The real derive generates visitor-based `Serialize` / `Deserialize`
+//! impls via syn/quote; neither dependency is available offline, so this
+//! stub parses the item's token stream by hand and emits impls for the
+//! stub-serde `to_value` / `from_value` data model as source text. It
+//! supports exactly what this workspace needs: plain structs (named,
+//! tuple, unit), plain enums (unit / tuple / struct variants, externally
+//! tagged), lifetime-generic structs, and the `#[serde(default)]` field
+//! attribute. Everything else is intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives the stub `serde::Serialize` (to_value) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::Ser)
+}
+
+/// Derives the stub `serde::Deserialize` (from_value) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::De)
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn generate(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let item = match kind.as_str() {
+        "struct" => parse_struct_body(&tokens, &mut i),
+        "enum" => parse_enum_body(&tokens, &mut i),
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    };
+
+    let code = match mode {
+        Mode::Ser => gen_serialize(&name, &generics, &item),
+        Mode::De => gen_deserialize(&name, &generics, &item),
+    };
+    code.parse().expect("stub derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1; // [...]
+        }
+    }
+}
+
+/// Skips attributes, returning true when one of them is `#[serde(default)]`.
+fn skip_attrs_noting_default(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(&inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if matches!(&t, TokenTree::Ident(id) if id.to_string() == "default") {
+                            has_default = true;
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    has_default
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1; // pub(crate) etc.
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match &tokens[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, found `{other}`"),
+    }
+}
+
+/// One generic parameter: its declaration tokens and its bare name for use
+/// in the type position of the impl header.
+struct GenericParam {
+    decl: String,
+    arg: String,
+    is_type: bool,
+}
+
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    if !matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(make_param(&current));
+                    }
+                } else {
+                    current.push(tokens[*i].clone());
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.is_empty() {
+                    params.push(make_param(&current));
+                }
+                current = Vec::new();
+            }
+            t => current.push(t.clone()),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn make_param(tokens: &[TokenTree]) -> GenericParam {
+    // Re-render the declaration; never put a space after `'` or a lifetime
+    // like `'a` becomes the invalid `' a`.
+    let mut decl = String::new();
+    for t in tokens {
+        if !decl.is_empty() && !decl.ends_with('\'') {
+            decl.push(' ');
+        }
+        decl.push_str(&t.to_string());
+    }
+    match &tokens[0] {
+        TokenTree::Punct(p) if p.as_char() == '\'' => GenericParam {
+            decl,
+            arg: format!("'{}", tokens[1]),
+            is_type: false,
+        },
+        TokenTree::Ident(id) if id.to_string() == "const" => {
+            panic!("serde stub derive: const generics unsupported")
+        }
+        TokenTree::Ident(id) => GenericParam {
+            decl,
+            arg: id.to_string(),
+            is_type: true,
+        },
+        other => panic!("serde stub derive: unsupported generic param `{other}`"),
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Item {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Item::NamedStruct(parse_named_fields(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct(count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct,
+        other => panic!("serde stub derive: malformed struct body near `{other:?}`"),
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs_noting_default(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = expect_ident(tokens, &mut i);
+        // ':'
+        i += 1;
+        // The type: consume until a top-level ','.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Item {
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde stub derive: malformed enum body near `{other:?}`"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        skip_attrs(&inner, &mut j);
+        if j >= inner.len() {
+            break;
+        }
+        let name = expect_ident(&inner, &mut j);
+        let kind = match inner.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                j += 1;
+                VariantKind::Named(parse_named_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                j += 1;
+                VariantKind::Tuple(count_tuple_fields(&body))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while j < inner.len() {
+            if matches!(&inner[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Item::Enum(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(name: &str, generics: &[GenericParam], mode: &Mode) -> String {
+    let mut decls: Vec<String> = Vec::new();
+    if matches!(mode, Mode::De) {
+        decls.push("'de".to_string());
+    }
+    for p in generics {
+        if p.is_type {
+            let bound = match mode {
+                Mode::Ser => "::serde::Serialize",
+                Mode::De => "::serde::Deserialize<'de>",
+            };
+            if p.decl.contains(':') {
+                decls.push(format!("{} + {bound}", p.decl));
+            } else {
+                decls.push(format!("{}: {bound}", p.decl));
+            }
+        } else {
+            decls.push(p.decl.clone());
+        }
+    }
+    let args: Vec<String> = generics.iter().map(|p| p.arg.clone()).collect();
+    let decl_str = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let arg_str = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    let trait_path = match mode {
+        Mode::Ser => "::serde::Serialize".to_string(),
+        Mode::De => "::serde::Deserialize<'de>".to_string(),
+    };
+    format!("impl{decl_str} {trait_path} for {name}{arg_str}")
+}
+
+fn gen_serialize(name: &str, generics: &[GenericParam], item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Item::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Item::UnitStruct => "::serde::Value::Null".to_string(),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}",
+        impl_header(name, generics, &Mode::Ser)
+    )
+}
+
+fn field_extractor(owner: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(::serde::Error::custom(\"missing field `{}`\"))",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match {owner}.iter().find(|__e| __e.0 == \"{0}\") {{ Some(__e) => ::serde::Deserialize::from_value(&__e.1)?, None => {missing} }},\n",
+        f.name
+    )
+}
+
+fn gen_deserialize(name: &str, generics: &[GenericParam], item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_object_slice().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&field_extractor("__m", f));
+            }
+            s.push_str("})");
+            s
+        }
+        Item::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Item::TupleStruct(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\nif __a.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\nOk({name}(\n"
+            );
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__a[{k}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Item::UnitStruct => format!("Ok({name})"),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut s = format!(
+                            "\"{vn}\" => {{ let __a = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?; if __a.len() != {n} {{ return Err(::serde::Error::custom(\"wrong payload arity\")); }} Ok({name}::{vn}(\n"
+                        );
+                        for k in 0..*n {
+                            s.push_str(&format!("::serde::Deserialize::from_value(&__a[{k}])?,\n"));
+                        }
+                        s.push_str(")) }\n");
+                        payload_arms.push_str(&s);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut s = format!(
+                            "\"{vn}\" => {{ let __fm = __inner.as_object_slice().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?; Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            s.push_str(&field_extractor("__fm", f));
+                        }
+                        s.push_str("}) }\n");
+                        payload_arms.push_str(&s);
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n{payload_arms}\
+                 __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected variant of {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n {body}\n }}\n}}",
+        impl_header(name, generics, &Mode::De)
+    )
+}
