@@ -8,11 +8,12 @@
 
 use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};
-use stonne::core::{AcceleratorConfig, CycleBreakdown, Trace};
+use std::sync::Arc;
+use stonne::core::{AcceleratorConfig, CycleBreakdown, NaturalOrder, SimCache, Trace};
 use stonne::energy::{area_um2, AreaBreakdown, EnergyBreakdown};
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
-use stonne::nn::runner::{run_model_simulated, run_model_simulated_traced};
+use stonne::nn::runner::{run_model_simulated_traced, run_model_simulated_with, RunOptions};
 
 /// The three compared architectures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,13 +67,33 @@ pub struct Fig5Row {
     pub breakdown: CycleBreakdown,
 }
 
-/// Runs one model on one architecture.
+/// Runs one model on one architecture (with a private per-run cache).
 pub fn run_one(model_id: ModelId, arch: Arch, scale: ModelScale, seed: u64) -> Fig5Row {
+    run_one_cached(model_id, arch, scale, seed, &SimCache::new())
+}
+
+/// Like [`run_one`] but reusing a shared simulation cache, so repeated
+/// layer shapes across the sweep's models simulate only once per
+/// architecture (config keys keep the three architectures apart).
+pub fn run_one_cached(
+    model_id: ModelId,
+    arch: Arch,
+    scale: ModelScale,
+    seed: u64,
+    cache: &SimCache,
+) -> Fig5Row {
     let model = zoo::build(model_id, scale);
     let params = ModelParams::generate(&model, seed);
     let input = generate_input(&model, seed ^ 0xf00d);
-    let run = run_model_simulated(&model, &params, &input, arch.config())
-        .expect("preset configs are valid");
+    let run = run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        arch.config(),
+        Arc::new(NaturalOrder),
+        RunOptions::new().with_cache(cache.clone()),
+    )
+    .expect("preset configs are valid");
     Fig5Row {
         model: model_id,
         arch,
@@ -121,10 +142,16 @@ pub fn run_one_traced(
 ///
 /// Returns [`ParallelError`] when a simulation panics.
 pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig5Row>, ParallelError> {
+    // One cache across every sweep point: identical layer shapes recur
+    // both within a model (e.g. BERT's encoders) and across models.
+    let cache = SimCache::new();
     let mut tasks: Vec<Box<dyn FnOnce() -> Fig5Row + Send>> = Vec::new();
     for &model in models {
         for arch in Arch::ALL {
-            tasks.push(Box::new(move || run_one(model, arch, scale, 21)));
+            let cache = cache.clone();
+            tasks.push(Box::new(move || {
+                run_one_cached(model, arch, scale, 21, &cache)
+            }));
         }
     }
     run_parallel(tasks)

@@ -5,6 +5,12 @@
 //! Paper setup: 64 multipliers/adders, 64 elements/cycle; 20 validation
 //! images (we use seeded synthetic images — non-negative, like real
 //! pixel data).
+//!
+//! Unlike fig5/fig9, this sweep does **not** use the layer-simulation
+//! cache: SNAPEA's early termination makes every layer's cycle count
+//! depend on the *values* of its activations (each image terminates
+//! accumulations at different points), so geometry-keyed memoization
+//! would be unsound here.
 
 use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};

@@ -6,10 +6,10 @@
 use crate::{run_parallel, ParallelError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use stonne::core::{AcceleratorConfig, NaturalOrder, RowSchedule};
+use stonne::core::{AcceleratorConfig, NaturalOrder, RowSchedule, SimCache};
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
-use stonne::nn::runner::run_model_simulated_scheduled;
+use stonne::nn::runner::{run_model_simulated_with, RunOptions};
 use stonne::sched::{layer_sensitivity, LargestFilterFirst, LayerSensitivity, RandomOrder};
 
 /// The evaluated scheduling policies.
@@ -67,14 +67,33 @@ pub fn fig9_config() -> AcceleratorConfig {
     AcceleratorConfig::sigma_like(256, 128)
 }
 
-/// Runs one model under one policy.
+/// Runs one model under one policy (with a private per-run cache).
 pub fn run_one(model_id: ModelId, policy: Policy, scale: ModelScale, seed: u64) -> Fig9Row {
+    run_one_cached(model_id, policy, scale, seed, &SimCache::new())
+}
+
+/// Like [`run_one`] but reusing a shared simulation cache. Keys include
+/// the schedule token and the weights' sparsity pattern, so the three
+/// policies (and differently-pruned layers) never collide.
+pub fn run_one_cached(
+    model_id: ModelId,
+    policy: Policy,
+    scale: ModelScale,
+    seed: u64,
+    cache: &SimCache,
+) -> Fig9Row {
     let model = zoo::build(model_id, scale);
     let params = ModelParams::generate(&model, seed);
     let input = generate_input(&model, seed ^ 0xabc);
-    let run =
-        run_model_simulated_scheduled(&model, &params, &input, fig9_config(), policy.schedule())
-            .expect("valid config");
+    let run = run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        fig9_config(),
+        policy.schedule(),
+        RunOptions::new().with_cache(cache.clone()),
+    )
+    .expect("valid config");
     Fig9Row {
         model: model_id,
         policy,
@@ -92,10 +111,16 @@ pub fn run_one(model_id: ModelId, policy: Policy, scale: ModelScale, seed: u64) 
 ///
 /// Returns [`ParallelError`] when a simulation panics.
 pub fn fig9(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig9Row>, ParallelError> {
+    // One cache shared by every sweep point; schedule tokens in the keys
+    // keep NS/RDM/LFF results strictly separated.
+    let cache = SimCache::new();
     let mut tasks: Vec<Box<dyn FnOnce() -> Fig9Row + Send>> = Vec::new();
     for &model in models {
         for policy in Policy::ALL {
-            tasks.push(Box::new(move || run_one(model, policy, scale, 61)));
+            let cache = cache.clone();
+            tasks.push(Box::new(move || {
+                run_one_cached(model, policy, scale, 61, &cache)
+            }));
         }
     }
     run_parallel(tasks)

@@ -26,8 +26,9 @@ use stonne::core::{
 };
 use stonne::energy::{area_um2, EnergyModel};
 use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::core::{NaturalOrder, SimCache};
 use stonne::nn::params::{generate_input, ModelParams};
-use stonne::nn::runner::run_model_simulated;
+use stonne::nn::runner::{run_model_simulated_with, RunOptions};
 use stonne::tensor::{prune_matrix_to_sparsity, Conv2dGeom, Matrix, SeededRng, Tensor4};
 
 fn usage() -> &'static str {
@@ -52,6 +53,8 @@ fn usage() -> &'static str {
        --bw N                   GB bandwidth (elems/cyc)  [default: 128]\n\
        --sparsity F             prune weights to F zeros  [default: 0]\n\
        --seed N                 RNG seed                  [default: 1]\n\
+       --sim-cache on|off       layer-simulation memoization (model runs;\n\
+                                bitwise-identical results)  [default: on]\n\
        --json                   print the JSON stats summary\n\
        --counters               print the counter file\n\
        --energy                 print the energy/area estimate\n\
@@ -288,6 +291,11 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown scale `{other}`")),
     };
     let seed = args.get_usize("seed", 1)? as u64;
+    let sim_cache = match args.get_str("sim-cache", "on").as_str() {
+        "on" => Some(SimCache::new()),
+        "off" => None,
+        other => return Err(format!("--sim-cache `{other}` (expected on|off)")),
+    };
     let cfg = build_config(args)?;
     let model = zoo::build(id, scale);
     let sparsity = args.get_f64("sparsity", model.weight_sparsity())?;
@@ -302,8 +310,19 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         cfg.name
     );
     let trace_path = maybe_start_trace(args);
-    let run =
-        run_model_simulated(&model, &params, &input, cfg.clone()).map_err(|e| e.to_string())?;
+    let options = match &sim_cache {
+        Some(cache) => RunOptions::new().with_cache(cache.clone()),
+        None => RunOptions::new().uncached(),
+    };
+    let run = run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        cfg.clone(),
+        std::sync::Arc::new(NaturalOrder),
+        options,
+    )
+    .map_err(|e| e.to_string())?;
     write_trace(trace_path)?;
     for layer in &run.layers {
         println!(
@@ -314,6 +333,16 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         );
     }
     report(args, &cfg, &run.total);
+    if let Some(cache) = &sim_cache {
+        println!(
+            "sim cache: {} hits / {} misses / {} entries; {} engine invocations for {} layers",
+            run.total.sim_cache_hits,
+            run.total.sim_cache_misses,
+            cache.len(),
+            run.total.engine_invocations,
+            run.layers.len()
+        );
+    }
     println!(
         "model energy: {:.3} µJ (GB {:.3} / DN {:.3} / MN {:.3} / RN {:.3})",
         run.energy.total_uj(),
@@ -478,6 +507,15 @@ mod tests {
         assert!(text.contains("\"traceEvents\""));
         assert!(text.contains("\"ph\": \"X\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sim_cache_takes_a_value_and_rejects_junk() {
+        let a = args("--sim-cache off --m 4");
+        assert_eq!(a.get_str("sim-cache", "on"), "off");
+        assert_eq!(a.get_usize("m", 0).unwrap(), 4);
+        let err = cmd_model(&args("--sim-cache maybe")).unwrap_err();
+        assert!(err.contains("sim-cache"), "{err}");
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The top-level simulated accelerator: dispatches operations onto the
 //! engine selected by the configuration's building blocks.
 
+use crate::cache::{CacheEntry, CacheKey, SimCache};
 use crate::config::{AcceleratorConfig, ConfigError, ControllerKind, DnKind};
-use crate::engine::flexible::{run_dense, DenseOperand};
-use crate::engine::sparse::{run_spmm, NaturalOrder, RowSchedule, SparseRun};
+use crate::engine::flexible::{replay_dense, run_dense, DenseOperand};
+use crate::engine::sparse::{replay_spmm, run_spmm, NaturalOrder, RowSchedule, SparseRun};
 use crate::engine::{conv_operand, pool, systolic};
 use crate::mapping::{LayerDims, Tile};
 use crate::stats::SimStats;
 use crate::trace::{Component, Probe};
-use stonne_tensor::{col2im_output, Conv2dGeom, CsrMatrix, Matrix, Tensor4};
+use stonne_tensor::{
+    col2im_output, gemm_reference, maxpool2d_reference, Conv2dGeom, CsrMatrix, Matrix, Tensor4,
+};
 
 /// A simulated DNN inference accelerator instance.
 ///
@@ -36,6 +39,7 @@ use stonne_tensor::{col2im_output, Conv2dGeom, CsrMatrix, Matrix, Tensor4};
 pub struct Stonne {
     config: AcceleratorConfig,
     history: Vec<SimStats>,
+    cache: Option<SimCache>,
 }
 
 impl Stonne {
@@ -49,7 +53,23 @@ impl Stonne {
         Ok(Self {
             config,
             history: Vec::new(),
+            cache: None,
         })
+    }
+
+    /// Attaches a [`SimCache`]: engine invocations whose canonical key is
+    /// already memoized are replayed (bitwise-identical stats and output)
+    /// instead of re-simulated. The cache is shared — clone one handle
+    /// across instances to share results between them.
+    #[must_use]
+    pub fn with_cache(mut self, cache: SimCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached simulation cache, if any.
+    pub fn sim_cache(&self) -> Option<&SimCache> {
+        self.cache.as_ref()
     }
 
     /// The active configuration.
@@ -90,8 +110,15 @@ impl Stonne {
     /// fetches that fit under the compute time; the remainder stalls.
     fn apply_dram(&self, stats: &mut SimStats, operand_elems: u64, output_elems: u64) {
         let per_cycle = self.config.dram.elements_per_cycle();
-        let fetch_cycles =
-            (operand_elems as f64 / per_cycle).ceil() as u64 + self.config.dram.latency_cycles;
+        // Degenerate DRAM configs report 0 elements/cycle; dividing by that
+        // would saturate the cast to u64::MAX. Treat the transfer as free
+        // (only latency remains), matching `DramModel::transfer_cycles`.
+        let transfer = if operand_elems == 0 || per_cycle <= 0.0 {
+            0
+        } else {
+            (operand_elems as f64 / per_cycle).ceil() as u64
+        };
+        let fetch_cycles = transfer + self.config.dram.latency_cycles;
         let compute = stats.cycles;
         let stall = fetch_cycles.saturating_sub(compute);
         let dram = Probe::new(Component::Dram);
@@ -104,6 +131,120 @@ impl Stonne {
         stats.breakdown.dram_stall_cycles += stall;
         stats.counters.dram_reads += operand_elems;
         stats.counters.dram_writes += output_elems;
+    }
+
+    /// Runs the systolic engine through the memoization cache: on a hit
+    /// the stats are reused and the output recomputed in the engine's
+    /// accumulation order (which equals the reference GEMM's — K is never
+    /// tiled and each output accumulates k-ascending from zero).
+    fn cached_systolic(&mut self, name: &str, a: &Matrix, b: &Matrix) -> (Matrix, SimStats) {
+        let Some(cache) = self.cache.clone() else {
+            let (out, mut stats) = systolic::run_gemm(&self.config, name, a, b);
+            stats.engine_invocations = 1;
+            return (out, stats);
+        };
+        let key = CacheKey::systolic(&self.config, a.rows(), b.cols(), a.cols());
+        if let Some(entry) = cache.get(&key) {
+            let stats = entry.stats_for(name);
+            Probe::new(Component::Controller).span("cache-hit", 0, stats.cycles);
+            return (gemm_reference(a, b), stats);
+        }
+        let (out, mut stats) = systolic::run_gemm(&self.config, name, a, b);
+        stats.engine_invocations = 1;
+        stats.sim_cache_misses = 1;
+        stats.sim_cache_inserts = 1;
+        cache.insert(key, CacheEntry::new(name, &stats, &[], false));
+        (out, stats)
+    }
+
+    /// Runs the flexible dense engine through the memoization cache.
+    fn cached_dense(
+        &mut self,
+        name: &str,
+        layer: &LayerDims,
+        tile: &Tile,
+        operand: &DenseOperand,
+    ) -> (Matrix, SimStats) {
+        let Some(cache) = self.cache.clone() else {
+            let (out, mut stats) = run_dense(&self.config, name, layer, tile, operand);
+            stats.engine_invocations = 1;
+            return (out, stats);
+        };
+        let key = CacheKey::dense(&self.config, layer, tile, operand);
+        if let Some(entry) = cache.get(&key) {
+            let stats = entry.stats_for(name);
+            Probe::new(Component::Controller).span("cache-hit", 0, stats.cycles);
+            return (replay_dense(&self.config, tile, operand), stats);
+        }
+        let (out, mut stats) = run_dense(&self.config, name, layer, tile, operand);
+        stats.engine_invocations = 1;
+        stats.sim_cache_misses = 1;
+        stats.sim_cache_inserts = 1;
+        cache.insert(key, CacheEntry::new(name, &stats, &[], false));
+        (out, stats)
+    }
+
+    /// Runs the sparse engine through the memoization cache.
+    fn cached_spmm(
+        &mut self,
+        name: &str,
+        a: &CsrMatrix,
+        b: &Matrix,
+        schedule: &dyn RowSchedule,
+    ) -> SparseRun {
+        let Some(cache) = self.cache.clone() else {
+            let mut run = run_spmm(&self.config, name, a, b, schedule);
+            run.stats.engine_invocations = 1;
+            return run;
+        };
+        let key = CacheKey::spmm(&self.config, a, b, schedule);
+        if let Some(entry) = cache.get(&key) {
+            let stats = entry.stats_for(name);
+            Probe::new(Component::Controller).span("cache-hit", 0, stats.cycles);
+            return SparseRun {
+                output: replay_spmm(&self.config, a, b, schedule, entry.input_stationary()),
+                stats,
+                iterations: entry.iterations().to_vec(),
+                input_stationary: entry.input_stationary(),
+            };
+        }
+        let mut run = run_spmm(&self.config, name, a, b, schedule);
+        run.stats.engine_invocations = 1;
+        run.stats.sim_cache_misses = 1;
+        run.stats.sim_cache_inserts = 1;
+        cache.insert(
+            key,
+            CacheEntry::new(name, &run.stats, &run.iterations, run.input_stationary),
+        );
+        run
+    }
+
+    /// Runs the pooling engine through the memoization cache (stats depend
+    /// only on shape; the output is always the reference max-pool).
+    fn cached_maxpool(
+        &mut self,
+        name: &str,
+        input: &Tensor4,
+        window: usize,
+        stride: usize,
+    ) -> (Tensor4, SimStats) {
+        let Some(cache) = self.cache.clone() else {
+            let (out, mut stats) = pool::run_maxpool(&self.config, name, input, window, stride);
+            stats.engine_invocations = 1;
+            return (out, stats);
+        };
+        let key = CacheKey::pool(&self.config, input, window, stride);
+        if let Some(entry) = cache.get(&key) {
+            let stats = entry.stats_for(name);
+            Probe::new(Component::Controller).span("cache-hit", 0, stats.cycles);
+            return (maxpool2d_reference(input, window, stride), stats);
+        }
+        let (out, mut stats) = pool::run_maxpool(&self.config, name, input, window, stride);
+        stats.engine_invocations = 1;
+        stats.sim_cache_misses = 1;
+        stats.sim_cache_inserts = 1;
+        cache.insert(key, CacheEntry::new(name, &stats, &[], false));
+        (out, stats)
     }
 
     /// Runs a dense GEMM `C = A (M×K) × B (K×N)`.
@@ -128,7 +269,7 @@ impl Stonne {
     ) -> (Matrix, SimStats) {
         if self.config.controller == ControllerKind::Sparse {
             let csr = CsrMatrix::from_dense(a);
-            let run = run_spmm(&self.config, name, &csr, b, schedule);
+            let run = self.cached_spmm(name, &csr, b, schedule);
             let operand_elems = (csr.storage_elements() + b.len()) as u64;
             let out_elems = (a.rows() * b.cols()) as u64;
             let stats = self.record(run.stats, operand_elems, out_elems);
@@ -162,6 +303,9 @@ impl Stonne {
                 let mut probe = Stonne {
                     config: self.config.clone(),
                     history: Vec::new(),
+                    // Exploration probes bypass the cache: candidate tiles
+                    // are evaluated once and must not pollute the store.
+                    cache: None,
                 };
                 let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
                 if best.as_ref().is_none_or(|(_, c)| stats.cycles < *c) {
@@ -188,20 +332,20 @@ impl Stonne {
         let out_elems = (a.rows() * b.cols()) as u64;
         match (self.config.controller, self.config.dn) {
             (ControllerKind::Dense, DnKind::PointToPoint) => {
-                let (out, stats) = systolic::run_gemm(&self.config, name, a, b);
+                let (out, stats) = self.cached_systolic(name, a, b);
                 let stats = self.record(stats, operand_elems, out_elems);
                 (out, stats)
             }
             (ControllerKind::Dense, _) => {
                 let layer = LayerDims::from_gemm(a.rows(), b.cols(), a.cols());
                 let operand = DenseOperand::from_gemm(a.clone(), b.clone());
-                let (out, stats) = run_dense(&self.config, name, &layer, tile, &operand);
+                let (out, stats) = self.cached_dense(name, &layer, tile, &operand);
                 let stats = self.record(stats, operand_elems, out_elems);
                 (out, stats)
             }
             (ControllerKind::Sparse, _) => {
                 let csr = CsrMatrix::from_dense(a);
-                let run = run_spmm(&self.config, name, &csr, b, &NaturalOrder);
+                let run = self.cached_spmm(name, &csr, b, &NaturalOrder);
                 let operand_elems = (csr.storage_elements() + b.len()) as u64;
                 let stats = self.record(run.stats, operand_elems, out_elems);
                 (run.output, stats)
@@ -230,7 +374,7 @@ impl Stonne {
     ) -> SparseRun {
         match self.config.controller {
             ControllerKind::Sparse => {
-                let run = run_spmm(&self.config, name, a, b, schedule);
+                let run = self.cached_spmm(name, a, b, schedule);
                 let operand_elems = (a.storage_elements() + b.len()) as u64;
                 let out_elems = (a.rows() * b.cols()) as u64;
                 let stats = self.record(run.stats.clone(), operand_elems, out_elems);
@@ -389,7 +533,7 @@ impl Stonne {
             }
         }
         let csr = CsrMatrix::from_dense(&bd);
-        let run = run_spmm(&self.config, name, &csr, &inputs, schedule);
+        let run = self.cached_spmm(name, &csr, &inputs, schedule);
         let out_elems = (geom.out_c * n_cols) as u64;
         let in_elems = (csr.storage_elements() + input.len()) as u64;
         let stats = self.record(run.stats, in_elems, out_elems);
@@ -427,8 +571,7 @@ impl Stonne {
                 let operand = conv_operand(input, weights, geom, g);
                 let out_elems = (operand.weights.rows() * operand.inputs.cols()) as u64;
                 let in_elems = (operand.weights.len() + operand.inputs.len()) as u64;
-                let (out, stats) =
-                    systolic::run_gemm(&self.config, name, &operand.weights, &operand.inputs);
+                let (out, stats) = self.cached_systolic(name, &operand.weights, &operand.inputs);
                 let stats = self.record(stats, in_elems, out_elems);
                 (out, stats)
             }
@@ -446,14 +589,14 @@ impl Stonne {
                 });
                 let out_elems = (operand.weights.rows() * operand.inputs.cols()) as u64;
                 let in_elems = (operand.weights.len() + input.len() / geom.groups) as u64;
-                let (out, stats) = run_dense(&self.config, name, &group_layer, &tile, &operand);
+                let (out, stats) = self.cached_dense(name, &group_layer, &tile, &operand);
                 let stats = self.record(stats, in_elems, out_elems);
                 (out, stats)
             }
             (ControllerKind::Sparse, _) => {
                 let operand = conv_operand(input, weights, geom, g);
                 let csr = CsrMatrix::from_dense(&operand.weights);
-                let run = run_spmm(&self.config, name, &csr, &operand.inputs, schedule);
+                let run = self.cached_spmm(name, &csr, &operand.inputs, schedule);
                 let out_elems = (csr.rows() * operand.inputs.cols()) as u64;
                 let in_elems = (csr.storage_elements() + input.len() / geom.groups) as u64;
                 let stats = self.record(run.stats, in_elems, out_elems);
@@ -509,7 +652,7 @@ impl Stonne {
         window: usize,
         stride: usize,
     ) -> (Tensor4, SimStats) {
-        let (out, stats) = pool::run_maxpool(&self.config, name, input, window, stride);
+        let (out, stats) = self.cached_maxpool(name, input, window, stride);
         let in_elems = input.len() as u64;
         let out_elems = out.len() as u64;
         let stats = self.record(stats, in_elems, out_elems);
@@ -722,5 +865,96 @@ mod tests {
         let (out, stats) = sim.run_maxpool("pool", &input, 2, 2);
         assert_eq!(out.shape(), (1, 2, 3, 3));
         assert!(stats.cycles > 0);
+    }
+
+    /// Zeroes the cache bookkeeping so cached and uncached stats can be
+    /// compared field-by-field.
+    fn strip_cache_counters(mut s: SimStats) -> SimStats {
+        s.sim_cache_hits = 0;
+        s.sim_cache_misses = 0;
+        s.sim_cache_inserts = 0;
+        s.engine_invocations = 0;
+        s
+    }
+
+    #[test]
+    fn cache_hits_are_bitwise_identical_on_all_presets() {
+        let mut rng = SeededRng::new(9);
+        let a = Matrix::random(10, 20, &mut rng);
+        let b = Matrix::random(20, 6, &mut rng);
+        // Same shape and (for the sparse preset) same all-dense pattern,
+        // but different values — the cache must still hit and the replayed
+        // output must match a fresh simulation bit for bit.
+        let a2 = Matrix::random(10, 20, &mut rng);
+        let b2 = Matrix::random(20, 6, &mut rng);
+        for cfg in presets() {
+            let cache = crate::cache::SimCache::new();
+            let mut sim = Stonne::new(cfg.clone()).unwrap().with_cache(cache.clone());
+            let (_, miss) = sim.run_gemm("g1", &a, &b);
+            assert_eq!(miss.sim_cache_misses, 1, "{}", cfg.name);
+            assert_eq!(miss.sim_cache_inserts, 1);
+            assert_eq!(miss.engine_invocations, 1);
+            let (hit_out, hit) = sim.run_gemm("g2", &a2, &b2);
+            assert_eq!(hit.sim_cache_hits, 1, "{}", cfg.name);
+            assert_eq!(hit.engine_invocations, 0);
+            let mut fresh = Stonne::new(cfg.clone()).unwrap();
+            let (ref_out, ref_stats) = fresh.run_gemm("g2", &a2, &b2);
+            assert_eq!(
+                hit_out.as_slice(),
+                ref_out.as_slice(),
+                "{}: cached output must be bitwise identical",
+                cfg.name
+            );
+            assert_eq!(
+                strip_cache_counters(hit),
+                strip_cache_counters(ref_stats),
+                "{}: cached stats must match a fresh run",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_conv_hits_cache_across_identical_groups() {
+        // A depthwise conv on a flexible dense preset runs one engine call
+        // per group; base-normalized address hashing lets every group after
+        // the first hit the cache.
+        let geom = Conv2dGeom::new(4, 4, 3, 3, 1, 1, 4);
+        let mut rng = SeededRng::new(10);
+        let input = Tensor4::random(1, 4, 5, 5, &mut rng);
+        let weights = Tensor4::random(4, 1, 3, 3, &mut rng);
+        let reference = conv2d_reference(&input, &weights, &geom);
+        let cfg = AcceleratorConfig::maeri_like(64, 16);
+        let cache = crate::cache::SimCache::new();
+        let mut sim = Stonne::new(cfg).unwrap().with_cache(cache.clone());
+        let (out, stats) = sim.run_conv("dw", &input, &weights, &geom, None);
+        assert_slices_close(out.as_slice(), reference.as_slice());
+        assert_eq!(stats.engine_invocations, 1);
+        assert_eq!(stats.sim_cache_hits, 3, "3 of 4 groups replay");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_respects_differing_configs_and_shapes() {
+        let mut rng = SeededRng::new(11);
+        let a = Matrix::random(8, 16, &mut rng);
+        let b = Matrix::random(16, 4, &mut rng);
+        let cache = crate::cache::SimCache::new();
+        let mut small = Stonne::new(AcceleratorConfig::maeri_like(64, 16))
+            .unwrap()
+            .with_cache(cache.clone());
+        let (_, s1) = small.run_gemm("g", &a, &b);
+        assert_eq!(s1.sim_cache_misses, 1);
+        // Same shape on a different array size must miss.
+        let mut big = Stonne::new(AcceleratorConfig::maeri_like(128, 32))
+            .unwrap()
+            .with_cache(cache.clone());
+        let (_, s2) = big.run_gemm("g", &a, &b);
+        assert_eq!(s2.sim_cache_misses, 1);
+        // A different shape on the original config must miss too.
+        let c = Matrix::random(16, 5, &mut rng);
+        let (_, s3) = small.run_gemm("g", &a, &c);
+        assert_eq!(s3.sim_cache_misses, 1);
+        assert_eq!(cache.len(), 3);
     }
 }

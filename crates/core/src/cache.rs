@@ -1,0 +1,355 @@
+//! Layer-simulation memoization cache.
+//!
+//! Full-model simulation meets the same layer shape over and over —
+//! BERT-base repeats 12 identical encoder layers, ResNet-50 repeats its
+//! bottleneck stages. The cycle-level outcome of an engine invocation is
+//! fully determined by a *canonical key*: the accelerator configuration,
+//! the operation kind and geometry, the tile/mapping, and (for sparse
+//! runs) the stationary operand's sparsity pattern plus the schedule
+//! identity. [`SimCache`] memoizes [`SimStats`] under that key so a
+//! repeated layer costs one simulation; on a hit the *functional* output
+//! is recomputed by a cheap replay that mirrors the engine's exact f32
+//! accumulation order, making cached and uncached runs bitwise identical
+//! in both cycle counts and outputs.
+//!
+//! What the key deliberately excludes:
+//!
+//! * **Operand values** (dense paths) — timing of the systolic and
+//!   flexible engines is value-independent; two encoder layers with
+//!   different weights share one entry.
+//! * **DRAM parameters** — entries store *pre-DRAM* stats; the
+//!   accelerator re-applies DRAM stalls deterministically on every call.
+//!
+//! What it includes that is easy to miss:
+//!
+//! * the **Global-Buffer address map** of dense operands (normalized to
+//!   its base address), because convolution window overlap changes
+//!   multicast delivery cycles;
+//! * the **CSR pattern** (per-row column indices) of sparse stationary
+//!   operands, because packing and delivery depend on it;
+//! * the **streaming operand's zero mask** when
+//!   `exploit_activation_sparsity` is on, because delivery then depends
+//!   on activation values being zero;
+//! * the **schedule token** ([`crate::RowSchedule::cache_token`]), so a
+//!   seeded random order and a natural order never share entries.
+//!
+//! Pattern-shaped key components are folded into 64-bit hashes; with the
+//! handful of distinct shapes a model zoo produces, collisions are
+//! negligible. Entries are never invalidated — every varying input is
+//! part of the key — so sharing one cache across sweep points of a bench
+//! harness is safe (the config string disambiguates architectures).
+
+use crate::config::AcceleratorConfig;
+use crate::engine::flexible::{DenseOperand, PAD_ADDR};
+use crate::engine::sparse::{IterationInfo, RowSchedule};
+use crate::mapping::{LayerDims, Tile};
+use crate::stats::SimStats;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use stonne_tensor::{CsrMatrix, Matrix, Tensor4};
+
+/// The operation-specific part of a cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum KeyKind {
+    /// Systolic GEMM: timing depends only on the problem extents.
+    Systolic {
+        /// Stationary rows.
+        m: usize,
+        /// Streaming columns.
+        n: usize,
+        /// Inner dimension.
+        k: usize,
+    },
+    /// Flexible dense engine run.
+    Dense {
+        /// Layer descriptor (drives position chunking).
+        layer: LayerDims,
+        /// Committed tile.
+        tile: Tile,
+        /// Stationary rows.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Streaming columns.
+        n: usize,
+        /// Hash of the base-normalized GB address map (multicast pattern).
+        addrs_hash: u64,
+    },
+    /// Sparse engine run.
+    Spmm {
+        /// Stationary rows.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Streaming columns.
+        n: usize,
+        /// Hash of the CSR structure (row extents + column indices).
+        pattern_hash: u64,
+        /// Hash of the streaming operand's zero mask; `None` unless the
+        /// configuration exploits activation sparsity.
+        b_zero_hash: Option<u64>,
+        /// Schedule identity token.
+        schedule: String,
+        /// Whether the schedule allows skip-ahead packing.
+        allow_skip: bool,
+    },
+    /// Max-pool run: timing depends only on shape.
+    Pool {
+        /// Input tensor shape `(n, c, h, w)`.
+        shape: (usize, usize, usize, usize),
+        /// Pooling window.
+        window: usize,
+        /// Pooling stride.
+        stride: usize,
+    },
+}
+
+/// Canonical cache key: accelerator configuration + operation identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// The configuration's `key = value` serialization (covers every
+    /// timing-relevant hardware parameter except DRAM, which is re-applied
+    /// outside the cached stats).
+    cfg: String,
+    kind: KeyKind,
+}
+
+fn hasher() -> DefaultHasher {
+    DefaultHasher::new()
+}
+
+/// Hashes a dense operand's GB address map, normalized to its smallest
+/// non-pad address so identical access *patterns* at different base
+/// offsets (e.g. the per-group operands of a depthwise convolution) share
+/// an entry. Uniqueness/multicast structure is invariant under the shift.
+fn addrs_hash(addrs: &[u32]) -> u64 {
+    let base = addrs
+        .iter()
+        .copied()
+        .filter(|&a| a != PAD_ADDR)
+        .min()
+        .unwrap_or(0);
+    let mut h = hasher();
+    addrs.len().hash(&mut h);
+    for &a in addrs {
+        if a == PAD_ADDR {
+            PAD_ADDR.hash(&mut h);
+        } else {
+            (a - base).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Hashes the structure (not the values) of a CSR operand.
+fn csr_pattern_hash(a: &CsrMatrix) -> u64 {
+    let mut h = hasher();
+    a.rows().hash(&mut h);
+    a.cols().hash(&mut h);
+    for r in 0..a.rows() {
+        a.row_nnz(r).hash(&mut h);
+        for (k, _) in a.row_entries(r) {
+            k.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Hashes the zero mask of a streaming operand (activation sparsity).
+fn zero_mask_hash(b: &Matrix) -> u64 {
+    let mut h = hasher();
+    b.rows().hash(&mut h);
+    b.cols().hash(&mut h);
+    for (i, &v) in b.as_slice().iter().enumerate() {
+        if v == 0.0 {
+            i.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+impl CacheKey {
+    pub(crate) fn systolic(config: &AcceleratorConfig, m: usize, n: usize, k: usize) -> Self {
+        Self {
+            cfg: config.to_cfg_string(),
+            kind: KeyKind::Systolic { m, n, k },
+        }
+    }
+
+    pub(crate) fn dense(
+        config: &AcceleratorConfig,
+        layer: &LayerDims,
+        tile: &Tile,
+        operand: &DenseOperand,
+    ) -> Self {
+        Self {
+            cfg: config.to_cfg_string(),
+            kind: KeyKind::Dense {
+                layer: *layer,
+                tile: *tile,
+                m: operand.weights.rows(),
+                k: operand.weights.cols(),
+                n: operand.inputs.cols(),
+                addrs_hash: addrs_hash(&operand.addrs),
+            },
+        }
+    }
+
+    pub(crate) fn spmm(
+        config: &AcceleratorConfig,
+        a: &CsrMatrix,
+        b: &Matrix,
+        schedule: &dyn RowSchedule,
+    ) -> Self {
+        let b_zero_hash = config
+            .exploit_activation_sparsity
+            .then(|| zero_mask_hash(b));
+        Self {
+            cfg: config.to_cfg_string(),
+            kind: KeyKind::Spmm {
+                m: a.rows(),
+                k: a.cols(),
+                n: b.cols(),
+                pattern_hash: csr_pattern_hash(a),
+                b_zero_hash,
+                schedule: schedule.cache_token(),
+                allow_skip: schedule.allow_skip(),
+            },
+        }
+    }
+
+    pub(crate) fn pool(
+        config: &AcceleratorConfig,
+        input: &Tensor4,
+        window: usize,
+        stride: usize,
+    ) -> Self {
+        Self {
+            cfg: config.to_cfg_string(),
+            kind: KeyKind::Pool {
+                shape: input.shape(),
+                window,
+                stride,
+            },
+        }
+    }
+}
+
+/// One memoized engine outcome.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    /// Pre-DRAM stats with `operation` cleared and cache counters zeroed.
+    stats: SimStats,
+    /// Suffix the engine appended to the operation name (e.g. `" [IS]"`),
+    /// re-attached to the hitting call's own name.
+    suffix: String,
+    /// Packing info of sparse runs (empty otherwise).
+    iterations: Vec<IterationInfo>,
+    /// Whether the sparse mapper chose the GEMV input-stationary mode.
+    input_stationary: bool,
+}
+
+impl CacheEntry {
+    pub(crate) fn new(
+        name: &str,
+        stats: &SimStats,
+        iterations: &[IterationInfo],
+        input_stationary: bool,
+    ) -> Self {
+        let suffix = stats
+            .operation
+            .strip_prefix(name)
+            .unwrap_or_default()
+            .to_owned();
+        let mut stats = stats.clone();
+        stats.operation.clear();
+        stats.sim_cache_hits = 0;
+        stats.sim_cache_misses = 0;
+        stats.sim_cache_inserts = 0;
+        stats.engine_invocations = 0;
+        Self {
+            stats,
+            suffix,
+            iterations: iterations.to_vec(),
+            input_stationary,
+        }
+    }
+
+    /// The memoized stats re-badged for a hitting call.
+    pub(crate) fn stats_for(&self, name: &str) -> SimStats {
+        let mut s = self.stats.clone();
+        s.operation = format!("{name}{}", self.suffix);
+        s.sim_cache_hits = 1;
+        s
+    }
+
+    pub(crate) fn iterations(&self) -> &[IterationInfo] {
+        &self.iterations
+    }
+
+    pub(crate) fn input_stationary(&self) -> bool {
+        self.input_stationary
+    }
+}
+
+/// A shareable layer-simulation memoization cache.
+///
+/// Cloning is cheap and shares the underlying store, so one cache can be
+/// threaded through a full-model run, across the worker threads of a
+/// parallel runner, or across every sweep point of a bench harness.
+///
+/// ```
+/// use stonne_core::{AcceleratorConfig, SimCache, Stonne};
+/// use stonne_tensor::{Matrix, SeededRng};
+///
+/// # fn main() -> Result<(), stonne_core::ConfigError> {
+/// let cache = SimCache::new();
+/// let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 16))?.with_cache(cache.clone());
+/// let mut rng = SeededRng::new(0);
+/// let a = Matrix::random(8, 16, &mut rng);
+/// let b = Matrix::random(16, 4, &mut rng);
+/// let (_, first) = sim.run_gemm("g1", &a, &b);
+/// let (_, again) = sim.run_gemm("g2", &a, &b); // same shape: replayed
+/// assert_eq!(first.cycles, again.cycles);
+/// assert_eq!(again.sim_cache_hits, 1);
+/// assert_eq!(cache.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimCache {
+    inner: Arc<Mutex<HashMap<CacheKey, CacheEntry>>>,
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, CacheEntry>> {
+        // A worker that panicked mid-insert cannot leave a partial entry
+        // (HashMap::insert is all-or-nothing), so poisoning is recoverable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
+        self.lock().get(key).cloned()
+    }
+
+    pub(crate) fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        self.lock().insert(key, entry);
+    }
+}

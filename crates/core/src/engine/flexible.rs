@@ -133,6 +133,61 @@ fn run_input_stationary(
     (out_t.transposed(), stats)
 }
 
+/// Recomputes the functional output of [`run_dense`] without cycle-level
+/// simulation, mirroring the engine's exact f32 accumulation order (per
+/// output: partial sums per fold, folds added in ascending order) so a
+/// simulation-cache replay is bitwise identical to the engine's output.
+pub(crate) fn replay_dense(
+    config: &AcceleratorConfig,
+    tile: &Tile,
+    operand: &DenseOperand,
+) -> Matrix {
+    match config.dataflow {
+        // WS and OS accumulate identically: one fold-slice partial sum at
+        // a time, fold-ascending, rows ascending within a fold.
+        Dataflow::WeightStationary | Dataflow::OutputStationary => {
+            replay_folded(operand, tile.cluster_size())
+        }
+        // IS runs the weight-stationary engine on the transposed problem
+        // with a re-derived tile; mirror that exactly.
+        Dataflow::InputStationary => {
+            let m = operand.weights.rows();
+            let k_len = operand.inputs.rows();
+            let n = operand.inputs.cols();
+            let swapped =
+                DenseOperand::from_gemm(operand.inputs.transposed(), operand.weights.transposed());
+            let t_layer = LayerDims::from_gemm(n, m, k_len);
+            let t_tile = Tile::auto_bw(&t_layer, config.ms_size, config.dn_bandwidth);
+            replay_folded(&swapped, t_tile.cluster_size()).transposed()
+        }
+    }
+}
+
+fn replay_folded(operand: &DenseOperand, cluster: usize) -> Matrix {
+    let m = operand.weights.rows();
+    let k_len = operand.weights.cols();
+    let n = operand.inputs.cols();
+    let cluster = cluster.max(1);
+    let folds = k_len.div_ceil(cluster);
+    let mut out = Matrix::zeros(m, n);
+    for kf in 0..m {
+        for p in 0..n {
+            let mut v: Elem = 0.0;
+            for fold in 0..folds {
+                let row_lo = fold * cluster;
+                let row_hi = (row_lo + cluster).min(k_len);
+                let mut acc: Elem = 0.0;
+                for row in row_lo..row_hi {
+                    acc += operand.weights.get(kf, row) * operand.inputs.get(row, p);
+                }
+                v += acc;
+            }
+            out.set(kf, p, v);
+        }
+    }
+    out
+}
+
 /// Counts unique non-pad addresses in the given (rows × cols) window.
 fn unique_inputs(
     operand: &DenseOperand,
@@ -518,6 +573,26 @@ mod tests {
         let (_, is) = run_dense(&is_cfg, "g", &layer, &tile, &op);
         assert_eq!(ws.counters.multiplications, is.counters.multiplications);
         assert_ne!(ws.counters.gb_reads, is.counters.gb_reads);
+    }
+
+    #[test]
+    fn replay_matches_engine_output_bitwise() {
+        for (seed, dataflow) in [
+            (31, Dataflow::WeightStationary),
+            (32, Dataflow::OutputStationary),
+            (33, Dataflow::InputStationary),
+        ] {
+            let (_, _, op) = gemm_setup(7, 11, 37, seed);
+            let layer = LayerDims::from_gemm(7, 11, 37);
+            let tile = Tile::auto(&layer, 64);
+            let mut cfg = AcceleratorConfig::maeri_like(64, 16);
+            cfg.dataflow = dataflow;
+            let (out, _) = run_dense(&cfg, "g", &layer, &tile, &op);
+            let replay = replay_dense(&cfg, &tile, &op);
+            // Bitwise, not approximate: the replay mirrors the engine's
+            // exact accumulation order.
+            assert_eq!(out.as_slice(), replay.as_slice(), "{dataflow:?}");
+        }
     }
 
     #[test]

@@ -49,6 +49,16 @@ pub trait RowSchedule {
     fn allow_skip(&self) -> bool {
         false
     }
+
+    /// Stable identity token for simulation-cache keys.
+    ///
+    /// Two schedules with the same token must produce the same `order`
+    /// for the same `row_nnz` input. The default (the policy name) is
+    /// right for parameterless policies; parameterized schedules (seeded
+    /// shuffles, array-size-aware packers) must fold their parameters in.
+    fn cache_token(&self) -> String {
+        self.name().to_owned()
+    }
 }
 
 /// Issue rows in their natural (model) order — the NS baseline.
@@ -436,6 +446,56 @@ fn run_input_stationary(
     }
 }
 
+/// Recomputes the functional output of [`run_spmm`] without cycle-level
+/// simulation, mirroring the engine's exact f32 accumulation order
+/// (segment partial sums applied in packing order) so a simulation-cache
+/// replay is bitwise identical to the engine's output.
+///
+/// `input_stationary` must be the mode the original run chose (it is
+/// recorded in the cache entry); the two modes visit elements in
+/// different orders.
+pub(crate) fn replay_spmm(
+    config: &AcceleratorConfig,
+    a: &CsrMatrix,
+    b: &Matrix,
+    schedule: &dyn RowSchedule,
+    input_stationary: bool,
+) -> Matrix {
+    let (m, n) = (a.rows(), b.cols());
+    let row_nnz: Vec<usize> = (0..m).map(|r| a.row_nnz(r)).collect();
+    if input_stationary {
+        let mut out = Matrix::zeros(m, 1);
+        for (row, &nnz) in row_nnz.iter().enumerate() {
+            if nnz == 0 {
+                continue;
+            }
+            let mut acc: Elem = 0.0;
+            for (kk, w) in a.row_entries(row) {
+                acc += w * b.get(kk, 0);
+            }
+            out.set(row, 0, acc);
+        }
+        return out;
+    }
+    let order = schedule.order(&row_nnz);
+    let iterations = pack_segments(&order, &row_nnz, config.ms_size, schedule.allow_skip());
+    let rows: Vec<Vec<(usize, Elem)>> = (0..m).map(|r| a.row_entries(r).collect()).collect();
+    let mut out = Matrix::zeros(m, n);
+    for segments in &iterations {
+        for col in 0..n {
+            for seg in segments {
+                let mut acc: Elem = 0.0;
+                for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
+                    acc += w * b.get(k, col);
+                }
+                let cur = out.get(seg.row, col);
+                out.set(seg.row, col, cur + acc);
+            }
+        }
+    }
+    out
+}
+
 /// Runs an SpMM whose stationary operand arrives in the configured sparse
 /// format: bitmap operands are decoded to CSR first (the controller reads
 /// the bitmap words; accounted as metadata traffic).
@@ -638,6 +698,31 @@ mod tests {
             base.stats.counters.multiplications,
             dual.stats.counters.multiplications
         );
+    }
+
+    #[test]
+    fn replay_matches_engine_output_bitwise() {
+        // Weight-stationary with folding (K=100 on 32 MS).
+        let a = sparse_a(12, 100, 0.6, 31);
+        let mut rng = SeededRng::new(32);
+        let b = Matrix::random(100, 5, &mut rng);
+        let cfg = AcceleratorConfig::sigma_like(32, 32);
+        let csr = CsrMatrix::from_dense(&a);
+        let run = run_spmm(&cfg, "ws", &csr, &b, &NaturalOrder);
+        assert!(!run.input_stationary);
+        let replay = replay_spmm(&cfg, &csr, &b, &NaturalOrder, false);
+        assert_eq!(run.output.as_slice(), replay.as_slice());
+
+        // GEMV input-stationary mode.
+        let a = sparse_a(64, 32, 0.4, 33);
+        let mut rng = SeededRng::new(34);
+        let bv = Matrix::random(32, 1, &mut rng);
+        let cfg = AcceleratorConfig::sigma_like(128, 128);
+        let csr = CsrMatrix::from_dense(&a);
+        let run = run_spmm(&cfg, "is", &csr, &bv, &NaturalOrder);
+        assert!(run.input_stationary);
+        let replay = replay_spmm(&cfg, &csr, &bv, &NaturalOrder, true);
+        assert_eq!(run.output.as_slice(), replay.as_slice());
     }
 
     #[test]

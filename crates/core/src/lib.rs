@@ -39,6 +39,7 @@
 //! * [`networks`] — DN/MN/RN cost-and-activity models (Fig. 3b).
 //! * [`engine`] — the systolic, flexible and sparse cycle-level engines.
 //! * [`accelerator`] — the composed simulator instance ([`Stonne`]).
+//! * [`cache`] — the layer-simulation memoization cache ([`SimCache`]).
 //! * [`api`] — the coarse-grained STONNE API instruction set (Table III).
 //! * [`stats`] / [`output`] — activity counters, JSON summary, counter
 //!   file, Chrome-trace timeline export.
@@ -49,6 +50,7 @@
 
 pub mod accelerator;
 pub mod api;
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod fifo;
@@ -60,6 +62,7 @@ pub mod trace;
 
 pub use accelerator::Stonne;
 pub use api::{ApiError, Instruction, OpConfig, OpOutput, OperandData, StonneMachine};
+pub use cache::SimCache;
 pub use config::{
     AcceleratorConfig, ConfigError, ControllerKind, Dataflow, DnKind, MnKind, RnKind, SparseFormat,
 };

@@ -161,6 +161,21 @@ pub struct SimStats {
     /// summaries written before this field existed still parse.
     #[serde(default)]
     pub breakdown: CycleBreakdown,
+    /// Simulation-cache hits: operations whose cycle-level outcome was
+    /// replayed from the layer cache instead of re-simulated.
+    #[serde(default)]
+    pub sim_cache_hits: u64,
+    /// Simulation-cache misses: operations the engine had to simulate
+    /// while caching was enabled.
+    #[serde(default)]
+    pub sim_cache_misses: u64,
+    /// Entries this operation inserted into the simulation cache.
+    #[serde(default)]
+    pub sim_cache_inserts: u64,
+    /// Cycle-level engine invocations actually performed (0 for a cache
+    /// hit, 1 for a simulated operation; sums under [`SimStats::merge`]).
+    #[serde(default)]
+    pub engine_invocations: u64,
 }
 
 impl SimStats {
@@ -184,6 +199,10 @@ impl SimStats {
         self.iterations += other.iterations;
         self.counters += other.counters;
         self.breakdown += other.breakdown;
+        self.sim_cache_hits += other.sim_cache_hits;
+        self.sim_cache_misses += other.sim_cache_misses;
+        self.sim_cache_inserts += other.sim_cache_inserts;
+        self.engine_invocations += other.engine_invocations;
         if self.ms_size == 0 {
             self.ms_size = other.ms_size;
         }
@@ -204,6 +223,10 @@ impl SimStats {
         s.ms_busy_cycles *= count;
         s.iterations *= count;
         s.breakdown.scale(count);
+        s.sim_cache_hits *= count;
+        s.sim_cache_misses *= count;
+        s.sim_cache_inserts *= count;
+        s.engine_invocations *= count;
         let c = &mut s.counters;
         let k = count;
         c.multiplications *= k;
@@ -247,7 +270,7 @@ mod tests {
                 gb_writes: 40,
                 ..Default::default()
             },
-            breakdown: CycleBreakdown::default(),
+            ..Default::default()
         }
     }
 

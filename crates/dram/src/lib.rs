@@ -51,7 +51,18 @@ impl DramConfig {
     }
 
     /// Elements the whole memory system can deliver per accelerator cycle.
+    ///
+    /// Degenerate configurations (zero channels, zero or negative
+    /// bandwidth/clock, zero-byte elements) deliver `0.0` rather than a
+    /// NaN/infinity that would poison downstream `ceil() as u64` casts.
     pub fn elements_per_cycle(&self) -> f64 {
+        if self.channels == 0
+            || self.bandwidth_gbps_per_channel <= 0.0
+            || self.clock_ghz <= 0.0
+            || self.element_bytes == 0
+        {
+            return 0.0;
+        }
         self.channels as f64 * self.bandwidth_gbps_per_channel
             / self.clock_ghz
             / self.element_bytes as f64
@@ -174,6 +185,16 @@ impl DramModel {
     }
 
     fn transfer_cycles(&self, elements: u64) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        // Degenerate configs (zero channels/bandwidth/clock/element size)
+        // would make the division NaN or infinite; `inf as u64` saturates
+        // to u64::MAX and a NaN casts to 0, both of which silently corrupt
+        // the timeline. Treat such transfers as free instead.
+        if self.config.elements_per_cycle() <= 0.0 {
+            return 0;
+        }
         let per_channel = self.config.bandwidth_gbps_per_channel
             / self.config.clock_ghz
             / self.config.element_bytes as f64;
@@ -181,6 +202,11 @@ impl DramModel {
     }
 
     fn issue(&mut self, now: u64, elements: u64, kind: DramRequestKind) -> u64 {
+        // A zero-element request moves no data: it costs no latency and
+        // occupies no channel.
+        if elements == 0 {
+            return now;
+        }
         // Least-loaded channel takes the request.
         let (ch, _) = self
             .channel_free_at
@@ -403,6 +429,46 @@ mod tests {
         assert_eq!(reqs[0].elements, 40);
         assert_eq!(reqs[0].end, reqs[0].start + 10 + 10); // latency + transfer
         assert_eq!(reqs[1].kind, DramRequestKind::Write);
+    }
+
+    #[test]
+    fn zero_element_requests_cost_nothing() {
+        let mut dram = DramModel::new(tiny_config());
+        assert_eq!(dram.read(7, 0), 7, "empty read completes immediately");
+        assert_eq!(dram.write(9, 0), 9, "empty write completes immediately");
+        assert_eq!(dram.stats().busy_cycles, 0);
+        // Channels stay free: a real request after an empty one starts at
+        // `now`, not after a phantom transfer.
+        assert_eq!(dram.read(0, 40), 20);
+    }
+
+    #[test]
+    fn degenerate_configs_do_not_produce_nan_or_saturated_cycles() {
+        for cfg in [
+            DramConfig {
+                channels: 0,
+                ..tiny_config()
+            },
+            DramConfig {
+                bandwidth_gbps_per_channel: 0.0,
+                ..tiny_config()
+            },
+            DramConfig {
+                clock_ghz: 0.0,
+                ..tiny_config()
+            },
+            DramConfig {
+                element_bytes: 0,
+                ..tiny_config()
+            },
+        ] {
+            assert_eq!(cfg.elements_per_cycle(), 0.0);
+            let mut dram = DramModel::new(cfg);
+            // Transfer is treated as free; only the fixed latency remains.
+            let done = dram.read(0, 1024);
+            assert_eq!(done, cfg.latency_cycles);
+            assert!(done < u64::MAX / 2, "no saturated cast");
+        }
     }
 
     #[test]

@@ -140,7 +140,7 @@ impl fmt::Display for ModelId {
 /// for unit tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ModelScale {
-    /// Published input sizes (224×224, seq 128, 12 BERT layers).
+    /// Published input sizes (224×224, seq 128).
     Standard,
     /// Reduced spatial/sequence sizes for tractable experiments.
     Reduced,
@@ -168,12 +168,14 @@ impl ModelScale {
     }
 
     /// Number of BERT encoder layers.
+    ///
+    /// Scale-invariant: scaling must only shrink spatial extents
+    /// (`image_hw`) and sequence length (`seq_len`), never the layer
+    /// *structure* — otherwise per-scale layer counts diverge and the
+    /// repeated-encoder shape sharing that layer-level studies (and the
+    /// simulation cache) rely on disappears.
     pub fn bert_layers(&self) -> usize {
-        match self {
-            ModelScale::Standard => 12,
-            ModelScale::Reduced => 4,
-            ModelScale::Tiny => 1,
-        }
+        12
     }
 }
 

@@ -50,8 +50,10 @@ fn encoder_layer(m: &mut ModelSpec, name: &str, from: NodeId) -> NodeId {
     m.add(format!("{name}_ln2"), OpSpec::LayerNorm, &[add2], None)
 }
 
-/// Builds the BERT-base encoder stack (scale selects sequence length and
-/// layer count) with a 2-logit span classifier head.
+/// Builds the BERT-base encoder stack with a 2-logit span classifier
+/// head. Scale selects only the sequence length; the encoder depth is
+/// always the published 12 layers, so the graph structure (and the set of
+/// distinct GEMM shapes) is identical at every scale.
 pub fn bert(scale: ModelScale) -> ModelSpec {
     let seq = scale.seq_len();
     let mut m = ModelSpec::new(ModelId::Bert, TensorShape::Tokens { seq, dim: HIDDEN });

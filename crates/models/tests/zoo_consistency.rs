@@ -97,6 +97,30 @@ fn distinct_layer_counts_are_consistent_across_scales() {
 }
 
 #[test]
+fn per_class_offloaded_counts_are_consistent_across_scales() {
+    // Stronger than the summed check above: for every model, the number
+    // of offloaded nodes *per layer class* must be identical at every
+    // scale — scaling may shrink spatial extents and sequence lengths,
+    // never restructure the graph (e.g. drop BERT encoder layers).
+    for id in ModelId::ALL {
+        let class_counts = |scale: ModelScale| {
+            let model = zoo::build(id, scale);
+            let mut counts: std::collections::HashMap<Option<LayerClass>, usize> =
+                Default::default();
+            for node_id in model.offloaded_nodes() {
+                *counts.entry(model.nodes()[node_id].class).or_default() += 1;
+            }
+            counts
+        };
+        let tiny = class_counts(ModelScale::Tiny);
+        let reduced = class_counts(ModelScale::Reduced);
+        let standard = class_counts(ModelScale::Standard);
+        assert_eq!(tiny, reduced, "{id}: Tiny vs Reduced");
+        assert_eq!(reduced, standard, "{id}: Reduced vs Standard");
+    }
+}
+
+#[test]
 fn graphs_serialize_to_json_and_back() {
     let model = zoo::squeezenet(ModelScale::Tiny);
     let json = serde_json::to_string(&model).unwrap();

@@ -25,56 +25,89 @@ pub fn execute_graph<B: Backend>(
         .infer_shapes()
         .unwrap_or_else(|e| panic!("invalid graph: {e}"));
     let mut values: Vec<Value> = Vec::with_capacity(model.nodes().len());
-    for (id, node) in model.nodes().iter().enumerate() {
-        let get = |i: usize| &values[node.inputs[i]];
-        let out = match node.op {
-            OpSpec::Input => input.clone(),
-            OpSpec::Conv2d { geom } => {
-                let w = params
-                    .get(id)
-                    .unwrap_or_else(|| panic!("node {id} ({}) missing weights", node.name));
-                Value::Feature(backend.conv2d(&node.name, get(0).as_feature(), w.as_conv(), &geom))
-            }
-            OpSpec::Linear { .. } => {
-                let w = params
-                    .get(id)
-                    .unwrap_or_else(|| panic!("node {id} ({}) missing weights", node.name));
-                Value::Tokens(backend.linear(&node.name, get(0).as_tokens(), w.as_linear()))
-            }
-            OpSpec::MaxPool { window, stride } => {
-                Value::Feature(backend.maxpool(&node.name, get(0).as_feature(), window, stride))
-            }
-            OpSpec::GlobalAvgPool => Value::Feature(global_avg_pool(get(0).as_feature())),
-            OpSpec::Relu => map_value(get(0), |v| v.max(0.0)),
-            OpSpec::Gelu => map_value(get(0), gelu),
-            OpSpec::Add => add_values(get(0), get(1)),
-            OpSpec::Concat => {
-                let parts: Vec<&Tensor4> = node
-                    .inputs
-                    .iter()
-                    .map(|&i| values[i].as_feature())
-                    .collect();
-                Value::Feature(concat_channels(&parts))
-            }
-            OpSpec::Flatten => {
-                let t = get(0).as_feature();
-                Value::Tokens(Matrix::from_vec(1, t.len(), t.as_slice().to_vec()))
-            }
-            OpSpec::Attention { heads } => Value::Tokens(attention(
-                backend,
-                &node.name,
-                get(0).as_tokens(),
-                get(1).as_tokens(),
-                get(2).as_tokens(),
-                heads,
-            )),
-            OpSpec::Softmax => Value::Tokens(softmax_rows(get(0).as_tokens(), false)),
-            OpSpec::LogSoftmax => Value::Tokens(softmax_rows(get(0).as_tokens(), true)),
-            OpSpec::LayerNorm => Value::Tokens(layer_norm(get(0).as_tokens())),
-        };
+    for id in 0..model.nodes().len() {
+        let ins: Vec<&Value> = model.nodes()[id]
+            .inputs
+            .iter()
+            .map(|&i| &values[i])
+            .collect();
+        let out = execute_node(model, id, params, input, &ins, backend);
         values.push(out);
     }
     values
+}
+
+/// Executes a single node given the values of its inputs (`inputs[i]` is
+/// the value of `node.inputs[i]`). Extracted from [`execute_graph`] so the
+/// parallel runner can dispatch ready nodes independently.
+///
+/// # Panics
+///
+/// Panics when a parameterized node is missing weights or a value kind
+/// mismatches its op.
+pub(crate) fn execute_node<B: Backend>(
+    model: &ModelSpec,
+    id: usize,
+    params: &ModelParams,
+    input: &Value,
+    inputs: &[&Value],
+    backend: &mut B,
+) -> Value {
+    let node = &model.nodes()[id];
+    let get = |i: usize| inputs[i];
+    match node.op {
+        OpSpec::Input => input.clone(),
+        OpSpec::Conv2d { geom } => {
+            let w = params
+                .get(id)
+                .unwrap_or_else(|| panic!("node {id} ({}) missing weights", node.name));
+            Value::Feature(backend.conv2d(&node.name, get(0).as_feature(), w.as_conv(), &geom))
+        }
+        OpSpec::Linear { .. } => {
+            let w = params
+                .get(id)
+                .unwrap_or_else(|| panic!("node {id} ({}) missing weights", node.name));
+            Value::Tokens(backend.linear(&node.name, get(0).as_tokens(), w.as_linear()))
+        }
+        OpSpec::MaxPool { window, stride } => {
+            Value::Feature(backend.maxpool(&node.name, get(0).as_feature(), window, stride))
+        }
+        OpSpec::GlobalAvgPool => Value::Feature(global_avg_pool(get(0).as_feature())),
+        OpSpec::Relu => map_value(get(0), |v| v.max(0.0)),
+        OpSpec::Gelu => map_value(get(0), gelu),
+        OpSpec::Add => add_values(get(0), get(1)),
+        OpSpec::Concat => {
+            let parts: Vec<&Tensor4> = inputs.iter().map(|v| v.as_feature()).collect();
+            Value::Feature(concat_channels(&parts))
+        }
+        OpSpec::Flatten => {
+            let t = get(0).as_feature();
+            Value::Tokens(Matrix::from_vec(1, t.len(), t.as_slice().to_vec()))
+        }
+        OpSpec::Attention { heads } => Value::Tokens(attention(
+            backend,
+            &node.name,
+            get(0).as_tokens(),
+            get(1).as_tokens(),
+            get(2).as_tokens(),
+            heads,
+        )),
+        OpSpec::Softmax => Value::Tokens(softmax_rows(get(0).as_tokens(), false)),
+        OpSpec::LogSoftmax => Value::Tokens(softmax_rows(get(0).as_tokens(), true)),
+        OpSpec::LayerNorm => Value::Tokens(layer_norm(get(0).as_tokens())),
+    }
+}
+
+/// Whether an op offloads work to the backend (and therefore benefits
+/// from running on its own simulator instance in the parallel runner).
+pub(crate) fn is_offloaded_op(op: &OpSpec) -> bool {
+    matches!(
+        op,
+        OpSpec::Conv2d { .. }
+            | OpSpec::Linear { .. }
+            | OpSpec::MaxPool { .. }
+            | OpSpec::Attention { .. }
+    )
 }
 
 fn map_value(v: &Value, f: impl Fn(Elem) -> Elem) -> Value {

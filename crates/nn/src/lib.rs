@@ -17,6 +17,10 @@
 //!   multi-head attention whose inner matmuls go through the backend.
 //! * [`runner`] — full-model inference: per-layer statistics, aggregate
 //!   cycles/energy, and functional validation against the reference.
+//!   [`RunOptions`] controls layer-simulation memoization (on by default;
+//!   see [`stonne_core::SimCache`]) and independent-layer parallelism.
+//! * [`parallel`] — the bounded worker pool behind the parallel runner
+//!   and the bench-harness figure sweeps.
 //!
 //! # Example
 //!
@@ -41,12 +45,17 @@
 
 pub mod backend;
 pub mod executor;
+pub mod parallel;
 pub mod params;
 pub mod runner;
 pub mod value;
 
 pub use backend::{Backend, ReferenceBackend, SimBackend};
 pub use executor::execute_graph;
+pub use parallel::{run_parallel, ParallelError};
 pub use params::{generate_input, ModelParams, NodeWeights};
-pub use runner::{run_model_reference, run_model_simulated, LayerReport, ModelRun, ReferenceRun};
+pub use runner::{
+    run_model_reference, run_model_simulated, run_model_simulated_with, LayerReport, ModelRun,
+    ReferenceRun, RunOptions,
+};
 pub use value::Value;

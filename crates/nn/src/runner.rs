@@ -3,11 +3,14 @@
 //! validation.
 
 use crate::backend::{ReferenceBackend, SimBackend};
-use crate::executor::execute_graph;
+use crate::executor::{execute_graph, execute_node, is_offloaded_op};
+use crate::parallel::run_parallel;
 use crate::params::ModelParams;
 use crate::value::Value;
 use std::sync::Arc;
-use stonne_core::{AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimStats, Stonne};
+use stonne_core::{
+    AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimCache, SimStats, Stonne,
+};
 use stonne_energy::{EnergyBreakdown, EnergyModel};
 
 /// Statistics of one offloaded layer inside a model run.
@@ -73,6 +76,61 @@ impl ModelRun {
     }
 }
 
+/// Knobs of a simulated full-model run: layer-simulation memoization and
+/// independent-layer parallelism.
+///
+/// The default enables a fresh [`SimCache`] (repeated layer shapes — e.g.
+/// BERT's 12 identical encoders — simulate once and replay bitwise
+/// identically) and runs layers sequentially. Cached and uncached runs
+/// produce identical cycle counts and outputs; disabling the cache only
+/// trades time for memory.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    cache: Option<SimCache>,
+    parallel: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            cache: Some(SimCache::new()),
+            parallel: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The default options: a fresh per-run cache, sequential execution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disables the simulation cache (every layer re-simulates).
+    #[must_use]
+    pub fn uncached(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Uses an explicit (possibly shared) cache — e.g. one cache across
+    /// every sweep point of a bench harness.
+    #[must_use]
+    pub fn with_cache(mut self, cache: SimCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Dispatches independent ready layers (BERT's q/k/v projections,
+    /// SqueezeNet's fire branches) across a worker pool. Per-layer and
+    /// aggregate statistics are identical to a sequential run; layer
+    /// reports stay in graph (node-index) order.
+    #[must_use]
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+}
+
 /// Runs a model natively on the CPU (the paper's correctness baseline).
 pub fn run_model_reference(
     model: &stonne_models::ModelSpec,
@@ -97,7 +155,14 @@ pub fn run_model_simulated(
     input: &Value,
     config: AcceleratorConfig,
 ) -> Result<ModelRun, ConfigError> {
-    run_model_simulated_scheduled(model, params, input, config, Arc::new(NaturalOrder))
+    run_model_simulated_with(
+        model,
+        params,
+        input,
+        config,
+        Arc::new(NaturalOrder),
+        RunOptions::default(),
+    )
 }
 
 /// Runs a model on a simulated accelerator with an explicit filter
@@ -113,8 +178,31 @@ pub fn run_model_simulated_scheduled(
     config: AcceleratorConfig,
     schedule: Arc<dyn RowSchedule + Send + Sync>,
 ) -> Result<ModelRun, ConfigError> {
+    run_model_simulated_with(model, params, input, config, schedule, RunOptions::default())
+}
+
+/// Runs a model on a simulated accelerator with explicit [`RunOptions`]
+/// (cache sharing/disabling, independent-layer parallelism).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the accelerator configuration is invalid.
+pub fn run_model_simulated_with(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    schedule: Arc<dyn RowSchedule + Send + Sync>,
+    options: RunOptions,
+) -> Result<ModelRun, ConfigError> {
     let energy_model = EnergyModel::for_config(&config);
-    let sim = Stonne::new(config)?;
+    if options.parallel {
+        return run_parallel_waves(model, params, input, config, schedule, options, energy_model);
+    }
+    let mut sim = Stonne::new(config)?;
+    if let Some(cache) = options.cache {
+        sim = sim.with_cache(cache);
+    }
     let mut backend = SimBackend::new(sim).with_schedule(schedule);
     let outputs = execute_graph(model, params, input, &mut backend);
     let sim = backend.into_sim();
@@ -128,6 +216,118 @@ pub fn run_model_simulated_scheduled(
         })
         .collect();
     let total = sim.aggregate_stats();
+    let energy = energy_model.breakdown(&total);
+    Ok(ModelRun {
+        outputs,
+        layers,
+        total,
+        energy,
+    })
+}
+
+/// The parallel path of [`run_model_simulated_with`]: executes the graph
+/// in dependency waves, dispatching the offloaded ops of each wave (each
+/// on its own simulator instance sharing the run's cache) across the
+/// worker pool of [`crate::parallel::run_parallel`]. Non-offloaded ops
+/// run inline. Per-layer statistics land in graph (node-index) order, so
+/// reports match a sequential run layer for layer.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_waves(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    schedule: Arc<dyn RowSchedule + Send + Sync>,
+    options: RunOptions,
+    energy_model: EnergyModel,
+) -> Result<ModelRun, ConfigError> {
+    // Validate the configuration once up front; worker instances reuse it.
+    drop(Stonne::new(config.clone())?);
+    model
+        .infer_shapes()
+        .unwrap_or_else(|e| panic!("invalid graph: {e}"));
+    let n = model.nodes().len();
+    let mut values: Vec<Option<Value>> = vec![None; n];
+    let mut node_stats: Vec<Vec<SimStats>> = vec![Vec::new(); n];
+    let mut remaining = n;
+    while remaining > 0 {
+        let ready: Vec<usize> = (0..n)
+            .filter(|&id| {
+                values[id].is_none()
+                    && model.nodes()[id]
+                        .inputs
+                        .iter()
+                        .all(|&dep| values[dep].is_some())
+            })
+            .collect();
+        assert!(!ready.is_empty(), "graph is not a DAG");
+        let (offloaded, native): (Vec<usize>, Vec<usize>) = ready
+            .into_iter()
+            .partition(|&id| is_offloaded_op(&model.nodes()[id].op));
+        for id in native {
+            let ins: Vec<&Value> = model.nodes()[id]
+                .inputs
+                .iter()
+                .map(|&dep| values[dep].as_ref().expect("dependency ready"))
+                .collect();
+            // Native ops never touch the backend; the reference backend is
+            // a zero-state placeholder.
+            let out = execute_node(model, id, params, input, &ins, &mut ReferenceBackend);
+            values[id] = Some(out);
+            remaining -= 1;
+        }
+        if offloaded.is_empty() {
+            continue;
+        }
+        let tasks: Vec<_> = offloaded
+            .iter()
+            .map(|&id| {
+                let ins: Vec<&Value> = model.nodes()[id]
+                    .inputs
+                    .iter()
+                    .map(|&dep| values[dep].as_ref().expect("dependency ready"))
+                    .collect();
+                let config = config.clone();
+                let schedule = Arc::clone(&schedule);
+                let cache = options.cache.clone();
+                move || {
+                    let mut sim = Stonne::new(config).expect("config validated above");
+                    if let Some(cache) = cache {
+                        sim = sim.with_cache(cache);
+                    }
+                    let mut backend = SimBackend::new(sim).with_schedule(schedule);
+                    let out = execute_node(model, id, params, input, &ins, &mut backend);
+                    (out, backend.into_sim().history().to_vec())
+                }
+            })
+            .collect();
+        let results = run_parallel(tasks).unwrap_or_else(|e| panic!("{e}"));
+        for (&id, (out, stats)) in offloaded.iter().zip(results) {
+            values[id] = Some(out);
+            node_stats[id] = stats;
+            remaining -= 1;
+        }
+    }
+    let outputs: Vec<Value> = values
+        .into_iter()
+        .map(|v| v.expect("all nodes executed"))
+        .collect();
+    let layers: Vec<LayerReport> = node_stats
+        .into_iter()
+        .flatten()
+        .map(|s| LayerReport {
+            name: s.operation.clone(),
+            stats: s,
+        })
+        .collect();
+    let mut total = SimStats {
+        operation: "aggregate".to_owned(),
+        ms_size: config.ms_size,
+        ..SimStats::default()
+    };
+    for l in &layers {
+        total.merge(&l.stats);
+    }
     let energy = energy_model.breakdown(&total);
     Ok(ModelRun {
         outputs,

@@ -119,6 +119,12 @@ impl RowSchedule for BestFitDecreasing {
         "BFD"
     }
 
+    fn cache_token(&self) -> String {
+        // Packing depends on the target array size, so two BFD instances
+        // tuned for different arrays must not share cache entries.
+        format!("BFD:{}", self.ms_size)
+    }
+
     fn allow_skip(&self) -> bool {
         true
     }
@@ -147,6 +153,12 @@ impl RowSchedule for RandomOrder {
 
     fn name(&self) -> &str {
         "RDM"
+    }
+
+    fn cache_token(&self) -> String {
+        // The permutation is a pure function of the seed; fold it into the
+        // token so differently-seeded orders never share cache entries.
+        format!("RDM:{}", self.seed)
     }
 }
 
