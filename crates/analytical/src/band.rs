@@ -1,0 +1,102 @@
+//! Tolerance bands for comparing cycle-level results against the
+//! analytical models.
+//!
+//! Every Fig. 1 claim in the paper is a statement of the form "the
+//! analytical model is within X % of the cycle-level simulator" (or
+//! "diverges by at least X %"). This module gives those statements one
+//! vocabulary: a signed [`divergence_pct`] (positive when the cycle-level
+//! simulator reports *more* cycles than the model — the model
+//! underestimates) and a [`Band`] that classifies a measured divergence
+//! as inside or outside a stated tolerance.
+
+/// Signed divergence of a cycle-level measurement from an analytical
+/// model, in percent.
+///
+/// Positive means the simulator reports more cycles than the model (the
+/// model underestimates); negative means fewer. A zero-cycle model
+/// prediction yields `f64::INFINITY` for any non-zero measurement.
+///
+/// ```
+/// use stonne_analytical::band::divergence_pct;
+/// assert_eq!(divergence_pct(150, 100), 50.0);
+/// assert_eq!(divergence_pct(50, 100), -50.0);
+/// ```
+pub fn divergence_pct(cycle_level: u64, analytical: u64) -> f64 {
+    if analytical == 0 {
+        return if cycle_level == 0 { 0.0 } else { f64::INFINITY };
+    }
+    (cycle_level as f64 / analytical as f64 - 1.0) * 100.0
+}
+
+/// Whether a cycle-level measurement stays within `±max_pct` percent of
+/// the analytical prediction.
+///
+/// ```
+/// use stonne_analytical::band::within_pct;
+/// assert!(within_pct(104, 100, 5.0));
+/// assert!(!within_pct(120, 100, 5.0));
+/// ```
+pub fn within_pct(cycle_level: u64, analytical: u64, max_pct: f64) -> bool {
+    divergence_pct(cycle_level, analytical).abs() <= max_pct
+}
+
+/// A symmetric or one-sided tolerance band around an analytical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Most negative admissible divergence, in percent.
+    pub min_pct: f64,
+    /// Most positive admissible divergence, in percent.
+    pub max_pct: f64,
+}
+
+impl Band {
+    /// Symmetric band `±pct`.
+    pub fn symmetric(pct: f64) -> Self {
+        Band {
+            min_pct: -pct,
+            max_pct: pct,
+        }
+    }
+
+    /// One-sided band: the model may underestimate by up to `pct` but
+    /// never overestimate (the simulator never reports fewer cycles than
+    /// the model — the model is a lower bound).
+    pub fn lower_bound(pct: f64) -> Self {
+        Band {
+            min_pct: 0.0,
+            max_pct: pct,
+        }
+    }
+
+    /// Whether the `(cycle_level, analytical)` pair falls inside the band.
+    pub fn contains(&self, cycle_level: u64, analytical: u64) -> bool {
+        let d = divergence_pct(cycle_level, analytical);
+        d >= self.min_pct && d <= self.max_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_is_signed() {
+        assert!(divergence_pct(150, 100) > 0.0);
+        assert!(divergence_pct(50, 100) < 0.0);
+        assert_eq!(divergence_pct(100, 100), 0.0);
+    }
+
+    #[test]
+    fn zero_prediction_is_infinite_unless_both_zero() {
+        assert_eq!(divergence_pct(0, 0), 0.0);
+        assert!(divergence_pct(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn bands_classify() {
+        assert!(Band::symmetric(10.0).contains(109, 100));
+        assert!(!Band::symmetric(10.0).contains(111, 100));
+        assert!(Band::lower_bound(20.0).contains(115, 100));
+        assert!(!Band::lower_bound(20.0).contains(99, 100));
+    }
+}

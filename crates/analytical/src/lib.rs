@@ -15,10 +15,12 @@
 //! (Fig. 1c); the integration tests in this workspace reproduce both
 //! effects against the cycle-level engine.
 
+pub mod band;
 pub mod maeri;
 pub mod scalesim;
 pub mod sigma;
 
+pub use band::{divergence_pct, within_pct, Band};
 pub use maeri::maeri_cycles;
 pub use scalesim::scalesim_os_cycles;
 pub use sigma::{sigma_cycles, sigma_cycles_uniform};

@@ -24,9 +24,9 @@ use std::process::ExitCode;
 use stonne::core::{
     chrome_trace_json, counter_file, summary_json, trace, AcceleratorConfig, SimStats, Stonne,
 };
+use stonne::core::{NaturalOrder, SimCache};
 use stonne::energy::{area_um2, EnergyModel};
 use stonne::models::{zoo, ModelId, ModelScale};
-use stonne::core::{NaturalOrder, SimCache};
 use stonne::nn::params::{generate_input, ModelParams};
 use stonne::nn::runner::{run_model_simulated_with, RunOptions};
 use stonne::tensor::{prune_matrix_to_sparsity, Conv2dGeom, Matrix, SeededRng, Tensor4};

@@ -68,6 +68,7 @@ pub use config::{
 };
 pub use engine::flexible::{DenseOperand, PAD_ADDR};
 pub use engine::sparse::{IterationInfo, NaturalOrder, RowSchedule, SparseRun};
+pub use engine::systolic::expected_cycles as systolic_expected_cycles;
 pub use mapping::{candidate_tiles, LayerDims, MappingSignals, Tile};
 pub use output::{chrome_trace_json, counter_file, parse_counter_file, summary_json};
 pub use stats::{ActivityCounters, CycleBreakdown, SimStats};

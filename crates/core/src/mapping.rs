@@ -449,7 +449,8 @@ mod tests {
             let tiles = candidate_tiles(&l, ms);
             assert!(!tiles.is_empty());
             for t in &tiles {
-                t.validate(&l, ms).unwrap_or_else(|e| panic!("ms={ms} {t:?}: {e}"));
+                t.validate(&l, ms)
+                    .unwrap_or_else(|e| panic!("ms={ms} {t:?}: {e}"));
             }
         }
     }

@@ -396,7 +396,11 @@ mod tests {
         let t = finish().expect("active");
         let names: Vec<&str> = t.events().iter().map(|e| e.name.as_ref()).collect();
         assert_eq!(names, vec!["before", "after"]);
-        assert_eq!(t.events()[1].start, 1, "advance inside suspended is a no-op");
+        assert_eq!(
+            t.events()[1].start,
+            1,
+            "advance inside suspended is a no-op"
+        );
     }
 
     #[test]

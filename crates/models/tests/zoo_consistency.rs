@@ -50,9 +50,7 @@ fn dominant_layer_classes_match_table1() {
                     _ => 0,
                 },
                 OpSpec::Attention { .. } => match shapes[i] {
-                    stonne_models::TensorShape::Tokens { seq, dim } => {
-                        2 * (seq * seq * dim) as u64
-                    }
+                    stonne_models::TensorShape::Tokens { seq, dim } => 2 * (seq * seq * dim) as u64,
                     _ => 0,
                 },
                 _ => 0,

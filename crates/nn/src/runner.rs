@@ -178,7 +178,14 @@ pub fn run_model_simulated_scheduled(
     config: AcceleratorConfig,
     schedule: Arc<dyn RowSchedule + Send + Sync>,
 ) -> Result<ModelRun, ConfigError> {
-    run_model_simulated_with(model, params, input, config, schedule, RunOptions::default())
+    run_model_simulated_with(
+        model,
+        params,
+        input,
+        config,
+        schedule,
+        RunOptions::default(),
+    )
 }
 
 /// Runs a model on a simulated accelerator with explicit [`RunOptions`]
@@ -197,7 +204,15 @@ pub fn run_model_simulated_with(
 ) -> Result<ModelRun, ConfigError> {
     let energy_model = EnergyModel::for_config(&config);
     if options.parallel {
-        return run_parallel_waves(model, params, input, config, schedule, options, energy_model);
+        return run_parallel_waves(
+            model,
+            params,
+            input,
+            config,
+            schedule,
+            options,
+            energy_model,
+        );
     }
     let mut sim = Stonne::new(config)?;
     if let Some(cache) = options.cache {

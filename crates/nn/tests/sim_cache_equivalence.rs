@@ -147,10 +147,7 @@ fn shared_cache_carries_across_runs() {
     // identical run must be (almost) all hits.
     let config = AcceleratorConfig::maeri_like(64, 16);
     let cache = SimCache::new();
-    let first = run_bert(
-        config.clone(),
-        RunOptions::new().with_cache(cache.clone()),
-    );
+    let first = run_bert(config.clone(), RunOptions::new().with_cache(cache.clone()));
     let entries_after_first = cache.len();
     let second = run_bert(config, RunOptions::new().with_cache(cache.clone()));
     assert_equivalent(&first, &second, "shared-cache");

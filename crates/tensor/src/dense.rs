@@ -95,6 +95,22 @@ impl Matrix {
         m
     }
 
+    /// Creates a seeded random matrix with the given fraction of exact
+    /// zeros, placed by global magnitude pruning over filter-wise scaled
+    /// values (the same operand recipe the Fig. 1c sparsity sweep uses).
+    ///
+    /// `sparsity` is the target zero fraction in `[0, 1)`; `0.0`
+    /// degenerates to a dense [`Matrix::random_filterwise`] draw. The
+    /// result is fully determined by `(rows, cols, sparsity, rng state)`,
+    /// which makes it suitable for differential fuzzing.
+    pub fn random_sparse(rows: usize, cols: usize, sparsity: f64, rng: &mut SeededRng) -> Self {
+        let mut m = Matrix::random_filterwise(rows, cols, 0.8, rng);
+        if sparsity > 0.0 {
+            crate::prune::prune_matrix_to_sparsity(&mut m, sparsity);
+        }
+        m
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

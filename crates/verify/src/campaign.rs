@@ -1,0 +1,171 @@
+//! Campaign orchestration: generate → check → aggregate → shrink.
+
+use std::time::Instant;
+
+use crate::gen::{generate, sample_seed};
+use crate::oracle::{check_workload, ORACLES};
+use crate::report::{CampaignCheck, FailureRecord, OracleSummary, VerifyReport};
+use crate::shrink::{repro_test, shrink};
+use crate::tolerance::{self, to_cpct};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of samples to generate and check.
+    pub samples: u64,
+    /// Campaign seed (drives every sample deterministically).
+    pub seed: u64,
+    /// Whether to shrink failures (disable for the fastest possible
+    /// red/green answer).
+    pub shrink: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            samples: 200,
+            seed: 7,
+            shrink: true,
+        }
+    }
+}
+
+/// Runs a full fuzz campaign and returns the report.
+///
+/// Progress lines go to stderr so stdout stays clean for scripting.
+pub fn run_campaign(cfg: CampaignConfig) -> VerifyReport {
+    let start = Instant::now();
+    let mut runs = vec![0u64; ORACLES.len()];
+    let mut failures = vec![0u64; ORACLES.len()];
+    let mut worst_cpct = vec![0i64; ORACLES.len()];
+    let mut failure_records = Vec::new();
+    let mut maeri_divs: Vec<f64> = Vec::new();
+    let mut sigma_divs: Vec<f64> = Vec::new();
+
+    for index in 0..cfg.samples {
+        let workload = generate(cfg.seed, index);
+        let seed = sample_seed(cfg.seed, index);
+        let check = check_workload(&workload, seed);
+        if let Some(d) = check.maeri_full_bw {
+            maeri_divs.push(d);
+        }
+        if let Some(d) = check.sigma_dense {
+            sigma_divs.push(d);
+        }
+        for outcome in &check.outcomes {
+            let slot = ORACLES
+                .iter()
+                .position(|o| *o == outcome.oracle)
+                .expect("oracle is in the roster");
+            runs[slot] += 1;
+            if let Some(d) = outcome.divergence_pct {
+                worst_cpct[slot] = worst_cpct[slot].max(to_cpct(d.abs()));
+            }
+            if !outcome.passed {
+                failures[slot] += 1;
+                let (shrunk, detail) = if cfg.shrink {
+                    shrink(&workload, seed, outcome.oracle)
+                } else {
+                    (workload.clone(), outcome.detail.clone())
+                };
+                eprintln!(
+                    "verify: FAIL sample {index} oracle {} on {workload:?} (shrunk: {shrunk:?})",
+                    outcome.oracle
+                );
+                failure_records.push(FailureRecord {
+                    sample_index: index,
+                    oracle: outcome.oracle.to_owned(),
+                    workload: format!("{workload:?}"),
+                    shrunk: format!("{shrunk:?}"),
+                    seed,
+                    detail,
+                    repro_test: repro_test(&shrunk, seed, outcome.oracle),
+                });
+            }
+        }
+        if (index + 1) % 50 == 0 {
+            eprintln!("verify: {}/{} samples checked", index + 1, cfg.samples);
+        }
+    }
+
+    let campaign = vec![
+        average_check(
+            "maeri_full_bw_avg_divergence",
+            &maeri_divs,
+            tolerance::MAERI_FULL_BW_AVG_MAX_PCT,
+        ),
+        average_check(
+            "sigma_dense_avg_divergence",
+            &sigma_divs,
+            tolerance::SIGMA_DENSE_AVG_MAX_PCT,
+        ),
+    ];
+
+    let oracles = ORACLES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| OracleSummary {
+            name: (*name).to_owned(),
+            runs: runs[i],
+            failures: failures[i],
+            worst_divergence_cpct: worst_cpct[i],
+        })
+        .collect();
+
+    let total_failures =
+        failures.iter().sum::<u64>() + campaign.iter().filter(|c| !c.pass).count() as u64;
+
+    VerifyReport {
+        seed: cfg.seed,
+        samples: cfg.samples,
+        oracles,
+        campaign,
+        failures: failure_records,
+        total_failures,
+        wall_time_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+/// Builds a campaign check asserting the average |divergence| of a
+/// sample population stays under `limit_pct`.
+fn average_check(name: &str, divs: &[f64], limit_pct: f64) -> CampaignCheck {
+    let samples = divs.len() as u64;
+    let value_cpct = if divs.is_empty() {
+        0
+    } else {
+        to_cpct(divs.iter().map(|d| d.abs()).sum::<f64>() / divs.len() as f64)
+    };
+    let limit_cpct = to_cpct(limit_pct);
+    CampaignCheck {
+        name: name.to_owned(),
+        samples,
+        value_cpct,
+        limit_cpct,
+        pass: divs.is_empty() || value_cpct <= limit_cpct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_is_deterministic_and_green() {
+        let cfg = CampaignConfig {
+            samples: 12,
+            seed: 3,
+            shrink: true,
+        };
+        let a = run_campaign(cfg);
+        let b = run_campaign(cfg);
+        assert!(a.passed(), "failures: {:?}", a.failures);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+
+    #[test]
+    fn average_check_is_vacuous_on_empty_population() {
+        let c = average_check("x", &[], 1.0);
+        assert!(c.pass);
+        assert_eq!(c.samples, 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Golden regression fixtures for the paper's figures and tables.
+//!
+//! Small-scale (`ModelScale::Tiny`) runs of fig1, fig5, fig7 and table5
+//! are serialized to `tests/golden/*.json` and compared byte-for-byte on
+//! every test run: any cycle or energy drift becomes an explicit fixture
+//! diff in review instead of a silent change. Re-bless intentionally
+//! changed numbers with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p stonne-verify --test golden_fixtures
+//! ```
+//!
+//! The fixture schema is integer-only (cycles as `u64`, energy rounded to
+//! nanojoules, utilization in parts-per-million, average filter counts in
+//! thousandths) so the bytes cannot depend on a serializer's float
+//! formatting.
+
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use stonne::core::CycleBreakdown;
+use stonne::energy::EnergyBreakdown;
+use stonne::models::{ModelId, ModelScale};
+use stonne_bench::fig1::{fig1a, fig1b, fig1c, Fig1Row};
+use stonne_bench::fig5::{run_one, Arch};
+use stonne_bench::fig7::fig7;
+use stonne_bench::table5::table5;
+
+/// The fixed seed every fixture run uses (matches the fig5 sweep seed).
+pub const GOLDEN_SEED: u64 = 21;
+
+/// One comparison point of the fig1 fixture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenFig1Row {
+    /// Sub-figure tag (`fig1a` / `fig1b` / `fig1c`).
+    pub section: String,
+    /// Layer label.
+    pub layer: String,
+    /// Swept parameter value.
+    pub param: String,
+    /// Cycle-level simulator cycles.
+    pub stonne_cycles: u64,
+    /// Analytical model cycles.
+    pub analytical_cycles: u64,
+}
+
+/// Energy breakdown rounded to integer nanojoules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenEnergyNj {
+    /// Global-Buffer energy (nJ).
+    pub gb_nj: u64,
+    /// Distribution-network energy (nJ).
+    pub dn_nj: u64,
+    /// Multiplier-network energy (nJ).
+    pub mn_nj: u64,
+    /// Reduction-network energy (nJ).
+    pub rn_nj: u64,
+    /// DRAM energy (nJ).
+    pub dram_nj: u64,
+    /// Static energy (nJ).
+    pub static_nj: u64,
+}
+
+impl GoldenEnergyNj {
+    fn from_uj(e: &EnergyBreakdown) -> Self {
+        let nj = |uj: f64| (uj * 1000.0).round() as u64;
+        GoldenEnergyNj {
+            gb_nj: nj(e.gb_uj),
+            dn_nj: nj(e.dn_uj),
+            mn_nj: nj(e.mn_uj),
+            rn_nj: nj(e.rn_uj),
+            dram_nj: nj(e.dram_uj),
+            static_nj: nj(e.static_uj),
+        }
+    }
+}
+
+/// One (model, architecture) point of the fig5 fixture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenFig5Row {
+    /// Model name.
+    pub model: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Total inference cycles.
+    pub cycles: u64,
+    /// Per-component energy in nanojoules.
+    pub energy_nj: GoldenEnergyNj,
+    /// Multiplier utilization in parts-per-million.
+    pub utilization_ppm: u64,
+    /// Per-phase cycle split (integer buckets sum to `cycles`).
+    pub breakdown: CycleBreakdown,
+}
+
+/// One model row of the fig7 fixture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenFig7Row {
+    /// Model name.
+    pub model: String,
+    /// Average whole filters mappable, in thousandths.
+    pub avg_filters_milli: u64,
+    /// First-layer filter sizes.
+    pub first_layer_sizes: Vec<usize>,
+}
+
+fn render_json<T: Serialize>(rows: &T) -> String {
+    let mut s = serde_json::to_string_pretty(rows).expect("fixture serializes");
+    s.push('\n');
+    s
+}
+
+fn fig1_fixture() -> String {
+    fn tag(section: &'static str, rows: Vec<Fig1Row>) -> impl Iterator<Item = GoldenFig1Row> {
+        rows.into_iter().map(move |r| GoldenFig1Row {
+            section: section.to_owned(),
+            layer: r.layer,
+            param: r.param,
+            stonne_cycles: r.stonne_cycles,
+            analytical_cycles: r.analytical_cycles,
+        })
+    }
+    let rows: Vec<GoldenFig1Row> = tag("fig1a", fig1a(ModelScale::Tiny, &[8, 16]))
+        .chain(tag("fig1b", fig1b(ModelScale::Tiny, &[128, 32])))
+        .chain(tag("fig1c", fig1c(ModelScale::Tiny, &[0.0, 0.9])))
+        .collect();
+    render_json(&rows)
+}
+
+/// The two models the fig5 fixture pins (cheap at Tiny scale but cover a
+/// CNN and a pruned CNN; the full seven-model sweep stays a bench).
+const FIG5_FIXTURE_MODELS: [ModelId; 2] = [ModelId::SqueezeNet, ModelId::AlexNet];
+
+fn fig5_fixture() -> String {
+    let mut rows = Vec::new();
+    for model in FIG5_FIXTURE_MODELS {
+        for arch in Arch::ALL {
+            let r = run_one(model, arch, ModelScale::Tiny, GOLDEN_SEED);
+            rows.push(GoldenFig5Row {
+                model: model.name().to_owned(),
+                arch: arch.name().to_owned(),
+                cycles: r.cycles,
+                energy_nj: GoldenEnergyNj::from_uj(&r.energy),
+                utilization_ppm: (r.utilization * 1e6).round() as u64,
+                breakdown: r.breakdown,
+            });
+        }
+    }
+    render_json(&rows)
+}
+
+fn fig7_fixture() -> String {
+    let rows: Vec<GoldenFig7Row> = fig7(ModelScale::Tiny, 256)
+        .into_iter()
+        .map(|r| GoldenFig7Row {
+            model: r.model.name().to_owned(),
+            avg_filters_milli: (r.avg_filters * 1000.0).round() as u64,
+            first_layer_sizes: r.first_layer_sizes,
+        })
+        .collect();
+    render_json(&rows)
+}
+
+fn table5_fixture() -> String {
+    // Table5Row is already integer-only; serialize it directly.
+    render_json(&table5())
+}
+
+/// A named golden fixture and its renderer.
+pub struct GoldenFixture {
+    /// Fixture file name under `tests/golden/`.
+    pub name: &'static str,
+    render: fn() -> String,
+}
+
+impl GoldenFixture {
+    /// Regenerates the fixture content from the current engines.
+    pub fn render(&self) -> String {
+        (self.render)()
+    }
+}
+
+/// All golden fixtures, in check order.
+pub fn fixtures() -> Vec<GoldenFixture> {
+    vec![
+        GoldenFixture {
+            name: "fig1.json",
+            render: fig1_fixture,
+        },
+        GoldenFixture {
+            name: "fig5.json",
+            render: fig5_fixture,
+        },
+        GoldenFixture {
+            name: "fig7.json",
+            render: fig7_fixture,
+        },
+        GoldenFixture {
+            name: "table5.json",
+            render: table5_fixture,
+        },
+    ]
+}
+
+/// Absolute path of a fixture file (`tests/golden/<name>` at the repo
+/// root).
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Outcome of a fixture check.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// Fixture file matched the regenerated content byte-for-byte.
+    Matched,
+    /// `UPDATE_GOLDEN=1` was set and the fixture file was (re)written.
+    Blessed,
+}
+
+/// Compares a fixture against its committed file, or re-blesses it when
+/// `UPDATE_GOLDEN=1` is set in the environment.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the file is missing or its
+/// bytes differ from the regenerated content.
+pub fn verify_fixture(fixture: &GoldenFixture) -> Result<GoldenStatus, String> {
+    let path = golden_path(fixture.name);
+    let rendered = fixture.render();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        }
+        std::fs::write(&path, &rendered).map_err(|e| format!("writing {path:?}: {e}"))?;
+        return Ok(GoldenStatus::Blessed);
+    }
+    let committed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden fixture {path:?} unreadable ({e}); \
+             bless it with UPDATE_GOLDEN=1 cargo test -p stonne-verify --test golden_fixtures"
+        )
+    })?;
+    if committed == rendered {
+        return Ok(GoldenStatus::Matched);
+    }
+    let first_diff = committed
+        .lines()
+        .zip(rendered.lines())
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(i, (a, b))| format!("line {}: committed `{a}` vs regenerated `{b}`", i + 1))
+        .unwrap_or_else(|| "files differ in length".to_owned());
+    Err(format!(
+        "golden fixture {} drifted ({first_diff}); if the change is intentional, \
+         re-bless with UPDATE_GOLDEN=1 and review the diff",
+        fixture.name
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_roster_is_stable() {
+        let names: Vec<&str> = fixtures().iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            ["fig1.json", "fig5.json", "fig7.json", "table5.json"]
+        );
+    }
+
+    #[test]
+    fn table5_fixture_is_integer_only_and_deterministic() {
+        let a = table5_fixture();
+        let b = table5_fixture();
+        assert_eq!(a, b);
+        assert!(!a.contains('.'), "unexpected float in fixture: {a}");
+    }
+}

@@ -1,0 +1,124 @@
+//! The `verify` bin: runs a deterministic fuzz campaign and writes the
+//! machine-readable `verify_report.json` that CI gates on.
+//!
+//! ```text
+//! cargo run --release -p stonne-verify -- --samples 200 --seed 7
+//! ```
+//!
+//! Exit status is non-zero when any oracle or campaign check fails. The
+//! report is byte-identical across re-runs with the same seed except for
+//! `wall_time_ms` (compare with `jq 'del(.wall_time_ms)'`).
+
+use std::process::ExitCode;
+
+use stonne_verify::{run_campaign, CampaignConfig};
+
+struct Args {
+    samples: u64,
+    seed: u64,
+    out: String,
+    shrink: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verify [--samples N] [--seed S] [--out PATH] [--no-shrink]\n\
+         \n\
+         Runs the differential fuzz campaign (default: 200 samples, seed 7)\n\
+         and writes the report to PATH (default: verify_report.json)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        samples: 200,
+        seed: 7,
+        out: "verify_report.json".to_owned(),
+        shrink: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| usage());
+            }
+            "--no-shrink" => args.shrink = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    eprintln!(
+        "verify: campaign of {} samples, seed {}",
+        args.samples, args.seed
+    );
+    let report = run_campaign(CampaignConfig {
+        samples: args.samples,
+        seed: args.seed,
+        shrink: args.shrink,
+    });
+
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("verify: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "verify: {} samples, seed {}, {} ms",
+        report.samples, report.seed, report.wall_time_ms
+    );
+    for o in &report.oracles {
+        println!(
+            "  {:<28} runs {:>5}  failures {:>3}  worst divergence {:>8.2}%",
+            o.name,
+            o.runs,
+            o.failures,
+            o.worst_divergence_cpct as f64 / 100.0
+        );
+    }
+    for c in &report.campaign {
+        println!(
+            "  {:<28} over {:>4} samples: {:.2}% (limit {:.2}%) -> {}",
+            c.name,
+            c.samples,
+            c.value_cpct as f64 / 100.0,
+            c.limit_cpct as f64 / 100.0,
+            if c.pass { "pass" } else { "FAIL" }
+        );
+    }
+
+    if report.passed() {
+        println!("verify: PASS (report written to {})", args.out);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "verify: FAIL — {} failing checks (report written to {})",
+            report.total_failures, args.out
+        );
+        for f in &report.failures {
+            println!(
+                "\n--- reproducer for sample {} ({}) ---",
+                f.sample_index, f.oracle
+            );
+            println!("{}", f.repro_test);
+        }
+        ExitCode::FAILURE
+    }
+}

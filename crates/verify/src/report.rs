@@ -1,0 +1,152 @@
+//! The machine-readable campaign report (`verify_report.json`).
+//!
+//! CI uploads this file as an artifact and gates on `total_failures`.
+//! Every field except `wall_time_ms` is deterministic for a fixed
+//! `(seed, samples)` pair — divergences are stored as integer
+//! centi-percent precisely so no float formatting can leak
+//! nondeterminism into the bytes. [`VerifyReport::canonical_json`]
+//! zeroes the wall time, which is what "byte-identical minus wall-time"
+//! means operationally: `jq 'del(.wall_time_ms)'` on two reports from the
+//! same seed must agree byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of one oracle over the whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleSummary {
+    /// Oracle name (see [`crate::oracle::ORACLES`]).
+    pub name: String,
+    /// How many samples this oracle judged.
+    pub runs: u64,
+    /// How many of them failed.
+    pub failures: u64,
+    /// Worst |divergence| this oracle measured, in centi-percent
+    /// (0 when the oracle measures no divergence).
+    pub worst_divergence_cpct: i64,
+}
+
+/// One campaign-level aggregate check (claims about averages, e.g. the
+/// Fig. 1b "1.03 % average at full bandwidth" band).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignCheck {
+    /// Check name.
+    pub name: String,
+    /// Number of samples that fed the aggregate.
+    pub samples: u64,
+    /// Measured aggregate, in centi-percent.
+    pub value_cpct: i64,
+    /// Admissible bound, in centi-percent.
+    pub limit_cpct: i64,
+    /// Whether the aggregate satisfies the bound (vacuously true when no
+    /// sample fed it).
+    pub pass: bool,
+}
+
+/// One failing sample, shrunk to its minimal reproducer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Index of the failing sample within the campaign.
+    pub sample_index: u64,
+    /// Oracle that rejected it.
+    pub oracle: String,
+    /// The originally generated workload (Rust literal).
+    pub workload: String,
+    /// The shrunk minimal workload (Rust literal).
+    pub shrunk: String,
+    /// Sample seed to reproduce with.
+    pub seed: u64,
+    /// The oracle's evidence on the shrunk workload.
+    pub detail: String,
+    /// Ready-to-paste regression test reproducing the failure.
+    pub repro_test: String,
+}
+
+/// The whole campaign report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of samples generated and checked.
+    pub samples: u64,
+    /// Per-oracle aggregates, in roster order.
+    pub oracles: Vec<OracleSummary>,
+    /// Campaign-level aggregate checks.
+    pub campaign: Vec<CampaignCheck>,
+    /// Shrunk failures (empty on a passing campaign).
+    pub failures: Vec<FailureRecord>,
+    /// Total failing (sample, oracle) pairs plus failing campaign checks.
+    pub total_failures: u64,
+    /// Wall time of the campaign in milliseconds — the only
+    /// nondeterministic field.
+    pub wall_time_ms: u64,
+}
+
+impl VerifyReport {
+    /// Pretty JSON including the measured wall time.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice (all fields serialize).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Pretty JSON with `wall_time_ms` zeroed — byte-identical across
+    /// re-runs of the same `(seed, samples)` campaign.
+    pub fn canonical_json(&self) -> String {
+        let mut canonical = self.clone();
+        canonical.wall_time_ms = 0;
+        canonical.to_json()
+    }
+
+    /// Whether the campaign passed (gates CI).
+    pub fn passed(&self) -> bool {
+        self.total_failures == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> VerifyReport {
+        VerifyReport {
+            seed: 7,
+            samples: 2,
+            oracles: vec![OracleSummary {
+                name: "systolic_exact_cycles".into(),
+                runs: 2,
+                failures: 0,
+                worst_divergence_cpct: 0,
+            }],
+            campaign: vec![CampaignCheck {
+                name: "maeri_full_bw_avg".into(),
+                samples: 2,
+                value_cpct: 103,
+                limit_cpct: 1500,
+                pass: true,
+            }],
+            failures: vec![],
+            total_failures: 0,
+            wall_time_ms: 1234,
+        }
+    }
+
+    #[test]
+    fn canonical_json_hides_wall_time_only() {
+        let r = sample_report();
+        let canonical = r.canonical_json();
+        assert!(canonical.contains("\"wall_time_ms\": 0"));
+        assert!(!canonical.contains("1234"));
+        assert!(r.to_json().contains("\"wall_time_ms\": 1234"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let parsed: VerifyReport = serde_json::from_str(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,252 @@
+//! Failure shrinking: reduce a failing workload to a minimal reproducer.
+//!
+//! The shrinker greedily halves one dimension at a time (and steps array
+//! sizes down through the generator's allowed values), keeping a
+//! candidate only when the *same oracle* still fails on it with the same
+//! sample seed. The result is printed as a ready-to-paste integration
+//! test so a red campaign turns into a committed regression test in one
+//! copy-paste.
+
+use crate::gen::Workload;
+use crate::oracle::check_workload;
+
+fn halved(x: usize, min: usize) -> Option<usize> {
+    if x > min {
+        Some((x / 2).max(min))
+    } else {
+        None
+    }
+}
+
+fn stepped_down(x: usize, steps: &[usize]) -> Option<usize> {
+    steps.iter().rev().find(|&&s| s < x).copied()
+}
+
+/// All one-step reductions of a workload, in a deterministic order.
+pub fn candidates(w: &Workload) -> Vec<Workload> {
+    let mut out = Vec::new();
+    match *w {
+        Workload::SystolicGemm { dim, m, n, k } => {
+            if let Some(d) = stepped_down(dim, &[4, 8, 16]) {
+                out.push(Workload::SystolicGemm { dim: d, m, n, k });
+            }
+            if let Some(v) = halved(m, 1) {
+                out.push(Workload::SystolicGemm { dim, m: v, n, k });
+            }
+            if let Some(v) = halved(n, 1) {
+                out.push(Workload::SystolicGemm { dim, m, n: v, k });
+            }
+            if let Some(v) = halved(k, 1) {
+                out.push(Workload::SystolicGemm { dim, m, n, k: v });
+            }
+        }
+        Workload::FlexibleGemm { ms, m, n, k } => {
+            if let Some(s) = stepped_down(ms, &[16, 32, 64, 128]) {
+                out.push(Workload::FlexibleGemm { ms: s, m, n, k });
+            }
+            if let Some(v) = halved(m, 1) {
+                out.push(Workload::FlexibleGemm { ms, m: v, n, k });
+            }
+            if let Some(v) = halved(n, 1) {
+                out.push(Workload::FlexibleGemm { ms, m, n: v, k });
+            }
+            if let Some(v) = halved(k, 1) {
+                out.push(Workload::FlexibleGemm { ms, m, n, k: v });
+            }
+        }
+        Workload::SparseSpmm {
+            ms,
+            m,
+            n,
+            k,
+            sparsity_pct,
+        } => {
+            if let Some(s) = stepped_down(ms, &[32, 64, 128]) {
+                out.push(Workload::SparseSpmm {
+                    ms: s,
+                    m,
+                    n,
+                    k,
+                    sparsity_pct,
+                });
+            }
+            if let Some(v) = halved(m, 2) {
+                out.push(Workload::SparseSpmm {
+                    ms,
+                    m: v,
+                    n,
+                    k,
+                    sparsity_pct,
+                });
+            }
+            if let Some(v) = halved(n, 2) {
+                out.push(Workload::SparseSpmm {
+                    ms,
+                    m,
+                    n: v,
+                    k,
+                    sparsity_pct,
+                });
+            }
+            if let Some(v) = halved(k, 8) {
+                out.push(Workload::SparseSpmm {
+                    ms,
+                    m,
+                    n,
+                    k: v,
+                    sparsity_pct,
+                });
+            }
+        }
+        Workload::SparseDenseEquiv { ms, m, n, k } => {
+            if let Some(s) = stepped_down(ms, &[32, 64, 128]) {
+                out.push(Workload::SparseDenseEquiv { ms: s, m, n, k });
+            }
+            if let Some(v) = halved(m, 2) {
+                out.push(Workload::SparseDenseEquiv { ms, m: v, n, k });
+            }
+            if let Some(v) = halved(n, 2) {
+                out.push(Workload::SparseDenseEquiv { ms, m, n: v, k });
+            }
+            if let Some(v) = halved(k, 4) {
+                out.push(Workload::SparseDenseEquiv { ms, m, n, k: v });
+            }
+        }
+        Workload::CacheReplay { arch, m, n, k } => {
+            if let Some(v) = halved(m, 1) {
+                out.push(Workload::CacheReplay { arch, m: v, n, k });
+            }
+            if let Some(v) = halved(n, 1) {
+                out.push(Workload::CacheReplay { arch, m, n: v, k });
+            }
+            if let Some(v) = halved(k, 1) {
+                out.push(Workload::CacheReplay { arch, m, n, k: v });
+            }
+        }
+        Workload::Pool {
+            c,
+            hw,
+            window,
+            stride,
+        } => {
+            if let Some(v) = halved(c, 1) {
+                out.push(Workload::Pool {
+                    c: v,
+                    hw,
+                    window,
+                    stride,
+                });
+            }
+            if let Some(v) = halved(hw, window + 1) {
+                out.push(Workload::Pool {
+                    c,
+                    hw: v,
+                    window,
+                    stride,
+                });
+            }
+        }
+        // A model run has no smaller version of itself.
+        Workload::ModelRun { .. } => {}
+    }
+    out
+}
+
+/// Whether `oracle` fails on `w` with `seed`.
+fn still_fails(w: &Workload, seed: u64, oracle: &str) -> bool {
+    check_workload(w, seed)
+        .outcomes
+        .iter()
+        .any(|o| o.oracle == oracle && !o.passed)
+}
+
+/// Shrinks a failing workload to a locally minimal one on which `oracle`
+/// still fails, returning it with the oracle's evidence there.
+///
+/// The input is returned unchanged when it does not actually fail (the
+/// shrinker never invents failures).
+pub fn shrink(w: &Workload, seed: u64, oracle: &str) -> (Workload, String) {
+    let mut current = w.clone();
+    if !still_fails(&current, seed, oracle) {
+        return (current, String::new());
+    }
+    // Greedy descent; bounded to keep a pathological failure from
+    // stalling the campaign.
+    for _ in 0..64 {
+        let Some(next) = candidates(&current)
+            .into_iter()
+            .find(|c| still_fails(c, seed, oracle))
+        else {
+            break;
+        };
+        current = next;
+    }
+    let detail = check_workload(&current, seed)
+        .outcomes
+        .into_iter()
+        .find(|o| o.oracle == oracle && !o.passed)
+        .map(|o| o.detail)
+        .unwrap_or_default();
+    (current, detail)
+}
+
+/// Renders a ready-to-paste regression test for a shrunk failure.
+pub fn repro_test(w: &Workload, seed: u64, oracle: &str) -> String {
+    format!(
+        "#[test]\n\
+         fn shrunk_fuzz_reproducer() {{\n\
+         \x20   // oracle: {oracle}\n\
+         \x20   use stonne_verify::gen::Workload;\n\
+         \x20   let w = Workload::{w:?};\n\
+         \x20   let r = stonne_verify::oracle::check_workload(&w, {seed:#x});\n\
+         \x20   for o in &r.outcomes {{\n\
+         \x20       assert!(o.passed, \"{{}}: {{}}\", o.oracle, o.detail);\n\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_strictly_reduce() {
+        let w = Workload::SystolicGemm {
+            dim: 16,
+            m: 40,
+            n: 30,
+            k: 50,
+        };
+        let cs = candidates(&w);
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().all(|c| c != &w));
+    }
+
+    #[test]
+    fn passing_workload_is_returned_unchanged() {
+        let w = Workload::SystolicGemm {
+            dim: 8,
+            m: 10,
+            n: 10,
+            k: 10,
+        };
+        let (s, detail) = shrink(&w, 1, "systolic_exact_cycles");
+        assert_eq!(s, w);
+        assert!(detail.is_empty());
+    }
+
+    #[test]
+    fn repro_test_is_pasteable() {
+        let w = Workload::CacheReplay {
+            arch: 1,
+            m: 4,
+            n: 4,
+            k: 4,
+        };
+        let t = repro_test(&w, 0x2a, "cache_replay_bitwise");
+        assert!(t.contains("fn shrunk_fuzz_reproducer"));
+        assert!(t.contains("CacheReplay"));
+        assert!(t.contains("0x2a"));
+    }
+}

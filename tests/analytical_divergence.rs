@@ -2,9 +2,17 @@
 //! accurate for rigid architectures and full-bandwidth/dense executions,
 //! but underestimate flexible architectures under bandwidth pressure and
 //! sparse executions with real zero distributions.
+//!
+//! Every threshold asserted here comes from `stonne_verify::tolerance` —
+//! the same constants the fuzz oracles of `stonne-verify` enforce — so
+//! the figure-level tests and the differential fuzzer cannot drift apart.
 
 use stonne::models::ModelScale;
 use stonne_bench::fig1::{fig1a, fig1b, fig1c};
+use stonne_verify::tolerance::{
+    MAERI_FULL_BW_AVG_MAX_PCT, MAERI_LOW_BW_EXCESS_MIN_PCT, MAERI_LOW_BW_WORST_MIN_PCT,
+    SIGMA_DENSE_AVG_MAX_PCT, SIGMA_SPARSE90_MIN_PCT, SYSTOLIC_VS_SCALESIM_MAX_PCT,
+};
 
 #[test]
 fn rigid_systolic_arrays_match_the_analytical_model() {
@@ -12,7 +20,7 @@ fn rigid_systolic_arrays_match_the_analytical_model() {
     for row in fig1a(ModelScale::Tiny, &[16, 32, 64]) {
         let d = row.divergence_pct().abs();
         assert!(
-            d < 12.0,
+            d < SYSTOLIC_VS_SCALESIM_MAX_PCT,
             "{} @ {}: {d:.1}% divergence on a rigid array",
             row.layer,
             row.param
@@ -25,7 +33,10 @@ fn maeri_analytical_matches_at_full_bandwidth() {
     let rows = fig1b(ModelScale::Tiny, &[128]);
     let avg: f64 = rows.iter().map(|r| r.divergence_pct().abs()).sum::<f64>() / rows.len() as f64;
     // Paper: 1.03% average difference at full bandwidth.
-    assert!(avg < 15.0, "full-bandwidth average divergence {avg:.1}%");
+    assert!(
+        avg < MAERI_FULL_BW_AVG_MAX_PCT,
+        "full-bandwidth average divergence {avg:.1}%"
+    );
 }
 
 #[test]
@@ -42,7 +53,7 @@ fn maeri_analytical_underestimates_at_low_bandwidth() {
     let full = at("bw128");
     let low = at("bw32");
     assert!(
-        low > full + 30.0,
+        low > full + MAERI_LOW_BW_EXCESS_MIN_PCT,
         "bw32 divergence {low:.1}% must far exceed bw128 {full:.1}%"
     );
     // At least one layer suffers badly (paper: up to 400%).
@@ -51,7 +62,10 @@ fn maeri_analytical_underestimates_at_low_bandwidth() {
         .filter(|r| r.param == "bw32")
         .map(|r| r.divergence_pct())
         .fold(f64::MIN, f64::max);
-    assert!(worst > 100.0, "worst-case bw32 divergence only {worst:.1}%");
+    assert!(
+        worst > MAERI_LOW_BW_WORST_MIN_PCT,
+        "worst-case bw32 divergence only {worst:.1}%"
+    );
 }
 
 #[test]
@@ -67,11 +81,14 @@ fn sigma_analytical_matches_dense_but_underestimates_sparse() {
     };
     let dense = avg("0%");
     assert!(
-        dense.abs() < 2.0,
+        dense.abs() < SIGMA_DENSE_AVG_MAX_PCT,
         "dense divergence {dense:.2}% (paper: perfect match)"
     );
     let s60 = avg("60%");
     let s90 = avg("90%");
     assert!(s60 > dense, "60% sparsity must diverge ({s60:.1}%)");
-    assert!(s90 > 5.0, "90% sparsity divergence only {s90:.1}%");
+    assert!(
+        s90 > SIGMA_SPARSE90_MIN_PCT,
+        "90% sparsity divergence only {s90:.1}%"
+    );
 }

@@ -1,0 +1,62 @@
+//! Golden-fixture regression gate: regenerates the small-scale
+//! fig1/fig5/fig7/table5 fixtures and compares them byte-for-byte
+//! against `tests/golden/*.json`.
+//!
+//! Any intentional cycle/energy change must be re-blessed explicitly —
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p stonne-verify --test golden_fixtures
+//! ```
+//!
+//! — which turns the drift into a reviewable fixture diff.
+
+use stonne_verify::golden::{fixtures, golden_path, verify_fixture, GoldenStatus};
+
+#[test]
+fn fig1_fixture_matches() {
+    check("fig1.json");
+}
+
+#[test]
+fn fig5_fixture_matches() {
+    check("fig5.json");
+}
+
+#[test]
+fn fig7_fixture_matches() {
+    check("fig7.json");
+}
+
+#[test]
+fn table5_fixture_matches() {
+    check("table5.json");
+}
+
+fn check(name: &str) {
+    let roster = fixtures();
+    let fixture = roster
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("{name} not in the fixture roster"));
+    match verify_fixture(fixture) {
+        Ok(GoldenStatus::Matched) => {}
+        Ok(GoldenStatus::Blessed) => {
+            eprintln!("blessed {:?}", golden_path(name));
+        }
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+#[test]
+fn blessing_is_reproducible() {
+    // Deleting a fixture and re-blessing must reproduce it exactly:
+    // rendering twice from the same engines yields identical bytes.
+    for fixture in fixtures() {
+        assert_eq!(
+            fixture.render(),
+            fixture.render(),
+            "{} renders nondeterministically",
+            fixture.name
+        );
+    }
+}

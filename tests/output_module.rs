@@ -46,10 +46,7 @@ fn full_model_outputs_flow_through_files() {
     std::fs::write(&report_path, run.report_json()).unwrap();
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
-    assert_eq!(
-        report["layers"].as_array().unwrap().len(),
-        run.layers.len()
-    );
+    assert_eq!(report["layers"].as_array().unwrap().len(), run.layers.len());
     assert!(report["energy"]["gb_uj"].as_f64().unwrap() >= 0.0);
 
     std::fs::remove_dir_all(&dir).ok();
@@ -69,6 +66,10 @@ fn per_layer_cycles_sum_to_the_model_total() {
     .unwrap();
     let sum: u64 = run.layers.iter().map(|l| l.stats.cycles).sum();
     assert_eq!(sum, run.total.cycles);
-    let mults: u64 = run.layers.iter().map(|l| l.stats.counters.multiplications).sum();
+    let mults: u64 = run
+        .layers
+        .iter()
+        .map(|l| l.stats.counters.multiplications)
+        .sum();
     assert_eq!(mults, run.total.counters.multiplications);
 }

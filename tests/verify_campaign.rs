@@ -1,0 +1,62 @@
+//! Smoke-level fuzz campaign in the regular test suite: a small,
+//! fixed-seed slice of what CI's `verify` job runs at 200 samples (and
+//! the nightly schedule at 2000).
+
+use stonne_verify::{run_campaign, CampaignConfig, ORACLES};
+
+#[test]
+fn fixed_seed_campaign_is_green() {
+    let report = run_campaign(CampaignConfig {
+        samples: 60,
+        seed: 7,
+        shrink: true,
+    });
+    assert!(
+        report.passed(),
+        "campaign failures: {:#?}\ncampaign checks: {:?}",
+        report.failures,
+        report.campaign
+    );
+    // The sample mix must actually exercise the differential oracles.
+    let runs = |name: &str| {
+        report
+            .oracles
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.runs)
+            .unwrap_or(0)
+    };
+    for oracle in [
+        "systolic_exact_cycles",
+        "flexible_maeri_band",
+        "cache_replay_bitwise",
+        "breakdown_sums_to_cycles",
+    ] {
+        assert!(runs(oracle) > 0, "{oracle} never ran in 60 samples");
+    }
+}
+
+#[test]
+fn report_is_byte_identical_minus_wall_time() {
+    let cfg = CampaignConfig {
+        samples: 25,
+        seed: 11,
+        shrink: true,
+    };
+    let a = run_campaign(cfg);
+    let b = run_campaign(cfg);
+    assert_eq!(a.canonical_json(), b.canonical_json());
+}
+
+#[test]
+fn report_round_trips_and_covers_the_roster() {
+    let report = run_campaign(CampaignConfig {
+        samples: 10,
+        seed: 5,
+        shrink: false,
+    });
+    let parsed: stonne_verify::VerifyReport =
+        serde_json::from_str(&report.to_json()).expect("report parses back");
+    assert_eq!(parsed, report);
+    assert_eq!(report.oracles.len(), ORACLES.len());
+}

@@ -15,6 +15,8 @@
 #   tools/offline-check.sh                 # cargo check --workspace --all-targets
 #   tools/offline-check.sh test -q         # cargo test -q (offline, stubbed)
 #   tools/offline-check.sh clippy -- -D warnings
+#   tools/offline-check.sh ci              # the full .github/workflows/ci.yml
+#                                          # command sequence, offline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,6 +55,24 @@ EOF
 
 if [ "$#" -eq 0 ]; then
     set -- check --workspace --all-targets
+fi
+
+# `ci` runs the same command sequence as .github/workflows/ci.yml (minus
+# the MSRV matrix, which needs a second toolchain) so a green local run
+# predicts a green CI run instead of drifting from it.
+if [ "$1" = "ci" ]; then
+    run() { echo "offline-check: $*" >&2; "$@"; }
+    run cargo --offline fmt --all --check
+    # -A unused: the proptest stub swallows property-test bodies, so
+    # items used only inside them look unused offline (they are not in
+    # CI, which compiles the real proptest).
+    run cargo clippy --offline --workspace --all-targets -- -D warnings -A unused
+    run env RUSTDOCFLAGS="-D warnings" cargo --offline doc --no-deps --workspace
+    run cargo --offline build --release --workspace
+    run cargo --offline test -q --workspace --no-fail-fast
+    run cargo --offline test --release -p stonne-verify --test golden_fixtures
+    run cargo --offline run --release -p stonne-verify -- --samples 200 --seed 7
+    exit 0
 fi
 
 cargo --offline "$@"
