@@ -1,0 +1,76 @@
+//! Simulator-performance benchmark: times the fixed workload basket
+//! (per-engine microbenches + uncached BERT/ResNet-50 full-model runs)
+//! and emits the canonical `BENCH.json` perf trajectory.
+//!
+//! Usage:
+//! `cargo run -p stonne-bench --release --bin perf --
+//!    [--out PATH] [--reps N] [--quick] [--parallel] [--baseline PATH]`
+//!
+//! `--out` writes the JSON report (stdout otherwise); `--reps` sets the
+//! median-of-N repetition count (default 3); `--quick` shrinks every
+//! workload for smoke runs; `--parallel` adds the intra-layer
+//! tile-parallel model entries; `--baseline` prints a per-entry speedup
+//! comparison against a previous report in the same schema.
+
+use std::process::ExitCode;
+use stonne_bench::perf::{compare, run_basket, BenchReport, PerfConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let reps = match value_of("--reps").map(|v| v.parse::<usize>()) {
+        None => 3,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("error: --reps needs a positive integer");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = PerfConfig {
+        reps,
+        quick: args.iter().any(|a| a == "--quick"),
+        parallel: args.iter().any(|a| a == "--parallel"),
+    };
+    eprintln!(
+        "perf: timing basket (reps {}, quick {}, parallel {}) …",
+        cfg.reps, cfg.quick, cfg.parallel
+    );
+    let report = run_basket(&cfg);
+    let json = report.to_json();
+
+    if let Some(path) = value_of("--baseline") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: --baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match BenchReport::from_json(&text) {
+            Ok(base) => print!("{}", compare(&report, &base)),
+            Err(e) => {
+                eprintln!("error: --baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match value_of("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: --out {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("perf: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

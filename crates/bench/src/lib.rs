@@ -15,6 +15,7 @@
 //! | [`fig7`] | Fig. 7a/7b — filter mappability and first-layer sizes |
 //! | [`fig9`] | Fig. 9a/9b/9c — LFF/RDM/NS filter scheduling |
 //! | [`ablations`] | design-choice sweeps (DN/RN kind, bandwidth, tiles, formats) |
+//! | [`perf`] | simulator wall-clock trajectory (`BENCH.json`) |
 
 pub mod ablations;
 pub mod fig1;
@@ -22,6 +23,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod perf;
 pub mod table5;
 
 // The bounded worker pool moved into the front-end crate (the parallel

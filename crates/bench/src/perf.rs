@@ -1,0 +1,386 @@
+//! Tracked simulator-performance benchmark (`perf` bin → `BENCH.json`).
+//!
+//! Times a fixed workload basket — one microbench per engine plus
+//! uncached BERT and ResNet-50 full-model runs — and reports the
+//! median-of-N wall-clock per entry together with the simulated cycle
+//! count and engine-invocation count (which must stay invariant across
+//! performance-only changes: a `cycles` drift in the trajectory means
+//! behaviour changed, not just speed). The JSON schema is documented in
+//! `docs/PERFORMANCE.md`; `results/BENCH.json` is the tracked trajectory.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use stonne::core::{AcceleratorConfig, Dataflow, NaturalOrder, Stonne};
+use stonne::models::{zoo, ModelId, ModelScale};
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::nn::runner::{run_model_simulated_with, RunOptions};
+use stonne::tensor::{prune_matrix_to_sparsity, CsrMatrix, Matrix, SeededRng, Tensor4};
+
+/// Schema tag of the emitted JSON; bump on breaking layout changes.
+pub const SCHEMA: &str = "stonne-bench-perf/1";
+
+/// One timed basket entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable entry name (baselines are compared per name).
+    pub name: String,
+    /// Number of timed repetitions.
+    pub reps: usize,
+    /// Median wall-clock over the repetitions, in milliseconds.
+    pub median_ms: f64,
+    /// Fastest repetition, in milliseconds.
+    pub min_ms: f64,
+    /// Slowest repetition, in milliseconds.
+    pub max_ms: f64,
+    /// Simulated cycle count (identical every repetition; drifts only
+    /// when simulated behaviour changes).
+    pub cycles: u64,
+    /// Engine invocations per repetition (cache is off everywhere, so
+    /// this equals the offloaded-operation count).
+    pub engine_invocations: u64,
+}
+
+/// The full benchmark report serialized to `BENCH.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Worker threads available to the run
+    /// (`std::thread::available_parallelism`).
+    pub threads: usize,
+    /// Peak resident set size of the process in KiB (`VmHWM`; 0 when
+    /// the platform does not expose it).
+    pub peak_rss_kb: u64,
+    /// Timed entries, in fixed basket order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice (all fields are serializable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error when the text is not a valid report.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Looks up an entry by name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Basket parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Timed repetitions per entry (median-of-N).
+    pub reps: usize,
+    /// Shrinks every workload (Tiny models, small microbenches) for CI
+    /// smoke runs and tests; the tracked trajectory uses `quick: false`.
+    pub quick: bool,
+    /// Adds intra-layer tile-parallel model entries to the basket
+    /// (meaningful on multi-core hosts; entries still run on one core).
+    pub parallel: bool,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            reps: 3,
+            quick: false,
+            parallel: false,
+        }
+    }
+}
+
+/// Times `body` `reps` times and folds the wall-clocks into an entry.
+///
+/// `body` returns `(cycles, engine_invocations)`; both must be identical
+/// across repetitions (the simulator is deterministic) and the entry
+/// records the last repetition's values.
+fn timed<F: FnMut() -> (u64, u64)>(name: &str, reps: usize, mut body: F) -> BenchEntry {
+    assert!(reps > 0, "reps must be positive");
+    let mut ms: Vec<f64> = Vec::with_capacity(reps);
+    let mut cycles = 0;
+    let mut invocations = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (c, i) = body();
+        ms.push(start.elapsed().as_secs_f64() * 1e3);
+        cycles = c;
+        invocations = i;
+    }
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ms = if reps % 2 == 1 {
+        ms[reps / 2]
+    } else {
+        (ms[reps / 2 - 1] + ms[reps / 2]) / 2.0
+    };
+    BenchEntry {
+        name: name.to_owned(),
+        reps,
+        median_ms,
+        min_ms: ms[0],
+        max_ms: ms[reps - 1],
+        cycles,
+        engine_invocations: invocations,
+    }
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`), or
+/// 0 where unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The flexible-engine microbench GEMM, shared by the WS and OS entries.
+fn flexible_operands(quick: bool) -> (Matrix, Matrix) {
+    let (m, n, k) = if quick { (16, 16, 32) } else { (128, 128, 256) };
+    let mut rng = SeededRng::new(21);
+    (
+        Matrix::random(m, k, &mut rng),
+        Matrix::random(k, n, &mut rng),
+    )
+}
+
+fn micro_systolic(quick: bool, reps: usize) -> BenchEntry {
+    let (dim, m, n, k) = if quick {
+        (8, 16, 16, 32)
+    } else {
+        (64, 256, 256, 256)
+    };
+    let mut rng = SeededRng::new(19);
+    let a = Matrix::random(m, k, &mut rng);
+    let b = Matrix::random(k, n, &mut rng);
+    timed("micro_systolic_os_gemm", reps, || {
+        let mut sim = Stonne::new(AcceleratorConfig::tpu_like(dim)).expect("valid preset");
+        let (_, stats) = sim.run_gemm("perf", &a, &b);
+        (stats.cycles, stats.engine_invocations)
+    })
+}
+
+fn micro_flexible(dataflow: Dataflow, name: &str, quick: bool, reps: usize) -> BenchEntry {
+    let (ms, bw) = if quick { (32, 16) } else { (256, 128) };
+    let (a, b) = flexible_operands(quick);
+    let mut config = AcceleratorConfig::maeri_like(ms, bw);
+    config.dataflow = dataflow;
+    timed(name, reps, || {
+        let mut sim = Stonne::new(config.clone()).expect("valid preset");
+        let (_, stats) = sim.run_gemm("perf", &a, &b);
+        (stats.cycles, stats.engine_invocations)
+    })
+}
+
+fn micro_sparse(quick: bool, reps: usize) -> BenchEntry {
+    let (ms, m, n, k) = if quick {
+        (32, 16, 16, 32)
+    } else {
+        (256, 256, 128, 256)
+    };
+    let mut rng = SeededRng::new(23);
+    let mut a = Matrix::random_filterwise(m, k, 0.8, &mut rng);
+    prune_matrix_to_sparsity(&mut a, 0.7);
+    let csr = CsrMatrix::from_dense(&a);
+    let b = Matrix::random(k, n, &mut rng);
+    timed("micro_sparse_spmm", reps, || {
+        let mut sim = Stonne::new(AcceleratorConfig::sigma_like(ms, ms)).expect("valid preset");
+        let (_, stats) = sim.run_spmm("perf", &csr, &b);
+        (stats.cycles, stats.engine_invocations)
+    })
+}
+
+fn micro_pool(quick: bool, reps: usize) -> BenchEntry {
+    let (c, hw) = if quick { (4, 16) } else { (64, 96) };
+    let mut rng = SeededRng::new(29);
+    let input = Tensor4::random(1, c, hw, hw, &mut rng);
+    timed("micro_maxpool", reps, || {
+        let mut sim = Stonne::new(AcceleratorConfig::maeri_like(64, 32)).expect("valid preset");
+        let (_, stats) = sim.run_maxpool("perf", &input, 2, 2);
+        (stats.cycles, stats.engine_invocations)
+    })
+}
+
+fn model_entry(
+    name: &str,
+    id: ModelId,
+    scale: ModelScale,
+    options: &RunOptions,
+    reps: usize,
+) -> BenchEntry {
+    let model = zoo::build(id, scale);
+    let params = ModelParams::generate(&model, 1);
+    let input = generate_input(&model, 2);
+    let config = AcceleratorConfig::maeri_like(256, 128);
+    timed(name, reps, || {
+        let run = run_model_simulated_with(
+            &model,
+            &params,
+            &input,
+            config.clone(),
+            std::sync::Arc::new(NaturalOrder),
+            options.clone(),
+        )
+        .expect("valid preset");
+        (run.total.cycles, run.total.engine_invocations)
+    })
+}
+
+/// Runs the fixed basket and assembles the report.
+///
+/// Every workload runs with the simulation cache off: the basket
+/// measures the *first* (uncached) simulation cost that PR 2's cache
+/// cannot hide. Progress goes to stderr so stdout stays clean.
+pub fn run_basket(cfg: &PerfConfig) -> BenchReport {
+    let scale = if cfg.quick {
+        ModelScale::Tiny
+    } else {
+        ModelScale::Reduced
+    };
+    let serial = RunOptions::new().uncached();
+    let mut entries = vec![
+        micro_systolic(cfg.quick, cfg.reps),
+        micro_flexible(
+            Dataflow::WeightStationary,
+            "micro_flexible_ws_gemm",
+            cfg.quick,
+            cfg.reps,
+        ),
+        micro_flexible(
+            Dataflow::OutputStationary,
+            "micro_flexible_os_gemm",
+            cfg.quick,
+            cfg.reps,
+        ),
+        micro_sparse(cfg.quick, cfg.reps),
+        micro_pool(cfg.quick, cfg.reps),
+    ];
+    for e in &entries {
+        eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
+    }
+    for (name, id) in [
+        ("model_bert_uncached", ModelId::Bert),
+        ("model_resnet50_uncached", ModelId::ResNet50),
+    ] {
+        let e = model_entry(name, id, scale, &serial, cfg.reps);
+        eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
+        entries.push(e);
+    }
+    if cfg.parallel {
+        let intra = RunOptions::new().uncached().intra_layer_parallel();
+        for (name, id) in [
+            ("model_bert_uncached_intra", ModelId::Bert),
+            ("model_resnet50_uncached_intra", ModelId::ResNet50),
+        ] {
+            let e = model_entry(name, id, scale, &intra, cfg.reps);
+            eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
+            entries.push(e);
+        }
+    }
+    BenchReport {
+        schema: SCHEMA.to_owned(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        peak_rss_kb: peak_rss_kb(),
+        entries,
+    }
+}
+
+/// Formats a per-entry comparison of `new` against `old` (matched by
+/// entry name; entries missing on either side are skipped). Flags cycle
+/// drifts — a perf PR must not change simulated behaviour.
+pub fn compare(new: &BenchReport, old: &BenchReport) -> String {
+    let mut out = String::new();
+    for e in &new.entries {
+        let Some(base) = old.entry(&e.name) else {
+            continue;
+        };
+        let speedup = if e.median_ms > 0.0 {
+            base.median_ms / e.median_ms
+        } else {
+            f64::INFINITY
+        };
+        let drift = if e.cycles == base.cycles {
+            ""
+        } else {
+            "  ** CYCLES DRIFTED **"
+        };
+        out.push_str(&format!(
+            "{:<32} {:>10.2} ms -> {:>10.2} ms  ({speedup:.2}x){drift}\n",
+            e.name, base.median_ms, e.median_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_basket_round_trips_and_is_cycle_deterministic() {
+        let cfg = PerfConfig {
+            reps: 1,
+            quick: true,
+            parallel: false,
+        };
+        let a = run_basket(&cfg);
+        let b = run_basket(&cfg);
+        assert_eq!(a.schema, SCHEMA);
+        assert_eq!(a.entries.len(), 7);
+        for (ea, eb) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(ea.name, eb.name);
+            assert_eq!(ea.cycles, eb.cycles, "{}", ea.name);
+            assert!(ea.cycles > 0, "{}", ea.name);
+            assert!(ea.median_ms >= ea.min_ms && ea.median_ms <= ea.max_ms);
+        }
+        let parsed = BenchReport::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn compare_reports_speedups_and_cycle_drift() {
+        let mk = |ms: f64, cycles: u64| BenchReport {
+            schema: SCHEMA.to_owned(),
+            threads: 1,
+            peak_rss_kb: 0,
+            entries: vec![BenchEntry {
+                name: "x".into(),
+                reps: 1,
+                median_ms: ms,
+                min_ms: ms,
+                max_ms: ms,
+                cycles,
+                engine_invocations: 1,
+            }],
+        };
+        let same = compare(&mk(50.0, 10), &mk(100.0, 10));
+        assert!(same.contains("2.00x"), "{same}");
+        assert!(!same.contains("DRIFTED"), "{same}");
+        let drift = compare(&mk(50.0, 11), &mk(100.0, 10));
+        assert!(drift.contains("DRIFTED"), "{drift}");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

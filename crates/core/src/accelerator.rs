@@ -3,7 +3,7 @@
 
 use crate::cache::{CacheEntry, CacheKey, SimCache};
 use crate::config::{AcceleratorConfig, ConfigError, ControllerKind, DnKind};
-use crate::engine::flexible::{replay_dense, run_dense, DenseOperand};
+use crate::engine::flexible::{replay_dense, run_dense_with, DenseOperand};
 use crate::engine::sparse::{replay_spmm, run_spmm, NaturalOrder, RowSchedule, SparseRun};
 use crate::engine::{conv_operand, pool, systolic};
 use crate::mapping::{LayerDims, Tile};
@@ -40,6 +40,7 @@ pub struct Stonne {
     config: AcceleratorConfig,
     history: Vec<SimStats>,
     cache: Option<SimCache>,
+    intra_workers: usize,
 }
 
 impl Stonne {
@@ -54,7 +55,21 @@ impl Stonne {
             config,
             history: Vec::new(),
             cache: None,
+            intra_workers: 1,
         })
+    }
+
+    /// Fans the flexible dense engine's independent filter chunks across
+    /// up to `workers` OS threads. Chunks write disjoint output-row blocks
+    /// and their stats merge in chunk order, so results are bitwise
+    /// identical to the serial walk — this is a host-side speed knob, not
+    /// a simulated-hardware parameter (it does not enter cache keys).
+    /// `workers <= 1` keeps the serial path; the knob is also ignored
+    /// while a trace is being recorded (the collector is thread-local).
+    #[must_use]
+    pub fn with_intra_tiles(mut self, workers: usize) -> Self {
+        self.intra_workers = workers.max(1);
+        self
     }
 
     /// Attaches a [`SimCache`]: engine invocations whose canonical key is
@@ -165,8 +180,10 @@ impl Stonne {
         tile: &Tile,
         operand: &DenseOperand,
     ) -> (Matrix, SimStats) {
+        let workers = self.intra_workers;
         let Some(cache) = self.cache.clone() else {
-            let (out, mut stats) = run_dense(&self.config, name, layer, tile, operand);
+            let (out, mut stats) =
+                run_dense_with(&self.config, name, layer, tile, operand, workers);
             stats.engine_invocations = 1;
             return (out, stats);
         };
@@ -176,7 +193,7 @@ impl Stonne {
             Probe::new(Component::Controller).span("cache-hit", 0, stats.cycles);
             return (replay_dense(&self.config, tile, operand), stats);
         }
-        let (out, mut stats) = run_dense(&self.config, name, layer, tile, operand);
+        let (out, mut stats) = run_dense_with(&self.config, name, layer, tile, operand, workers);
         stats.engine_invocations = 1;
         stats.sim_cache_misses = 1;
         stats.sim_cache_inserts = 1;
@@ -306,6 +323,7 @@ impl Stonne {
                     // Exploration probes bypass the cache: candidate tiles
                     // are evaluated once and must not pollute the store.
                     cache: None,
+                    intra_workers: self.intra_workers,
                 };
                 let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
                 if best.as_ref().is_none_or(|(_, c)| stats.cycles < *c) {

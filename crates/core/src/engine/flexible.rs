@@ -59,10 +59,6 @@ impl DenseOperand {
             addrs,
         }
     }
-
-    fn addr(&self, k: usize, n: usize) -> u32 {
-        self.addrs[k * self.inputs.cols() + n]
-    }
 }
 
 /// Runs one dense operand through the flexible engine.
@@ -80,6 +76,27 @@ pub fn run_dense(
     tile: &Tile,
     operand: &DenseOperand,
 ) -> (Matrix, SimStats) {
+    run_dense_with(config, operation, layer, tile, operand, 1)
+}
+
+/// [`run_dense`] with an intra-layer worker budget: when `workers > 1`,
+/// the independent filter chunks (disjoint output-row tiles) fan across
+/// that many scoped threads. Outputs, cycles, and statistics are
+/// bitwise-identical to the serial run (see `docs/PERFORMANCE.md`);
+/// tracing forces the serial path so timelines stay complete.
+///
+/// # Panics
+///
+/// Panics if operand shapes disagree with `layer`/`tile`, or if the tile
+/// does not fit the configured multiplier count.
+pub fn run_dense_with(
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    operand: &DenseOperand,
+    workers: usize,
+) -> (Matrix, SimStats) {
     let m = operand.weights.rows();
     let k_len = operand.weights.cols();
     let n = operand.inputs.cols();
@@ -89,14 +106,14 @@ pub fn run_dense(
         .unwrap_or_else(|e| panic!("tile invalid for {operation}: {e}"));
 
     match config.dataflow {
-        Dataflow::WeightStationary => {
-            run_weight_stationary(config, operation, layer, tile, operand, m, k_len, n)
-        }
-        Dataflow::OutputStationary => {
-            run_output_stationary(config, operation, layer, tile, operand, m, k_len, n)
-        }
+        Dataflow::WeightStationary => run_weight_stationary(
+            config, operation, layer, tile, operand, m, k_len, n, workers,
+        ),
+        Dataflow::OutputStationary => run_output_stationary(
+            config, operation, layer, tile, operand, m, k_len, n, workers,
+        ),
         Dataflow::InputStationary => {
-            run_input_stationary(config, operation, layer, tile, operand, m, n)
+            run_input_stationary(config, operation, layer, tile, operand, m, n, workers)
         }
     }
 }
@@ -108,6 +125,7 @@ pub fn run_dense(
 /// (`Cᵀ = Bᵀ·Aᵀ`): the stationary operand is loaded once per mapping,
 /// the streamed weights carry no reuse (each element is unique), which is
 /// exactly the IS traffic pattern.
+#[allow(clippy::too_many_arguments)]
 fn run_input_stationary(
     config: &AcceleratorConfig,
     operation: &str,
@@ -116,6 +134,7 @@ fn run_input_stationary(
     operand: &DenseOperand,
     m: usize,
     n: usize,
+    workers: usize,
 ) -> (Matrix, SimStats) {
     let k_len = operand.inputs.rows();
     let swapped =
@@ -127,8 +146,9 @@ fn run_input_stationary(
     let t_tile = Tile::auto_bw(&t_layer, config.ms_size, config.dn_bandwidth);
     let mut cfg = config.clone();
     cfg.dataflow = Dataflow::WeightStationary;
-    let (out_t, mut stats) =
-        run_weight_stationary(&cfg, operation, &t_layer, &t_tile, &swapped, n, k_len, m);
+    let (out_t, mut stats) = run_weight_stationary(
+        &cfg, operation, &t_layer, &t_tile, &swapped, n, k_len, m, workers,
+    );
     stats.operation = format!("{operation} [IS]");
     (out_t.transposed(), stats)
 }
@@ -188,25 +208,92 @@ fn replay_folded(operand: &DenseOperand, cluster: usize) -> Matrix {
     out
 }
 
-/// Counts unique non-pad addresses in the given (rows × cols) window.
+/// Reusable per-worker scratch buffers: every steady-state step of a run
+/// borrows these instead of allocating (the hot loops are
+/// allocation-free after warm-up).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Address workspace of [`unique_inputs`].
+    addrs: Vec<u32>,
+    /// Per-fold accumulator row of [`compute_chunk_output`].
+    acc: Vec<Elem>,
+}
+
+/// Computes a filter chunk's functional output (rows `k_lo..k_hi`, all
+/// `n` columns) in the engine's exact accumulation order: per output,
+/// rows ascending within a fold and one accumulator add into the output
+/// per fold, folds ascending. Blocking over the output columns keeps
+/// that order per output while making the inner sweep an independent
+/// multiply-add over a contiguous row — instruction-parallel and
+/// vectorizable, unlike a per-output latency-bound dot chain. Padding
+/// taps multiply the stored zero, exactly as the per-element walk did.
+fn compute_chunk_output(
+    ctx: &WsCtx<'_>,
+    k_lo: usize,
+    k_hi: usize,
+    out_rows: &mut [Elem],
+    acc: &mut Vec<Elem>,
+) {
+    let n = ctx.n;
+    acc.resize(n, 0.0);
+    let acc = &mut acc[..n];
+    for kf in k_lo..k_hi {
+        let w_row = ctx.operand.weights.row(kf);
+        let out_row = &mut out_rows[(kf - k_lo) * n..(kf - k_lo + 1) * n];
+        for fold in 0..ctx.folds {
+            let row_lo = fold * ctx.cluster;
+            let row_hi = (row_lo + ctx.cluster).min(ctx.k_len);
+            acc.fill(0.0);
+            for (&wv, row) in w_row[row_lo..row_hi].iter().zip(row_lo..row_hi) {
+                let src = &ctx.operand.inputs.row(row)[..n];
+                for (a, &x) in acc.iter_mut().zip(src) {
+                    *a += wv * x;
+                }
+            }
+            for (o, &a) in out_row.iter_mut().zip(acc.iter()) {
+                *o += a;
+            }
+        }
+    }
+}
+
+/// Counts `(unique, non_pad)` addresses in the given (rows × cols)
+/// window: `unique` distinct fetches meet the DN bandwidth; `non_pad`
+/// taps are the multiplications every filter of the chunk performs.
+///
+/// `trivial` short-circuits the sort for operands whose address map is
+/// the identity (plain GEMM: every element distinct, no padding).
 fn unique_inputs(
     operand: &DenseOperand,
     rows: std::ops::Range<usize>,
     cols: std::ops::Range<usize>,
+    trivial: bool,
     scratch: &mut Vec<u32>,
-) -> usize {
+) -> (usize, usize) {
+    if trivial {
+        let area = rows.len() * cols.len();
+        return (area, area);
+    }
     scratch.clear();
     for k in rows {
-        for c in cols.clone() {
-            let a = operand.addr(k, c);
-            if a != PAD_ADDR {
-                scratch.push(a);
-            }
-        }
+        let row = &operand.addrs[k * operand.inputs.cols()..(k + 1) * operand.inputs.cols()];
+        scratch.extend(row[cols.clone()].iter().filter(|&&a| a != PAD_ADDR));
     }
+    let non_pad = scratch.len();
     scratch.sort_unstable();
     scratch.dedup();
-    scratch.len()
+    (scratch.len(), non_pad)
+}
+
+/// Whether the address map is the identity permutation (the
+/// [`DenseOperand::from_gemm`] layout): every input element is a unique
+/// non-pad fetch, so window uniqueness needs no sorting.
+fn has_trivial_addrs(operand: &DenseOperand) -> bool {
+    operand
+        .addrs
+        .iter()
+        .enumerate()
+        .all(|(i, &a)| a == i as u32)
 }
 
 /// Splits the `n` output positions into delivery chunks of at most
@@ -239,6 +326,144 @@ fn position_chunks(layer: &LayerDims, n_cols: usize, t_pos: usize) -> Vec<(usize
     chunks
 }
 
+/// Loop-invariant context of a weight-stationary run, shared read-only
+/// by every filter chunk (and, under intra-layer parallelism, by every
+/// worker thread).
+struct WsCtx<'a> {
+    operand: &'a DenseOperand,
+    dn: DistributionNetwork,
+    mn: MultiplierNetwork,
+    rn: ReductionNetwork,
+    cluster: usize,
+    folds: usize,
+    k_len: usize,
+    n: usize,
+    pos_chunks: &'a [(usize, usize)],
+    chunks_per_block: usize,
+    spill: bool,
+    trivial_addrs: bool,
+}
+
+/// Simulates one stationary filter chunk (filters `k_lo..k_hi`) of a WS
+/// run: weight loads, input streaming, compute/reduce steps, and the
+/// chunk's pipeline drain. Writes the chunk's output rows into
+/// `out_rows` (rows `k_lo..k_hi` row-major, `ctx.n` columns each) and
+/// accumulates activity into `stats`. `cycles` is the absolute start
+/// cycle (trace spans are absolute); returns the cycle after the drain.
+///
+/// Chunks touch disjoint output rows and carry no state between each
+/// other beyond the additive cycle/stat totals — the disjoint-tile
+/// invariant that makes intra-layer parallelism bitwise-safe.
+fn ws_filter_chunk(
+    ctx: &WsCtx<'_>,
+    k_lo: usize,
+    k_hi: usize,
+    out_rows: &mut [Elem],
+    stats: &mut SimStats,
+    mut cycles: u64,
+    scratch: &mut Scratch,
+) -> u64 {
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
+    let chunk_filters = k_hi - k_lo;
+    compute_chunk_output(ctx, k_lo, k_hi, out_rows, &mut scratch.acc);
+
+    for block in ctx.pos_chunks.chunks(ctx.chunks_per_block) {
+        for fold in 0..ctx.folds {
+            let row_lo = fold * ctx.cluster;
+            let row_hi = (row_lo + ctx.cluster).min(ctx.k_len);
+            let fold_rows = row_hi - row_lo;
+
+            // Stationary weight (re)load for this fold: one distinct
+            // value per (filter, row), multicast across position
+            // clusters.
+            let w_unique = chunk_filters * fold_rows;
+            let w_cycles = ctx.dn.delivery_cycles(w_unique).max(1);
+            ctrl.span("load-weights", cycles, cycles + w_cycles);
+            dn_probe.span("weights", cycles, cycles + w_cycles);
+            cycles += w_cycles;
+            stats.breakdown.fill_cycles += w_cycles;
+            ctx.dn
+                .account(&mut stats.counters, w_unique, chunk_filters * fold_rows);
+            stats.counters.gb_reads += w_unique as u64;
+            let stream_start = cycles;
+
+            for &(pos, pos_hi) in block {
+                let chunk_pos = pos_hi - pos;
+
+                // Unique input elements this step (address reuse):
+                let (uniq, non_pad) = unique_inputs(
+                    ctx.operand,
+                    row_lo..row_hi,
+                    pos..pos_hi,
+                    ctx.trivial_addrs,
+                    &mut scratch.addrs,
+                );
+                let mut needed = uniq;
+                // Psum read-back when psums round-trip the GB.
+                let psum_elems = chunk_filters * chunk_pos;
+                if ctx.spill && fold > 0 {
+                    needed += psum_elems;
+                    stats.counters.gb_reads += psum_elems as u64;
+                }
+                let deliver = ctx.dn.delivery_cycles(needed);
+                let mut step = deliver.max(1);
+                ctx.dn
+                    .account(&mut stats.counters, uniq, fold_rows * chunk_pos);
+                stats.counters.gb_reads += uniq as u64;
+                stats.counters.fifo_pushes += uniq as u64;
+                stats.counters.fifo_pops += uniq as u64;
+
+                // Compute: every active VN multiplies its slice and the
+                // RN reduces all clusters in one pipelined step. The
+                // functional f32 output was produced up front by
+                // [`compute_chunk_output`] (same accumulation order);
+                // here only the non-pad taps count as multiplier
+                // activity.
+                let mults = chunk_filters as u64 * non_pad as u64;
+                ctx.mn.account(&mut stats.counters, mults, 0);
+                stats.ms_busy_cycles += mults;
+
+                let outcome = ctx.rn.reduce_uniform(fold_rows, psum_elems);
+                stats.counters.rn_adder_ops += outcome.adder_ops;
+                stats.counters.accumulator_updates += psum_elems as u64;
+
+                let last_fold = fold + 1 == ctx.folds;
+                if last_fold {
+                    // Collect finished outputs through the write ports.
+                    step = step.max(ctx.rn.collection_cycles(psum_elems));
+                    stats.counters.rn_collections += psum_elems as u64;
+                    stats.counters.gb_writes += psum_elems as u64;
+                } else if ctx.spill {
+                    // Psum write-back competes for the write ports.
+                    step = step.max(ctx.rn.collection_cycles(psum_elems));
+                    stats.counters.gb_writes += psum_elems as u64;
+                }
+
+                stats.bandwidth_stall_cycles += step.saturating_sub(1);
+                let deliver_floor = deliver.max(1);
+                stats.breakdown.steady_cycles += 1;
+                stats.breakdown.fifo_stall_cycles += deliver_floor.saturating_sub(1);
+                stats.breakdown.reduction_stall_cycles += step - deliver_floor;
+                cycles += step;
+                stats.compute_cycles += 1;
+            }
+            ctrl.span("stream", stream_start, cycles);
+            mn_probe.span("compute", stream_start, cycles);
+        }
+    }
+    // Pipeline drain of the reduction tree for this filter chunk.
+    let drain = ctx.rn.reduce_uniform(ctx.cluster, 1).latency + 1;
+    ctrl.span("drain", cycles, cycles + drain);
+    rn_probe.span("drain", cycles, cycles + drain);
+    cycles += drain;
+    stats.breakdown.drain_cycles += drain;
+    stats.iterations += 1;
+    cycles
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_weight_stationary(
     config: &AcceleratorConfig,
@@ -249,6 +474,7 @@ fn run_weight_stationary(
     m: usize,
     k_len: usize,
     n: usize,
+    workers: usize,
 ) -> (Matrix, SimStats) {
     let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
     let mn = MultiplierNetwork::new(config.mn, config.ms_size);
@@ -273,13 +499,7 @@ fn run_weight_stationary(
         ms_size: config.ms_size,
         ..SimStats::default()
     };
-    let mut cycles: u64 = 0;
-    let mut scratch = Vec::with_capacity(cluster * t_pos);
     let pos_chunks = position_chunks(layer, n, t_pos);
-    let ctrl = Probe::new(Component::Controller);
-    let dn_probe = Probe::new(Component::DistributionNetwork);
-    let mn_probe = Probe::new(Component::MultiplierNetwork);
-    let rn_probe = Probe::new(Component::ReductionNetwork);
 
     // Position-blocked schedule: the controller walks output positions in
     // blocks small enough that the block's psums live entirely in the RN
@@ -295,111 +515,176 @@ fn run_weight_stationary(
         ((acc_capacity / t_k).max(t_pos) / t_pos).max(1)
     };
 
+    let ctx = WsCtx {
+        operand,
+        dn,
+        mn,
+        rn,
+        cluster,
+        folds,
+        k_len,
+        n,
+        pos_chunks: &pos_chunks,
+        chunks_per_block,
+        spill,
+        trivial_addrs: has_trivial_addrs(operand),
+    };
     let k_chunks = m.div_ceil(t_k);
-    for kc in 0..k_chunks {
-        let k_lo = kc * t_k;
-        let k_hi = (k_lo + t_k).min(m);
-        let chunk_filters = k_hi - k_lo;
+    let chunk_bounds = |kc: usize| (kc * t_k, (kc * t_k + t_k).min(m));
+    if parallel_over(workers, k_chunks) {
+        let blocks = out.as_mut_slice().chunks_mut(t_k * n);
+        let partials = run_chunks_parallel(workers, k_chunks, blocks, |kc, block, scratch| {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            let mut local = SimStats::default();
+            let cycles = ws_filter_chunk(&ctx, k_lo, k_hi, block, &mut local, 0, scratch);
+            SimStats { cycles, ..local }
+        });
+        for partial in &partials {
+            stats.merge(partial);
+        }
+    } else {
+        let mut cycles: u64 = 0;
+        let mut scratch = Scratch::default();
+        for (kc, block) in out.as_mut_slice().chunks_mut(t_k * n).enumerate() {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            cycles = ws_filter_chunk(&ctx, k_lo, k_hi, block, &mut stats, cycles, &mut scratch);
+        }
+        stats.cycles = cycles;
+    }
+    (out, stats)
+}
 
-        for block in pos_chunks.chunks(chunks_per_block) {
-            for fold in 0..folds {
-                let row_lo = fold * cluster;
-                let row_hi = (row_lo + cluster).min(k_len);
-                let fold_rows = row_hi - row_lo;
+/// Whether a run with `workers` requested threads over `k_chunks`
+/// independent filter chunks takes the intra-layer parallel path.
+///
+/// Tracing pins the run to one thread: the trace collector is
+/// thread-local, so worker-thread spans would be silently dropped and
+/// the serial path keeps timelines complete.
+fn parallel_over(workers: usize, k_chunks: usize) -> bool {
+    workers > 1 && k_chunks > 1 && !crate::trace::is_active()
+}
 
-                // Stationary weight (re)load for this fold: one distinct
-                // value per (filter, row), multicast across position
-                // clusters.
-                let w_unique = chunk_filters * fold_rows;
-                let w_cycles = dn.delivery_cycles(w_unique).max(1);
-                ctrl.span("load-weights", cycles, cycles + w_cycles);
-                dn_probe.span("weights", cycles, cycles + w_cycles);
-                cycles += w_cycles;
-                stats.breakdown.fill_cycles += w_cycles;
-                dn.account(&mut stats.counters, w_unique, chunk_filters * fold_rows);
-                stats.counters.gb_reads += w_unique as u64;
-                let stream_start = cycles;
-
-                for &(pos, pos_hi) in block {
-                    let chunk_pos = pos_hi - pos;
-
-                    // Unique input elements this step (address reuse):
-                    let uniq = unique_inputs(operand, row_lo..row_hi, pos..pos_hi, &mut scratch);
-                    let mut needed = uniq;
-                    // Psum read-back when psums round-trip the GB.
-                    let psum_elems = chunk_filters * chunk_pos;
-                    if spill && fold > 0 {
-                        needed += psum_elems;
-                        stats.counters.gb_reads += psum_elems as u64;
-                    }
-                    let deliver = dn.delivery_cycles(needed);
-                    let mut step = deliver.max(1);
-                    dn.account(&mut stats.counters, uniq, fold_rows * chunk_pos);
-                    stats.counters.gb_reads += uniq as u64;
-                    stats.counters.fifo_pushes += uniq as u64;
-                    stats.counters.fifo_pops += uniq as u64;
-
-                    // Compute: every active VN multiplies its slice and
-                    // the RN reduces all clusters in one pipelined step.
-                    let mut mults: u64 = 0;
-                    for kf in k_lo..k_hi {
-                        for p in pos..pos_hi {
-                            let mut acc: Elem = 0.0;
-                            for row in row_lo..row_hi {
-                                let w = operand.weights.get(kf, row);
-                                let x = operand.inputs.get(row, p);
-                                if operand.addr(row, p) != PAD_ADDR {
-                                    mults += 1;
-                                }
-                                acc += w * x;
-                            }
-                            let cur = out.get(kf, p);
-                            out.set(kf, p, cur + acc);
-                        }
-                    }
-                    mn.account(&mut stats.counters, mults, 0);
-                    stats.ms_busy_cycles += mults;
-
-                    let cluster_sizes = vec![fold_rows; chunk_filters * chunk_pos];
-                    let outcome = rn.reduce(&cluster_sizes);
-                    stats.counters.rn_adder_ops += outcome.adder_ops;
-                    stats.counters.accumulator_updates += psum_elems as u64;
-
-                    let last_fold = fold + 1 == folds;
-                    if last_fold {
-                        // Collect finished outputs through the write ports.
-                        step = step.max(rn.collection_cycles(psum_elems));
-                        stats.counters.rn_collections += psum_elems as u64;
-                        stats.counters.gb_writes += psum_elems as u64;
-                    } else if spill {
-                        // Psum write-back competes for the write ports.
-                        step = step.max(rn.collection_cycles(psum_elems));
-                        stats.counters.gb_writes += psum_elems as u64;
-                    }
-
-                    stats.bandwidth_stall_cycles += step.saturating_sub(1);
-                    let deliver_floor = deliver.max(1);
-                    stats.breakdown.steady_cycles += 1;
-                    stats.breakdown.fifo_stall_cycles += deliver_floor - 1;
-                    stats.breakdown.reduction_stall_cycles += step - deliver_floor;
-                    cycles += step;
-                    stats.compute_cycles += 1;
-                }
-                ctrl.span("stream", stream_start, cycles);
-                mn_probe.span("compute", stream_start, cycles);
+/// Fans the `k_chunks` filter chunks (with their disjoint output-row
+/// blocks) across `workers` scoped threads and returns the per-chunk
+/// partial statistics in chunk order, so callers merge them
+/// deterministically (chunk-ascending — the serial order).
+fn run_chunks_parallel<'e, F>(
+    workers: usize,
+    k_chunks: usize,
+    blocks: std::slice::ChunksMut<'e, Elem>,
+    chunk_fn: F,
+) -> Vec<SimStats>
+where
+    F: Fn(usize, &mut [Elem], &mut Scratch) -> SimStats + Sync,
+{
+    let threads = workers.min(k_chunks);
+    // Static round-robin assignment: deterministic and balanced (chunks
+    // are uniform except the last).
+    let mut per_thread: Vec<Vec<(usize, &mut [Elem])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (kc, block) in blocks.enumerate() {
+        per_thread[kc % threads].push((kc, block));
+    }
+    let mut partials: Vec<Option<SimStats>> = (0..k_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|assignment| {
+                scope.spawn(|| {
+                    let mut scratch = Scratch::default();
+                    assignment
+                        .into_iter()
+                        .map(|(kc, block)| (kc, chunk_fn(kc, block, &mut scratch)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (kc, local) in handle.join().expect("engine worker panicked") {
+                partials[kc] = Some(local);
             }
         }
-        // Pipeline drain of the reduction tree for this filter chunk.
-        let drain = rn.reduce(&[cluster]).latency + 1;
-        ctrl.span("drain", cycles, cycles + drain);
-        rn_probe.span("drain", cycles, cycles + drain);
-        cycles += drain;
-        stats.breakdown.drain_cycles += drain;
-        stats.iterations += 1;
-    }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("every chunk simulated"))
+        .collect()
+}
 
-    stats.cycles = cycles;
-    (out, stats)
+/// One filter chunk of an output-stationary run: outputs stay pinned in
+/// the accumulators while weights AND inputs stream per fold. Same
+/// disjoint-row contract as [`ws_filter_chunk`].
+fn os_filter_chunk(
+    ctx: &WsCtx<'_>,
+    k_lo: usize,
+    k_hi: usize,
+    out_rows: &mut [Elem],
+    stats: &mut SimStats,
+    mut cycles: u64,
+    scratch: &mut Scratch,
+) -> u64 {
+    let ctrl = Probe::new(Component::Controller);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
+    let chunk_filters = k_hi - k_lo;
+    compute_chunk_output(ctx, k_lo, k_hi, out_rows, &mut scratch.acc);
+
+    for &(pos, pos_hi) in ctx.pos_chunks {
+        let chunk_pos = pos_hi - pos;
+        let stream_start = cycles;
+        for fold in 0..ctx.folds {
+            let row_lo = fold * ctx.cluster;
+            let row_hi = (row_lo + ctx.cluster).min(ctx.k_len);
+            let fold_rows = row_hi - row_lo;
+
+            let (uniq, non_pad) = unique_inputs(
+                ctx.operand,
+                row_lo..row_hi,
+                pos..pos_hi,
+                ctx.trivial_addrs,
+                &mut scratch.addrs,
+            );
+            let w_unique = chunk_filters * fold_rows;
+            let step = ctx.dn.delivery_cycles(uniq + w_unique).max(1);
+            ctx.dn
+                .account(&mut stats.counters, uniq + w_unique, fold_rows * chunk_pos);
+            stats.counters.gb_reads += (uniq + w_unique) as u64;
+
+            // Functional output handled up front by
+            // [`compute_chunk_output`] (identical accumulation order:
+            // rows ascending within a fold, folds ascending into the
+            // pinned output).
+            let mults = chunk_filters as u64 * non_pad as u64;
+            ctx.mn.account(&mut stats.counters, mults, 0);
+            stats.ms_busy_cycles += mults;
+            let outcome = ctx.rn.reduce_uniform(fold_rows, chunk_filters * chunk_pos);
+            stats.counters.rn_adder_ops += outcome.adder_ops;
+            stats.counters.accumulator_updates += (chunk_filters * chunk_pos) as u64;
+
+            stats.bandwidth_stall_cycles += step.saturating_sub(1);
+            stats.breakdown.steady_cycles += 1;
+            stats.breakdown.fifo_stall_cycles += step.saturating_sub(1);
+            cycles += step;
+            stats.compute_cycles += 1;
+        }
+        ctrl.span("stream", stream_start, cycles);
+        mn_probe.span("compute", stream_start, cycles);
+        // Drain finished outputs.
+        let outs = chunk_filters * chunk_pos;
+        let collect = ctx.rn.collection_cycles(outs);
+        ctrl.span("collect", cycles, cycles + collect);
+        rn_probe.span("collect", cycles, cycles + collect);
+        cycles += collect;
+        stats.breakdown.drain_cycles += collect;
+        stats.counters.rn_collections += outs as u64;
+        stats.counters.gb_writes += outs as u64;
+    }
+    let drain = ctx.rn.reduce_uniform(ctx.cluster, 1).latency + 1;
+    ctrl.span("drain", cycles, cycles + drain);
+    rn_probe.span("drain", cycles, cycles + drain);
+    cycles += drain;
+    stats.breakdown.drain_cycles += drain;
+    stats.iterations += 1;
+    cycles
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -412,6 +697,7 @@ fn run_output_stationary(
     m: usize,
     k_len: usize,
     n: usize,
+    workers: usize,
 ) -> (Matrix, SimStats) {
     let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
     let mn = MultiplierNetwork::new(config.mn, config.ms_size);
@@ -429,80 +715,43 @@ fn run_output_stationary(
         ms_size: config.ms_size,
         ..SimStats::default()
     };
-    let mut cycles: u64 = 0;
-    let mut scratch = Vec::with_capacity(cluster * t_pos);
     let pos_chunks = position_chunks(layer, n, t_pos);
-    let ctrl = Probe::new(Component::Controller);
-    let mn_probe = Probe::new(Component::MultiplierNetwork);
-    let rn_probe = Probe::new(Component::ReductionNetwork);
-
-    // Outputs stay pinned in the accumulators; weights AND inputs stream
-    // per fold, so every step pays for both operand kinds.
-    for kc in 0..m.div_ceil(t_k) {
-        let k_lo = kc * t_k;
-        let k_hi = (k_lo + t_k).min(m);
-        let chunk_filters = k_hi - k_lo;
-        for &(pos, pos_hi) in &pos_chunks {
-            let chunk_pos = pos_hi - pos;
-            let stream_start = cycles;
-            for fold in 0..folds {
-                let row_lo = fold * cluster;
-                let row_hi = (row_lo + cluster).min(k_len);
-                let fold_rows = row_hi - row_lo;
-
-                let uniq = unique_inputs(operand, row_lo..row_hi, pos..pos_hi, &mut scratch);
-                let w_unique = chunk_filters * fold_rows;
-                let step = dn.delivery_cycles(uniq + w_unique).max(1);
-                dn.account(&mut stats.counters, uniq + w_unique, fold_rows * chunk_pos);
-                stats.counters.gb_reads += (uniq + w_unique) as u64;
-
-                let mut mults: u64 = 0;
-                for kf in k_lo..k_hi {
-                    for p in pos..pos_hi {
-                        let mut acc: Elem = 0.0;
-                        for row in row_lo..row_hi {
-                            if operand.addr(row, p) != PAD_ADDR {
-                                mults += 1;
-                            }
-                            acc += operand.weights.get(kf, row) * operand.inputs.get(row, p);
-                        }
-                        let cur = out.get(kf, p);
-                        out.set(kf, p, cur + acc);
-                    }
-                }
-                mn.account(&mut stats.counters, mults, 0);
-                stats.ms_busy_cycles += mults;
-                let outcome = rn.reduce(&vec![fold_rows; chunk_filters * chunk_pos]);
-                stats.counters.rn_adder_ops += outcome.adder_ops;
-                stats.counters.accumulator_updates += (chunk_filters * chunk_pos) as u64;
-
-                stats.bandwidth_stall_cycles += step.saturating_sub(1);
-                stats.breakdown.steady_cycles += 1;
-                stats.breakdown.fifo_stall_cycles += step - 1;
-                cycles += step;
-                stats.compute_cycles += 1;
-            }
-            ctrl.span("stream", stream_start, cycles);
-            mn_probe.span("compute", stream_start, cycles);
-            // Drain finished outputs.
-            let outs = chunk_filters * chunk_pos;
-            let collect = rn.collection_cycles(outs);
-            ctrl.span("collect", cycles, cycles + collect);
-            rn_probe.span("collect", cycles, cycles + collect);
-            cycles += collect;
-            stats.breakdown.drain_cycles += collect;
-            stats.counters.rn_collections += outs as u64;
-            stats.counters.gb_writes += outs as u64;
+    let ctx = WsCtx {
+        operand,
+        dn,
+        mn,
+        rn,
+        cluster,
+        folds,
+        k_len,
+        n,
+        pos_chunks: &pos_chunks,
+        chunks_per_block: 1, // unused by the OS walk
+        spill: false,        // outputs never spill: they are pinned
+        trivial_addrs: has_trivial_addrs(operand),
+    };
+    let k_chunks = m.div_ceil(t_k);
+    let chunk_bounds = |kc: usize| (kc * t_k, (kc * t_k + t_k).min(m));
+    if parallel_over(workers, k_chunks) {
+        let blocks = out.as_mut_slice().chunks_mut(t_k * n);
+        let partials = run_chunks_parallel(workers, k_chunks, blocks, |kc, block, scratch| {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            let mut local = SimStats::default();
+            let cycles = os_filter_chunk(&ctx, k_lo, k_hi, block, &mut local, 0, scratch);
+            SimStats { cycles, ..local }
+        });
+        for partial in &partials {
+            stats.merge(partial);
         }
-        let drain = rn.reduce(&[cluster]).latency + 1;
-        ctrl.span("drain", cycles, cycles + drain);
-        rn_probe.span("drain", cycles, cycles + drain);
-        cycles += drain;
-        stats.breakdown.drain_cycles += drain;
-        stats.iterations += 1;
+    } else {
+        let mut cycles: u64 = 0;
+        let mut scratch = Scratch::default();
+        for (kc, block) in out.as_mut_slice().chunks_mut(t_k * n).enumerate() {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            cycles = os_filter_chunk(&ctx, k_lo, k_hi, block, &mut stats, cycles, &mut scratch);
+        }
+        stats.cycles = cycles;
     }
-
-    stats.cycles = cycles;
     (out, stats)
 }
 
@@ -652,6 +901,49 @@ mod tests {
         let (out, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
         assert_eq!(out.get(0, 0), 3.0);
         assert_eq!(stats.counters.multiplications, 1);
+    }
+
+    #[test]
+    fn intra_layer_parallel_is_bitwise_identical_to_serial() {
+        // The disjoint-tile invariant: fanning k-chunks across workers
+        // must reproduce the serial walk exactly — same output bits, same
+        // cycles, same counters, same breakdown.
+        for (seed, dataflow) in [
+            (41, Dataflow::WeightStationary),
+            (42, Dataflow::OutputStationary),
+            (43, Dataflow::InputStationary),
+        ] {
+            let (_, _, op) = gemm_setup(24, 13, 40, seed);
+            let layer = LayerDims::from_gemm(24, 13, 40);
+            let tile = Tile::auto(&layer, 32); // small array -> several k-chunks
+            let mut cfg = AcceleratorConfig::maeri_like(32, 8);
+            cfg.dataflow = dataflow;
+            let (serial_out, serial) = run_dense(&cfg, "g", &layer, &tile, &op);
+            for workers in [2, 4, 7] {
+                let (par_out, par) = run_dense_with(&cfg, "g", &layer, &tile, &op, workers);
+                assert_eq!(
+                    serial_out.as_slice(),
+                    par_out.as_slice(),
+                    "{dataflow:?} x{workers}: outputs must be bitwise identical"
+                );
+                assert_eq!(serial, par, "{dataflow:?} x{workers}: stats must match");
+            }
+        }
+    }
+
+    #[test]
+    fn full_bandwidth_single_cycle_steps_have_no_stalls() {
+        // Regression for the `step - 1` vs `saturating_sub(1)` stall
+        // idiom: when delivery fits in one cycle the stall terms are all
+        // zero (and must not underflow).
+        let (_, _, op) = gemm_setup(2, 2, 4, 44);
+        let layer = LayerDims::from_gemm(2, 2, 4);
+        let tile = Tile::auto(&layer, 64);
+        let cfg = AcceleratorConfig::maeri_like(64, 64);
+        let (_, stats) = run_dense(&cfg, "gemm", &layer, &tile, &op);
+        assert_eq!(stats.bandwidth_stall_cycles, 0);
+        assert_eq!(stats.breakdown.fifo_stall_cycles, 0);
+        assert!(stats.cycles < 1_000, "underflow would explode the count");
     }
 
     #[test]

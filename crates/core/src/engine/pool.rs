@@ -44,18 +44,17 @@ pub fn run_maxpool(
     let windows_per_wave = (config.ms_size / window_elems).max(1) as u64;
     let waves = num_windows.div_ceil(windows_per_wave);
     let per_wave_elems = windows_per_wave as usize * window_elems;
-    let mut cycles = 0u64;
     let ctrl = Probe::new(Component::Controller);
     let rn_probe = Probe::new(Component::ReductionNetwork);
-    for _ in 0..waves {
-        let deliver = dn.delivery_cycles(per_wave_elems).max(1);
-        let collect = rn.collection_cycles(windows_per_wave as usize);
-        let step = deliver.max(collect);
-        stats.breakdown.steady_cycles += 1;
-        stats.breakdown.fifo_stall_cycles += deliver - 1;
-        stats.breakdown.reduction_stall_cycles += step - deliver;
-        cycles += step;
-    }
+    // Every wave streams the same volume, so the per-wave cost is a
+    // constant; charge all waves in one shot instead of looping.
+    let deliver = dn.delivery_cycles(per_wave_elems).max(1);
+    let collect = rn.collection_cycles(windows_per_wave as usize);
+    let step = deliver.max(collect);
+    stats.breakdown.steady_cycles += waves;
+    stats.breakdown.fifo_stall_cycles += deliver.saturating_sub(1) * waves;
+    stats.breakdown.reduction_stall_cycles += (step - deliver) * waves;
+    let mut cycles = step * waves;
     ctrl.span("stream", 0, cycles);
     let drain = rn.reduce(&[window_elems]).latency + 1;
     ctrl.span("drain", cycles, cycles + drain);

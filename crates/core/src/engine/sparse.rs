@@ -76,7 +76,7 @@ impl RowSchedule for NaturalOrder {
 }
 
 /// One row segment mapped onto the array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Segment {
     /// Source MK row.
     row: usize,
@@ -162,7 +162,7 @@ fn pack_segments(
                     taken[i] = true;
                     remaining -= 1;
                     used += len;
-                    current.push(pending[i].clone());
+                    current.push(pending[i]);
                 } else if !allow_skip {
                     break;
                 }
@@ -265,8 +265,11 @@ fn run_weight_stationary(
     let mn_probe = Probe::new(Component::MultiplierNetwork);
     let rn_probe = Probe::new(Component::ReductionNetwork);
 
-    // Cache row entries once (CSR walk is the controller's metadata read).
+    // Cache row entries once (CSR walk is the controller's metadata read)
+    // and transpose the streaming operand once so every column of the
+    // steady-state loop is a contiguous slice.
     let rows: Vec<Vec<(usize, Elem)>> = (0..m).map(|r| a.row_entries(r).collect()).collect();
+    let bt = b.transposed();
 
     for segments in &iterations {
         let occupied: usize = segments.iter().map(|s| s.len).sum();
@@ -307,52 +310,87 @@ fn run_weight_stationary(
         // among the stationary indices are delivered and multiplied.
         let dual = config.exploit_activation_sparsity;
         let stream_start = cycles;
-        for col in 0..n {
-            let delivered = if dual {
-                ks.iter().filter(|&&k| b.get(k, col) != 0.0).count()
-            } else {
-                distinct_k
-            };
-            let mut col_mults: u64 = 0;
-            for seg in segments {
-                let mut acc: Elem = 0.0;
-                for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
-                    let x = b.get(k, col);
-                    if !dual || x != 0.0 {
-                        col_mults += 1;
+        if dual {
+            for col in 0..n {
+                let bcol = bt.row(col);
+                let delivered = ks.iter().filter(|&&k| bcol[k] != 0.0).count();
+                let mut col_mults: u64 = 0;
+                for seg in segments {
+                    let mut acc: Elem = 0.0;
+                    for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
+                        let x = bcol[k];
+                        if x != 0.0 {
+                            col_mults += 1;
+                        }
+                        acc += w * x;
                     }
-                    acc += w * x;
+                    let cur = out.get(seg.row, col);
+                    out.set(seg.row, col, cur + acc);
+                    if seg.accumulate {
+                        stats.counters.accumulator_updates += 1;
+                    }
                 }
-                let cur = out.get(seg.row, col);
-                out.set(seg.row, col, cur + acc);
-                if seg.accumulate {
-                    stats.counters.accumulator_updates += 1;
-                }
-            }
-            let step = dn.delivery_cycles(delivered).max(1).max(collect);
-            stats.counters.multiplications += col_mults;
-            stats.ms_busy_cycles += col_mults;
-            stats.counters.rn_adder_ops += outcome.adder_ops;
-            stats.counters.rn_collections += segments.len() as u64;
-            stats.counters.gb_writes += segments.len() as u64;
-            dn.account(&mut stats.counters, delivered, occupied);
-            stats.counters.gb_reads += delivered as u64;
-            if dual {
+                let step = dn.delivery_cycles(delivered).max(1).max(collect);
+                stats.counters.multiplications += col_mults;
+                stats.ms_busy_cycles += col_mults;
+                stats.counters.rn_adder_ops += outcome.adder_ops;
+                stats.counters.rn_collections += segments.len() as u64;
+                stats.counters.gb_writes += segments.len() as u64;
+                dn.account(&mut stats.counters, delivered, occupied);
+                stats.counters.gb_reads += delivered as u64;
                 stats.counters.metadata_reads += 1; // column bitmap word
+                let deliver_floor = dn.delivery_cycles(delivered).max(1);
+                stats.breakdown.steady_cycles += 1;
+                stats.breakdown.fifo_stall_cycles += deliver_floor.saturating_sub(1);
+                stats.breakdown.reduction_stall_cycles += step - deliver_floor;
+                cycles += step;
+                stats.compute_cycles += 1;
+                stats.bandwidth_stall_cycles += step.saturating_sub(1);
             }
-            let deliver_floor = dn.delivery_cycles(delivered).max(1);
-            stats.breakdown.steady_cycles += 1;
-            stats.breakdown.fifo_stall_cycles += deliver_floor - 1;
-            stats.breakdown.reduction_stall_cycles += step - deliver_floor;
-            cycles += step;
-            stats.compute_cycles += 1;
-            stats.bandwidth_stall_cycles += step - 1;
+        } else {
+            // Without activation sparsity every column delivers the same
+            // `distinct_k` inputs and multiplies every mapped non-zero,
+            // so the per-column accounting is uniform: compute the f32
+            // outputs column by column (exact engine order) and add the
+            // n identical step costs in bulk.
+            for col in 0..n {
+                let bcol = bt.row(col);
+                for seg in segments {
+                    let mut acc: Elem = 0.0;
+                    for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
+                        acc += w * bcol[k];
+                    }
+                    let cur = out.get(seg.row, col);
+                    out.set(seg.row, col, cur + acc);
+                }
+            }
+            let n64 = n as u64;
+            let step = dn.delivery_cycles(distinct_k).max(1).max(collect);
+            let deliver_floor = dn.delivery_cycles(distinct_k).max(1);
+            let accumulating = segments.iter().filter(|s| s.accumulate).count() as u64;
+            stats.counters.accumulator_updates += accumulating * n64;
+            stats.counters.multiplications += occupied as u64 * n64;
+            stats.ms_busy_cycles += occupied as u64 * n64;
+            stats.counters.rn_adder_ops += outcome.adder_ops * n64;
+            stats.counters.rn_collections += segments.len() as u64 * n64;
+            stats.counters.gb_writes += segments.len() as u64 * n64;
+            // The DN activity formulas are linear in (unique, dests), so
+            // one bulk call equals n per-column calls.
+            dn.account(&mut stats.counters, distinct_k * n, occupied * n);
+            stats.counters.gb_reads += distinct_k as u64 * n64;
+            stats.breakdown.steady_cycles += n64;
+            stats.breakdown.fifo_stall_cycles += deliver_floor.saturating_sub(1) * n64;
+            stats.breakdown.reduction_stall_cycles += (step - deliver_floor) * n64;
+            cycles += step * n64;
+            stats.compute_cycles += n64;
+            stats.bandwidth_stall_cycles += step.saturating_sub(1) * n64;
         }
         ctrl.span("stream", stream_start, cycles);
         mn_probe.span("compute", stream_start, cycles);
 
-        // FAN pipeline fill/drain between reconfigurations.
-        let drain = rn.reduce(&cluster_sizes).latency + 1;
+        // FAN pipeline fill/drain between reconfigurations (same reduce
+        // outcome as the streaming steps — memoized above).
+        let drain = outcome.latency + 1;
         ctrl.span("drain", cycles, cycles + drain);
         rn_probe.span("drain", cycles, cycles + drain);
         stats.breakdown.drain_cycles += drain;
@@ -416,9 +454,9 @@ fn run_input_stationary(
         let dispatch = (nnz as u64).div_ceil(config.dn_bandwidth as u64).max(1);
         cycles += dispatch;
         stats.compute_cycles += 1;
-        stats.bandwidth_stall_cycles += dispatch - 1;
+        stats.bandwidth_stall_cycles += dispatch.saturating_sub(1);
         stats.breakdown.steady_cycles += 1;
-        stats.breakdown.fifo_stall_cycles += dispatch - 1;
+        stats.breakdown.fifo_stall_cycles += dispatch.saturating_sub(1);
         stats.counters.multiplications += nnz as u64;
         stats.ms_busy_cycles += nnz as u64;
         dn.account(&mut stats.counters, nnz, nnz);

@@ -57,7 +57,9 @@ pub fn run_gemm(
         ..SimStats::default()
     };
     let mut cycles: u64 = 0;
-    let mut psum = vec![0.0 as Elem; dim * dim];
+    // Column-contiguous view of B: every PE column's operand stream is a
+    // slice, so each PE's MAC sequence is a contiguous dot product.
+    let bt = b.transposed();
     let ctrl = Probe::new(Component::Controller);
     let dn_probe = Probe::new(Component::DistributionNetwork);
     let mn_probe = Probe::new(Component::MultiplierNetwork);
@@ -77,32 +79,30 @@ pub fn run_gemm(
                 .div_ceil(config.dn_bandwidth as u64)
                 .max(1);
 
-            psum.iter_mut().for_each(|p| *p = 0.0);
-            // Wavefront simulation: cycle t fires PE (i,j) for
-            // k = t - i - j, 0 <= k < K.
-            let wave_cycles = (k + tm + tn - 2) as u64;
-            let mut busy_total: u64 = 0;
-            for t in 0..wave_cycles {
-                let mut busy_this_cycle: u64 = 0;
-                let i_min = t.saturating_sub((k - 1 + tn - 1) as u64) as usize;
-                let i_max = (t as usize).min(tm - 1);
-                for i in i_min..=i_max {
-                    let rem = t as usize - i;
-                    let j_min = rem.saturating_sub(k - 1);
-                    let j_max = rem.min(tn - 1);
-                    for j in j_min..=j_max {
-                        let kk = rem - j;
-                        debug_assert!(kk < k);
-                        let av = a.get(i_lo + i, kk);
-                        let bv = b.get(kk, j_lo + j);
-                        psum[i * dim + j] += av * bv;
-                        busy_this_cycle += 1;
+            // Functional model: on the wavefront (PE (i,j) fires its MAC
+            // for inner index kk at cycle fill + i + j + kk) every PE
+            // accumulates its psum in ascending-kk order — exactly a
+            // straight dot product per output, computed here directly
+            // instead of sweeping the grid cycle by cycle. Timing and
+            // activity below are the wavefront's closed forms: every PE
+            // is busy for exactly K MACs (busy_total = tm·tn·K) and the
+            // front needs K + tm + tn - 2 streaming cycles.
+            for i in 0..tm {
+                let arow = a.row(i_lo + i);
+                let orow = out.row_mut(i_lo + i);
+                for j in 0..tn {
+                    let bcol = bt.row(j_lo + j);
+                    let mut acc: Elem = 0.0;
+                    for (&av, &bv) in arow.iter().zip(bcol) {
+                        acc += av * bv;
                     }
+                    orow[j_lo + j] = acc;
                 }
-                busy_total += busy_this_cycle;
-                // Operands shift one hop right/down per streaming cycle.
-                stats.counters.mn_forwards += 2 * busy_this_cycle;
             }
+            let wave_cycles = (k + tm + tn - 2) as u64;
+            let busy_total = (tm * tn * k) as u64;
+            // Operands shift one hop right/down per streaming cycle.
+            stats.counters.mn_forwards += 2 * busy_total;
             stats.ms_busy_cycles += busy_total;
             stats.counters.accumulator_updates += busy_total;
             mn.account(&mut stats.counters, busy_total, 0);
@@ -143,12 +143,6 @@ pub fn run_gemm(
             let outcome = rn.reduce(&[1]);
             rn.account(&mut stats.counters, outcome, outs);
             stats.counters.gb_writes += outs;
-
-            for i in 0..tm {
-                for j in 0..tn {
-                    out.set(i_lo + i, j_lo + j, psum[i * dim + j]);
-                }
-            }
             stats.iterations += 1;
         }
     }

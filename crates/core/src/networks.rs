@@ -234,6 +234,27 @@ impl ReductionNetwork {
         }
     }
 
+    /// [`ReductionNetwork::reduce`] for `count` clusters of one uniform
+    /// `size` — the shape every steady-state engine step produces — in
+    /// O(1) without materializing the size slice. Equivalent to
+    /// `self.reduce(&vec![size; count])`.
+    pub fn reduce_uniform(&self, size: usize, count: usize) -> ReduceOutcome {
+        let adder_ops = size.saturating_sub(1) as u64 * count as u64;
+        let max = if count == 0 { 0 } else { size };
+        match self.kind {
+            RnKind::Linear => ReduceOutcome {
+                adder_ops,
+                latency: 1,
+                serial_cycles: (max as u64).saturating_sub(1),
+            },
+            _ => ReduceOutcome {
+                adder_ops,
+                latency: ceil_log2(max.max(1)) as u64,
+                serial_cycles: 0,
+            },
+        }
+    }
+
     /// Cycles to collect `outputs` reduced values into the GB.
     pub fn collection_cycles(&self, outputs: usize) -> u64 {
         (outputs as u64).div_ceil(self.bandwidth as u64)
@@ -299,6 +320,22 @@ mod tests {
         assert_eq!(out.adder_ops, 31 + 31 + 63);
         assert_eq!(out.latency, 6);
         assert_eq!(out.serial_cycles, 0);
+    }
+
+    #[test]
+    fn reduce_uniform_matches_naive_reduce() {
+        for kind in [RnKind::Art, RnKind::ArtAcc, RnKind::Fan, RnKind::Linear] {
+            let rn = ReductionNetwork::new(kind, 128, 16);
+            for size in [0, 1, 2, 3, 7, 16, 128] {
+                for count in [0, 1, 2, 5, 64] {
+                    assert_eq!(
+                        rn.reduce_uniform(size, count),
+                        rn.reduce(&vec![size; count]),
+                        "{kind:?} size {size} count {count}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

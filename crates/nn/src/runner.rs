@@ -88,6 +88,7 @@ impl ModelRun {
 pub struct RunOptions {
     cache: Option<SimCache>,
     parallel: bool,
+    intra_tiles: bool,
 }
 
 impl Default for RunOptions {
@@ -95,6 +96,7 @@ impl Default for RunOptions {
         Self {
             cache: Some(SimCache::new()),
             parallel: false,
+            intra_tiles: false,
         }
     }
 }
@@ -128,6 +130,29 @@ impl RunOptions {
     pub fn parallel(mut self) -> Self {
         self.parallel = true;
         self
+    }
+
+    /// Fans the independent k-chunk tiles *inside* each dense layer
+    /// across the worker pool (see `docs/PERFORMANCE.md` for the
+    /// disjoint-tile invariant). Outputs, cycles, and statistics are
+    /// bitwise-identical to a serial run; composes with
+    /// [`RunOptions::parallel`] and the cache.
+    #[must_use]
+    pub fn intra_layer_parallel(mut self) -> Self {
+        self.intra_tiles = true;
+        self
+    }
+
+    /// Worker budget handed to [`Stonne::with_intra_tiles`]: the host's
+    /// available parallelism when intra-layer tiling is on, else 1.
+    fn intra_workers(&self) -> usize {
+        if self.intra_tiles {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            1
+        }
     }
 }
 
@@ -214,7 +239,7 @@ pub fn run_model_simulated_with(
             energy_model,
         );
     }
-    let mut sim = Stonne::new(config)?;
+    let mut sim = Stonne::new(config)?.with_intra_tiles(options.intra_workers());
     if let Some(cache) = options.cache {
         sim = sim.with_cache(cache);
     }
@@ -305,8 +330,11 @@ fn run_parallel_waves(
                 let config = config.clone();
                 let schedule = Arc::clone(&schedule);
                 let cache = options.cache.clone();
+                let intra_workers = options.intra_workers();
                 move || {
-                    let mut sim = Stonne::new(config).expect("config validated above");
+                    let mut sim = Stonne::new(config)
+                        .expect("config validated above")
+                        .with_intra_tiles(intra_workers);
                     if let Some(cache) = cache {
                         sim = sim.with_cache(cache);
                     }

@@ -164,6 +164,11 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutable borrow of row `r` as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [Elem] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Flat row-major view of the whole matrix.
     pub fn as_slice(&self) -> &[Elem] {
         &self.data

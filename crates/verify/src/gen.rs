@@ -98,6 +98,21 @@ pub enum Workload {
         /// Architecture selector, as in [`Workload::CacheReplay`].
         arch: u8,
     },
+    /// Dense GEMM on the flexible composition, run serially and with the
+    /// intra-layer tile fan-out ([`stonne::core::Stonne::with_intra_tiles`]):
+    /// outputs and statistics must be bitwise equal.
+    IntraLayerParallel {
+        /// Multiplier-switch count.
+        ms: usize,
+        /// GEMM M.
+        m: usize,
+        /// GEMM N.
+        n: usize,
+        /// GEMM K.
+        k: usize,
+        /// Worker budget handed to the engine.
+        workers: usize,
+    },
 }
 
 impl Workload {
@@ -111,6 +126,7 @@ impl Workload {
             Workload::CacheReplay { .. } => "cache_replay",
             Workload::Pool { .. } => "pool",
             Workload::ModelRun { .. } => "model_run",
+            Workload::IntraLayerParallel { .. } => "intra_layer_parallel",
         }
     }
 }
@@ -141,7 +157,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
     // Class weights (out of 100). Full-model runs are the most expensive
     // class by two orders of magnitude, so they are deliberately rare.
     let roll = rng.index(100);
-    if roll < 24 {
+    if roll < 22 {
         let dims = [4, 8, 16];
         Workload::SystolicGemm {
             dim: dims[rng.index(dims.len())],
@@ -149,7 +165,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 1 + rng.index(64),
             k: 1 + rng.index(96),
         }
-    } else if roll < 46 {
+    } else if roll < 42 {
         let sizes = [16, 32, 64, 128];
         Workload::FlexibleGemm {
             ms: sizes[rng.index(sizes.len())],
@@ -157,7 +173,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 1 + rng.index(48),
             k: 1 + rng.index(64),
         }
-    } else if roll < 62 {
+    } else if roll < 58 {
         let sizes = [32, 64, 128];
         let sparsities = [0, 0, 30, 60, 90];
         let ms = sizes[rng.index(sizes.len())];
@@ -183,7 +199,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             k,
             sparsity_pct,
         }
-    } else if roll < 76 {
+    } else if roll < 72 {
         let sizes = [32, 64, 128];
         Workload::SparseDenseEquiv {
             ms: sizes[rng.index(sizes.len())],
@@ -191,12 +207,24 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 2 + rng.index(32),
             k: 4 + rng.index(48),
         }
-    } else if roll < 88 {
+    } else if roll < 82 {
         Workload::CacheReplay {
             arch: rng.index(3) as u8,
             m: 1 + rng.index(32),
             n: 1 + rng.index(32),
             k: 1 + rng.index(48),
+        }
+    } else if roll < 88 {
+        // Sized so the auto tile yields several filter chunks — the
+        // serial-vs-fanned comparison is vacuous on a single chunk.
+        let sizes = [32, 64];
+        let worker_counts = [2, 3, 4, 8];
+        Workload::IntraLayerParallel {
+            ms: sizes[rng.index(sizes.len())],
+            m: 8 + rng.index(32),
+            n: 2 + rng.index(24),
+            k: 8 + rng.index(48),
+            workers: worker_counts[rng.index(worker_counts.len())],
         }
     } else if roll < 96 {
         let window = 2 + rng.index(2);
@@ -247,6 +275,7 @@ mod tests {
             "cache_replay",
             "pool",
             "model_run",
+            "intra_layer_parallel",
         ] {
             assert!(seen.contains(class), "class {class} never generated");
         }

@@ -64,7 +64,7 @@ pub struct SampleCheck {
 }
 
 /// The fixed oracle roster, in report order.
-pub const ORACLES: [&str; 10] = [
+pub const ORACLES: [&str; 11] = [
     "systolic_exact_cycles",
     "flexible_maeri_band",
     "sigma_dense_band",
@@ -72,6 +72,7 @@ pub const ORACLES: [&str; 10] = [
     "sparse_dense_cycle_envelope",
     "cache_replay_bitwise",
     "serial_parallel_equal",
+    "intra_serial_parallel_bitwise",
     "functional_outputs",
     "breakdown_sums_to_cycles",
     "stats_energy_invariants",
@@ -487,6 +488,62 @@ fn check_model_run(model: stonne::models::ModelId, arch: u8, seed: u64) -> Sampl
     }
 }
 
+fn check_intra_layer_parallel(
+    ms: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    workers: usize,
+    seed: u64,
+) -> SampleCheck {
+    let mut outcomes = Vec::new();
+    let (a, b) = operands(m, n, k, seed);
+    // Half bandwidth exercises the stall paths too; both WS and OS walks
+    // are fanned, IS transposes onto the WS path.
+    let base = AcceleratorConfig::maeri_like(ms, (ms / 2).max(1));
+    for dataflow in [
+        stonne::core::Dataflow::WeightStationary,
+        stonne::core::Dataflow::OutputStationary,
+    ] {
+        let mut cfg = base.clone();
+        cfg.dataflow = dataflow;
+        let mut serial_sim = Stonne::new(cfg.clone()).expect("preset is valid");
+        let (serial_out, serial_stats) = serial_sim.run_gemm("fuzz_intra", &a, &b);
+        let mut par_sim = Stonne::new(cfg.clone())
+            .expect("preset is valid")
+            .with_intra_tiles(workers);
+        let (par_out, par_stats) = par_sim.run_gemm("fuzz_intra", &a, &b);
+
+        let outputs_bitwise = serial_out.as_slice() == par_out.as_slice();
+        let stats_equal = serial_stats == par_stats;
+        push(
+            &mut outcomes,
+            "intra_serial_parallel_bitwise",
+            outputs_bitwise && stats_equal,
+            None,
+            format!(
+                "{dataflow:?} x{workers}: outputs_bitwise {} stats_equal {} ({} cycles)",
+                outputs_bitwise, stats_equal, serial_stats.cycles
+            ),
+        );
+
+        let reference = gemm_reference(&a, &b);
+        push(
+            &mut outcomes,
+            "functional_outputs",
+            slices_approx_equal(par_out.as_slice(), reference.as_slice()),
+            None,
+            format!("{}x{} fanned output vs gemm_reference", m, n),
+        );
+        structural_checks(&mut outcomes, &cfg, &par_stats);
+    }
+    SampleCheck {
+        outcomes,
+        maeri_full_bw: None,
+        sigma_dense: None,
+    }
+}
+
 /// Runs every applicable oracle on one workload. `seed` must be the
 /// sample seed from [`crate::gen::sample_seed`] so operand data is
 /// deterministic per sample.
@@ -510,6 +567,13 @@ pub fn check_workload(workload: &Workload, seed: u64) -> SampleCheck {
             stride,
         } => check_pool(c, hw, window, stride, seed),
         Workload::ModelRun { model, arch } => check_model_run(model, arch, seed),
+        Workload::IntraLayerParallel {
+            ms,
+            m,
+            n,
+            k,
+            workers,
+        } => check_intra_layer_parallel(ms, m, n, k, workers, seed),
     }
 }
 
@@ -539,6 +603,21 @@ mod tests {
                 k: 13,
             };
             let r = check_workload(&w, 0x77);
+            assert!(r.outcomes.iter().all(|o| o.passed), "{:?}", r.outcomes);
+        }
+    }
+
+    #[test]
+    fn intra_layer_parallel_oracle_accepts_the_engine() {
+        for workers in [2, 4, 8] {
+            let w = Workload::IntraLayerParallel {
+                ms: 32,
+                m: 24,
+                n: 11,
+                k: 40,
+                workers,
+            };
+            let r = check_workload(&w, 0x1f2e);
             assert!(r.outcomes.iter().all(|o| o.passed), "{:?}", r.outcomes);
         }
     }

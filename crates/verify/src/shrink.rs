@@ -146,6 +146,59 @@ pub fn candidates(w: &Workload) -> Vec<Workload> {
                 });
             }
         }
+        Workload::IntraLayerParallel {
+            ms,
+            m,
+            n,
+            k,
+            workers,
+        } => {
+            if let Some(s) = stepped_down(ms, &[32, 64]) {
+                out.push(Workload::IntraLayerParallel {
+                    ms: s,
+                    m,
+                    n,
+                    k,
+                    workers,
+                });
+            }
+            if let Some(v) = halved(m, 2) {
+                out.push(Workload::IntraLayerParallel {
+                    ms,
+                    m: v,
+                    n,
+                    k,
+                    workers,
+                });
+            }
+            if let Some(v) = halved(n, 1) {
+                out.push(Workload::IntraLayerParallel {
+                    ms,
+                    m,
+                    n: v,
+                    k,
+                    workers,
+                });
+            }
+            if let Some(v) = halved(k, 2) {
+                out.push(Workload::IntraLayerParallel {
+                    ms,
+                    m,
+                    n,
+                    k: v,
+                    workers,
+                });
+            }
+            if let Some(w2) = halved(workers, 2) {
+                out.push(Workload::IntraLayerParallel {
+                    ms,
+                    m,
+                    n,
+                    k,
+                    workers: w2,
+                });
+            }
+        }
         // A model run has no smaller version of itself.
         Workload::ModelRun { .. } => {}
     }

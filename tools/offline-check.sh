@@ -75,4 +75,15 @@ if [ "$1" = "ci" ]; then
     exit 0
 fi
 
+# `perf` builds and runs the tracked benchmark basket (the `perf` bin of
+# crates/bench), writing results/BENCH.json. Extra args pass through:
+#   tools/offline-check.sh perf --quick
+#   tools/offline-check.sh perf --baseline results/BENCH_baseline.json
+if [ "$1" = "perf" ]; then
+    shift
+    cargo --offline run --release -p stonne-bench --bin perf -- \
+        --out results/BENCH.json "$@"
+    exit 0
+fi
+
 cargo --offline "$@"
