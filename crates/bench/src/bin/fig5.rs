@@ -4,17 +4,20 @@
 //!
 //! Usage:
 //! `cargo run -p stonne-bench --release --bin fig5 -- [tiny|reduced]
-//!    [--cycle-breakdown] [--trace PATH]`
+//!    [--cycle-breakdown] [--trace PATH] [--store DIR]`
 //!
 //! `--cycle-breakdown` appends the per-phase cycle split of every row;
 //! `--trace PATH` additionally records one representative inference
 //! (SqueezeNet × SIGMA) and writes its Chrome-trace timeline to PATH
-//! (open in `ui.perfetto.dev`).
+//! (open in `ui.perfetto.dev`); `--store DIR` backs the sweep's cache
+//! with the persistent result store under DIR, so regenerating the
+//! figure replays earlier layer simulations instead of re-running them
+//! (see `docs/SERVING.md` for the store's layout and invalidation).
 
 use std::process::ExitCode;
-use stonne::core::chrome_trace_json;
+use stonne::core::{chrome_trace_json, DiskStore, SimCache};
 use stonne::models::{ModelId, ModelScale};
-use stonne_bench::fig5::{fig5, fig5c_areas, run_one_traced, Arch};
+use stonne_bench::fig5::{fig5_with_cache, fig5c_areas, run_one_traced, Arch};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,14 +37,47 @@ fn main() -> ExitCode {
                 std::process::exit(2);
             }
         });
+    let store = args
+        .iter()
+        .position(|a| a == "--store")
+        .map(|i| match args.get(i + 1) {
+            Some(dir) => match DiskStore::open(dir) {
+                Ok(store) => store.scoped(),
+                Err(e) => {
+                    eprintln!("error: --store {dir}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("error: --store needs a directory");
+                std::process::exit(2);
+            }
+        });
+    let mut cache = SimCache::new();
+    if let Some(s) = &store {
+        cache = cache.backed_by(s.clone());
+        eprintln!(
+            "store: {} ({} entries, fingerprint {})",
+            s.dir().display(),
+            s.len(),
+            s.fingerprint()
+        );
+    }
     eprintln!("running 7 models x 3 architectures at {scale:?} scale …");
-    let rows = match fig5(scale, &ModelId::ALL) {
+    let rows = match fig5_with_cache(scale, &ModelId::ALL, &cache) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(s) = &store {
+        let c = s.counters();
+        eprintln!(
+            "store: {} hits / {} misses / {} writes / {} corrupt",
+            c.hits, c.misses, c.writes, c.corrupt
+        );
+    }
 
     println!("\nFigure 5a — inference cycles");
     println!(

@@ -144,7 +144,21 @@ pub fn run_one_traced(
 pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig5Row>, ParallelError> {
     // One cache across every sweep point: identical layer shapes recur
     // both within a model (e.g. BERT's encoders) and across models.
-    let cache = SimCache::new();
+    fig5_with_cache(scale, models, &SimCache::new())
+}
+
+/// Like [`fig5`] but reusing a caller-provided cache — typically one
+/// backed by a persistent [`stonne::core::DiskStore`], so regenerating
+/// the figure replays earlier runs instead of re-simulating them.
+///
+/// # Errors
+///
+/// Returns [`ParallelError`] when a simulation panics.
+pub fn fig5_with_cache(
+    scale: ModelScale,
+    models: &[ModelId],
+    cache: &SimCache,
+) -> Result<Vec<Fig5Row>, ParallelError> {
     let mut tasks: Vec<Box<dyn FnOnce() -> Fig5Row + Send>> = Vec::new();
     for &model in models {
         for arch in Arch::ALL {
@@ -155,6 +169,34 @@ pub fn fig5(scale: ModelScale, models: &[ModelId]) -> Result<Vec<Fig5Row>, Paral
         }
     }
     run_parallel(tasks)
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+    use stonne::core::DiskStore;
+
+    #[test]
+    fn fig5_replays_from_a_disk_store() {
+        let dir = std::env::temp_dir().join(format!("stonne-fig5-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let models = [ModelId::AlexNet];
+
+        let store = DiskStore::open(&dir).unwrap().scoped();
+        let cold_cache = SimCache::new().backed_by(store.clone());
+        let cold = fig5_with_cache(ModelScale::Tiny, &models, &cold_cache).unwrap();
+        assert!(store.counters().writes > 0, "cold run populated the store");
+
+        // Fresh memory cache, same directory: everything replays.
+        let warm_store = DiskStore::open(&dir).unwrap().scoped();
+        let warm_cache = SimCache::new().backed_by(warm_store.clone());
+        let warm = fig5_with_cache(ModelScale::Tiny, &models, &warm_cache).unwrap();
+        assert_eq!(cold, warm, "store replay is bitwise-identical");
+        let counters = warm_store.counters();
+        assert!(counters.hits > 0, "warm run read the store");
+        assert_eq!(counters.misses, 0, "nothing was re-simulated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// Area estimates of the three architectures (Fig. 5c); model-independent.

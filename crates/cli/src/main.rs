@@ -30,6 +30,7 @@ use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
 use stonne::nn::runner::{run_model_simulated_with, RunOptions};
 use stonne::tensor::{prune_matrix_to_sparsity, Conv2dGeom, Matrix, SeededRng, Tensor4};
+use stonne_serve::{ArchSpec, ModelSel, SweepRequest};
 
 fn usage() -> &'static str {
     "STONNE User Interface — cycle-level DNN accelerator simulation\n\
@@ -44,6 +45,12 @@ fn usage() -> &'static str {
        model   --name NAME --scale SCALE   run a full DNN model\n\
                (names: mobilenet|squeezenet|alexnet|resnet50|vgg16|ssd|bert;\n\
                 scales: standard|reduced|tiny)\n\
+       sweep   --archs A[:ms[:bw]],...     run a config x model x sparsity\n\
+               --models NAME[:scale],...   grid; results stream as JSON lines\n\
+               [--sparsities F,...]        (same bytes as the serve API)\n\
+               [--store DIR]               persist/reuse layer results on disk\n\
+               [--workers N]               local worker threads\n\
+               [--remote HOST:PORT]        submit to a running stonne-serve\n\
        shell                               interactive prompt\n\
        help                                this text\n\
      \n\
@@ -354,11 +361,121 @@ fn cmd_model(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--archs` / `--models` / `--sparsities` grid axes into a
+/// sweep request shared with the serve API.
+fn build_sweep_request(args: &Args) -> Result<SweepRequest, String> {
+    let mut archs = Vec::new();
+    for spec in args.get_str("archs", "maeri").split(',') {
+        let mut parts = spec.split(':');
+        let arch = parts.next().unwrap_or_default().to_owned();
+        let ms = match parts.next() {
+            None => 0,
+            Some(v) => v.parse().map_err(|_| format!("--archs: bad ms `{v}`"))?,
+        };
+        let bw = match parts.next() {
+            None => 0,
+            Some(v) => v.parse().map_err(|_| format!("--archs: bad bw `{v}`"))?,
+        };
+        archs.push(ArchSpec { arch, ms, bw });
+    }
+    let mut models = Vec::new();
+    for spec in args.get_str("models", "squeezenet").split(',') {
+        let mut parts = spec.split(':');
+        models.push(ModelSel {
+            name: parts.next().unwrap_or_default().to_owned(),
+            scale: parts.next().unwrap_or_default().to_owned(),
+        });
+    }
+    let mut sparsities = Vec::new();
+    if let Some(list) = args.get_opt("sparsities") {
+        for v in list.split(',') {
+            sparsities.push(
+                v.parse()
+                    .map_err(|_| format!("--sparsities: bad number `{v}`"))?,
+            );
+        }
+    }
+    Ok(SweepRequest {
+        name: args.get_str("name", ""),
+        archs,
+        models,
+        sparsities,
+        seed: args.get_usize("seed", 1)? as u64,
+    })
+}
+
+/// Runs a sweep grid locally (optionally store-backed) or, with
+/// `--remote HOST:PORT`, against a running `stonne-serve` instance.
+/// Either way the results print as one JSON line per point, in grid
+/// order, byte-identical between the two modes.
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let request = build_sweep_request(args)?;
+    if let Some(remote) = args.get_opt("remote") {
+        let client = stonne_serve::Client::new(remote);
+        let (job, points) = client.submit(&request)?;
+        eprintln!("submitted {job} ({points} points) to {}", client.addr());
+        client.stream_results(&job, |line| println!("{line}"))?;
+        let status = client.get(&format!("/v1/jobs/{job}"))?;
+        eprintln!("status: {status}");
+        return Ok(());
+    }
+    let store = match args.get_opt("store") {
+        Some(dir) => {
+            Some(stonne::core::DiskStore::open(dir).map_err(|e| format!("--store {dir}: {e}"))?)
+        }
+        None => None,
+    };
+    let workers = args.get_usize(
+        "workers",
+        std::thread::available_parallelism().map_or(4, usize::from),
+    )?;
+    let manager = stonne_serve::JobManager::new(workers, store);
+    let job = manager.submit(&request)?;
+    for index in 0..job.points.len() {
+        match job.result_at(index) {
+            Some(result) => println!(
+                "{}",
+                serde_json::to_string(&result).map_err(|e| e.to_string())?
+            ),
+            None => println!("{{\"index\":{index},\"error\":\"point failed\"}}"),
+        }
+    }
+    let status = job.status();
+    eprintln!(
+        "sweep: {}/{} points ok; {} engine invocations, sim cache {} hits / {} misses",
+        status.completed,
+        status.total,
+        status.counters.engine_invocations,
+        status.counters.sim_cache_hits,
+        status.counters.sim_cache_misses,
+    );
+    if status.store_enabled {
+        eprintln!(
+            "store: {} hits / {} misses / {} writes / {} evictions / {} corrupt (fingerprint {})",
+            status.store.hits,
+            status.store.misses,
+            status.store.writes,
+            status.store.evictions,
+            status.store.corrupt,
+            status.fingerprint,
+        );
+    }
+    for error in job.errors() {
+        eprintln!("error: {error}");
+    }
+    manager.shutdown();
+    if status.failed > 0 {
+        return Err(format!("{} points failed", status.failed));
+    }
+    Ok(())
+}
+
 fn dispatch(command: &str, args: &Args) -> Result<(), String> {
     match command {
         "gemm" => cmd_gemm(args),
         "conv" => cmd_conv(args),
         "model" => cmd_model(args),
+        "sweep" => cmd_sweep(args),
         "help" => {
             println!("{}", usage());
             Ok(())
@@ -522,5 +639,37 @@ mod tests {
     fn unknown_command_is_reported() {
         assert!(dispatch("frobnicate", &args("")).is_err());
         assert!(dispatch("help", &args("")).is_ok());
+    }
+
+    #[test]
+    fn sweep_request_parses_grid_axes() {
+        let a = args(
+            "--archs maeri:32:16,tpu:16 --models alexnet:tiny,bert --sparsities 0,0.5 --seed 9",
+        );
+        let r = build_sweep_request(&a).unwrap();
+        assert_eq!(r.archs.len(), 2);
+        assert_eq!(
+            (r.archs[0].arch.as_str(), r.archs[0].ms, r.archs[0].bw),
+            ("maeri", 32, 16)
+        );
+        assert_eq!(
+            (r.archs[1].arch.as_str(), r.archs[1].ms, r.archs[1].bw),
+            ("tpu", 16, 0)
+        );
+        assert_eq!(r.models[1].name, "bert");
+        assert_eq!(r.models[0].scale, "tiny");
+        assert_eq!(r.sparsities, vec![0.0, 0.5]);
+        assert_eq!(r.seed, 9);
+        assert!(build_sweep_request(&args("--archs maeri:huge")).is_err());
+        assert!(build_sweep_request(&args("--sparsities many")).is_err());
+    }
+
+    #[test]
+    fn sweep_command_runs_a_local_grid() {
+        let a = args("--archs maeri:32:16 --models alexnet:tiny --sparsities 0 --workers 2");
+        cmd_sweep(&a).unwrap();
+        // An invalid grid is rejected before any simulation starts.
+        let bad = args("--archs hypercube --models alexnet");
+        assert!(cmd_sweep(&bad).is_err());
     }
 }

@@ -1,0 +1,74 @@
+//! Computes the code-version fingerprint baked into the persistent
+//! result store (`crates/core/src/store.rs`).
+//!
+//! Cycle-level outcomes are a pure function of the simulation sources,
+//! so the on-disk store namespaces its entries by a hash of every `.rs`
+//! file that can change an engine outcome: this crate plus the tensor
+//! and DRAM substrates it builds on. Editing any of those files yields a
+//! new fingerprint directory, so stale entries can never be replayed
+//! against changed code (see `docs/SERVING.md` for the invalidation
+//! rules). When the sibling crates are not present (a published-crate
+//! build outside the workspace), the fingerprint degrades to the package
+//! version alone.
+
+use std::fs;
+use std::path::Path;
+
+/// Directories whose `.rs` sources determine simulation outcomes.
+const SOURCE_ROOTS: &[&str] = &["src", "../tensor/src", "../dram/src"];
+
+/// Bump when the on-disk entry format changes incompatibly.
+const STORE_FORMAT: &str = "stonne-store/1";
+
+fn main() {
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for root in SOURCE_ROOTS {
+        println!("cargo:rerun-if-changed={root}");
+        collect_rs_files(Path::new(root), root, &mut files);
+    }
+    // Deterministic order regardless of directory-walk order.
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    hash = fnv1a(hash, STORE_FORMAT.as_bytes());
+    for (name, contents) in &files {
+        hash = fnv1a(hash, name.as_bytes());
+        hash = fnv1a(hash, contents);
+    }
+    let version = std::env::var("CARGO_PKG_VERSION").unwrap_or_default();
+    let fingerprint = if files.is_empty() {
+        format!("v{version}")
+    } else {
+        format!("v{version}-{hash:016x}")
+    };
+    println!("cargo:rustc-env=STONNE_CODE_FINGERPRINT={fingerprint}");
+}
+
+/// Recursively collects `(relative-name, contents)` of `.rs` files.
+fn collect_rs_files(dir: &Path, rel: &str, out: &mut Vec<(String, Vec<u8>)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel_child = format!("{rel}/{name}");
+        if path.is_dir() {
+            collect_rs_files(&path, &rel_child, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(contents) = fs::read(&path) {
+                out.push((rel_child, contents));
+            }
+        }
+    }
+}
+
+/// FNV-1a over `bytes`, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}

@@ -44,6 +44,8 @@ use crate::engine::flexible::{DenseOperand, PAD_ADDR};
 use crate::engine::sparse::{IterationInfo, RowSchedule};
 use crate::mapping::{LayerDims, Tile};
 use crate::stats::SimStats;
+use crate::store::DiskStore;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -171,6 +173,15 @@ fn zero_mask_hash(b: &Matrix) -> u64 {
 }
 
 impl CacheKey {
+    /// Canonical text form of the key — the content the disk store
+    /// addresses by. The derived `Debug` rendering is used verbatim: it
+    /// covers every field in declaration order and is stable across runs
+    /// (struct/variant shape only changes when the source changes, which
+    /// also changes the store's code fingerprint).
+    pub(crate) fn canonical(&self) -> String {
+        format!("{self:?}")
+    }
+
     pub(crate) fn systolic(config: &AcceleratorConfig, m: usize, n: usize, k: usize) -> Self {
         Self {
             cfg: config.to_cfg_string(),
@@ -237,8 +248,9 @@ impl CacheKey {
     }
 }
 
-/// One memoized engine outcome.
-#[derive(Debug, Clone)]
+/// One memoized engine outcome. Serializable so the disk store
+/// ([`crate::DiskStore`]) can persist entries across processes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct CacheEntry {
     /// Pre-DRAM stats with `operation` cleared and cache counters zeroed.
     stats: SimStats,
@@ -321,6 +333,7 @@ impl CacheEntry {
 #[derive(Debug, Clone, Default)]
 pub struct SimCache {
     inner: Arc<Mutex<HashMap<CacheKey, CacheEntry>>>,
+    disk: Option<DiskStore>,
 }
 
 impl SimCache {
@@ -329,12 +342,31 @@ impl SimCache {
         Self::default()
     }
 
-    /// Number of memoized entries.
+    /// Backs this cache with a disk-persistent store: lookups that miss
+    /// in memory consult the store (loaded entries are promoted into
+    /// memory), and every insert is also persisted. Store activity is
+    /// visible through the store handle's [`DiskStore::counters`] — a
+    /// memory hit never touches the store, so on a handle scoped to one
+    /// run, `hits` counts exactly the results that crossed a process
+    /// boundary. See [`crate::store`] for the on-disk layout and the
+    /// code-fingerprint invalidation rules.
+    #[must_use]
+    pub fn backed_by(mut self, store: DiskStore) -> Self {
+        self.disk = Some(store);
+        self
+    }
+
+    /// The attached disk store, if any.
+    pub fn disk_store(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
+    /// Number of memoized entries (in memory).
     pub fn len(&self) -> usize {
         self.lock().len()
     }
 
-    /// Whether the cache holds no entries.
+    /// Whether the cache holds no in-memory entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -346,10 +378,94 @@ impl SimCache {
     }
 
     pub(crate) fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
-        self.lock().get(key).cloned()
+        if let Some(entry) = self.lock().get(key).cloned() {
+            return Some(entry);
+        }
+        let entry = self.disk.as_ref()?.load(key)?;
+        self.lock().insert(key.clone(), entry.clone());
+        Some(entry)
     }
 
     pub(crate) fn insert(&self, key: CacheKey, entry: CacheEntry) {
+        if let Some(disk) = &self.disk {
+            disk.save(&key, &entry);
+        }
         self.lock().insert(key, entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Stonne;
+    use stonne_tensor::SeededRng;
+
+    fn operands(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        (
+            Matrix::random(8, 16, &mut rng),
+            Matrix::random(16, 4, &mut rng),
+        )
+    }
+
+    /// A fresh in-memory cache backed by a warm disk store must replay
+    /// bitwise-identically with zero engine invocations — the property
+    /// the sweep server's restart path relies on.
+    #[test]
+    fn disk_backed_cache_replays_across_fresh_caches() {
+        let root =
+            std::env::temp_dir().join(format!("stonne-cache-disk-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = DiskStore::open(&root).unwrap();
+        let (a, b) = operands(11);
+        let cfg = AcceleratorConfig::maeri_like(64, 16);
+
+        let cold = SimCache::new().backed_by(store.scoped());
+        let mut sim = Stonne::new(cfg.clone()).unwrap().with_cache(cold);
+        let (out_cold, stats_cold) = sim.run_gemm("g", &a, &b);
+        assert_eq!(stats_cold.engine_invocations, 1);
+
+        // "Restarted process": same store, brand-new memory cache.
+        let scope = store.scoped();
+        let warm = SimCache::new().backed_by(scope.clone());
+        let mut sim = Stonne::new(cfg).unwrap().with_cache(warm);
+        let (out_warm, stats_warm) = sim.run_gemm("g", &a, &b);
+        assert_eq!(stats_warm.engine_invocations, 0);
+        assert_eq!(stats_warm.cycles, stats_cold.cycles);
+        assert_eq!(out_warm.as_slice(), out_cold.as_slice());
+        assert_eq!(stats_warm.sim_cache_hits, 1);
+        let c = scope.counters();
+        assert_eq!((c.hits, c.misses), (1, 0), "served entirely from disk");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Disk-loaded sparse entries must carry their packing info and
+    /// input-stationary flag through serialization.
+    #[test]
+    fn disk_backed_cache_preserves_sparse_run_shape() {
+        let root =
+            std::env::temp_dir().join(format!("stonne-cache-sparse-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let store = DiskStore::open(&root).unwrap();
+        let cfg = AcceleratorConfig::sigma_like(32, 16);
+        let mut rng = SeededRng::new(5);
+        let mut a = Matrix::random(8, 12, &mut rng);
+        stonne_tensor::prune_matrix_to_sparsity(&mut a, 0.6);
+        let b = Matrix::random(12, 4, &mut rng);
+
+        let mut sim = Stonne::new(cfg.clone())
+            .unwrap()
+            .with_cache(SimCache::new().backed_by(store.scoped()));
+        let (out_cold, stats_cold) = sim.run_gemm("s", &a, &b);
+
+        let mut sim = Stonne::new(cfg)
+            .unwrap()
+            .with_cache(SimCache::new().backed_by(store.scoped()));
+        let (out_warm, stats_warm) = sim.run_gemm("s", &a, &b);
+        assert_eq!(stats_warm.engine_invocations, 0);
+        assert_eq!(stats_warm.cycles, stats_cold.cycles);
+        assert_eq!(stats_warm.iterations, stats_cold.iterations);
+        assert_eq!(out_warm.as_slice(), out_cold.as_slice());
+        std::fs::remove_dir_all(&root).ok();
     }
 }

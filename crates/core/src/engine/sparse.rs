@@ -88,8 +88,9 @@ struct Segment {
     accumulate: bool,
 }
 
-/// Statistics of one packing iteration (exposed for the Fig. 7/9 analyses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Statistics of one packing iteration (exposed for the Fig. 7/9
+/// analyses; serializable so the disk store can persist sparse entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IterationInfo {
     /// Segments (filters or filter folds) mapped.
     pub segments: usize,

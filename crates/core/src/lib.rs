@@ -40,6 +40,8 @@
 //! * [`engine`] — the systolic, flexible and sparse cycle-level engines.
 //! * [`accelerator`] — the composed simulator instance ([`Stonne`]).
 //! * [`cache`] — the layer-simulation memoization cache ([`SimCache`]).
+//! * [`store`] — the disk-persistent, content-addressed result store
+//!   backing the cache across processes ([`DiskStore`]).
 //! * [`api`] — the coarse-grained STONNE API instruction set (Table III).
 //! * [`stats`] / [`output`] — activity counters, JSON summary, counter
 //!   file, Chrome-trace timeline export.
@@ -58,6 +60,7 @@ pub mod mapping;
 pub mod networks;
 pub mod output;
 pub mod stats;
+pub mod store;
 pub mod trace;
 
 pub use accelerator::Stonne;
@@ -72,4 +75,5 @@ pub use engine::systolic::expected_cycles as systolic_expected_cycles;
 pub use mapping::{candidate_tiles, LayerDims, MappingSignals, Tile};
 pub use output::{chrome_trace_json, counter_file, parse_counter_file, summary_json};
 pub use stats::{ActivityCounters, CycleBreakdown, SimStats};
+pub use store::{code_fingerprint, DiskStore, StoreCounters};
 pub use trace::{Component, Probe, Trace, TraceEvent};

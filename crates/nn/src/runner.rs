@@ -115,11 +115,20 @@ impl RunOptions {
     }
 
     /// Uses an explicit (possibly shared) cache — e.g. one cache across
-    /// every sweep point of a bench harness.
+    /// every sweep point of a bench harness, or a disk-backed cache
+    /// (`SimCache::backed_by`) whose entries outlive the process (the
+    /// `stonne-serve` result store builds on exactly this).
     #[must_use]
     pub fn with_cache(mut self, cache: SimCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// The cache these options run with (`None` after
+    /// [`RunOptions::uncached`]). Callers use this to inspect hit/miss
+    /// counters or the attached disk store after a run.
+    pub fn cache_handle(&self) -> Option<&SimCache> {
+        self.cache.as_ref()
     }
 
     /// Dispatches independent ready layers (BERT's q/k/v projections,

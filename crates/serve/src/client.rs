@@ -1,0 +1,198 @@
+//! A dependency-free HTTP client for the sweep API, used by
+//! `stonne-cli sweep --remote` and the integration tests.
+//!
+//! Like the server, the client speaks one-request-per-connection
+//! HTTP/1.1 over raw [`TcpStream`]s; streamed bodies (results, events)
+//! are read until the server closes the connection.
+
+use crate::api::SweepRequest;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// `host:port` of the server.
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for `addr`, accepting `host:port` with or
+    /// without an `http://` prefix and with a trailing slash.
+    pub fn new(addr: &str) -> Self {
+        let addr = addr
+            .trim()
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_owned();
+        Self { addr }
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))
+    }
+
+    /// Performs one request and returns `(status, body)` after reading
+    /// the complete (connection-delimited) response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or protocol errors.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let mut stream = self.connect()?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        )
+        .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        skip_headers(&mut reader)?;
+        let mut body = String::new();
+        reader
+            .read_to_string(&mut body)
+            .map_err(|e| e.to_string())?;
+        Ok((status, body))
+    }
+
+    /// Performs a GET and returns the body, erroring on non-2xx.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection errors or non-2xx statuses.
+    pub fn get(&self, path: &str) -> Result<String, String> {
+        let (status, body) = self.request("GET", path, "")?;
+        if !(200..300).contains(&status) {
+            return Err(format!("GET {path}: HTTP {status}: {body}"));
+        }
+        Ok(body)
+    }
+
+    /// Submits a sweep; returns `(job_id, point_count)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's rejection message for invalid grids, or a
+    /// transport error.
+    pub fn submit(&self, sweep: &SweepRequest) -> Result<(String, usize), String> {
+        let body = serde_json::to_string(sweep).map_err(|e| e.to_string())?;
+        let (status, response) = self.request("POST", "/v1/sweeps", &body)?;
+        if status != 202 {
+            return Err(format!("submit: HTTP {status}: {response}"));
+        }
+        let value: serde_json::Value =
+            serde_json::from_str(&response).map_err(|e| e.to_string())?;
+        let job = value
+            .get("job")
+            .and_then(|j| j.as_str())
+            .ok_or("submit response lacks job id")?
+            .to_owned();
+        let points = value
+            .get("points")
+            .and_then(|p| p.as_u64())
+            .ok_or("submit response lacks point count")? as usize;
+        Ok((job, points))
+    }
+
+    /// Streams a job's results, invoking `on_line` for each JSON line as
+    /// it arrives, and returns all lines once the stream ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or protocol errors.
+    pub fn stream_results(
+        &self,
+        job: &str,
+        mut on_line: impl FnMut(&str),
+    ) -> Result<Vec<String>, String> {
+        let mut stream = self.connect()?;
+        write!(
+            stream,
+            "GET /v1/jobs/{job}/results HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            let _ = reader.read_to_string(&mut body);
+            return Err(format!("results: HTTP {status}: {body}"));
+        }
+        skip_headers(&mut reader)?;
+        let mut lines = Vec::new();
+        for line in reader.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.is_empty() {
+                continue;
+            }
+            on_line(&line);
+            lines.push(line);
+        }
+        Ok(lines)
+    }
+
+    /// Consumes a job's SSE stream until the `done` event and returns
+    /// every `(event, data)` pair received.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or protocol errors.
+    pub fn stream_events(&self, job: &str) -> Result<Vec<(String, String)>, String> {
+        let mut stream = self.connect()?;
+        write!(
+            stream,
+            "GET /v1/jobs/{job}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        let status = read_status(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            let _ = reader.read_to_string(&mut body);
+            return Err(format!("events: HTTP {status}: {body}"));
+        }
+        skip_headers(&mut reader)?;
+        let mut events = Vec::new();
+        let mut event = String::new();
+        let mut data = String::new();
+        for line in reader.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if let Some(name) = line.strip_prefix("event: ") {
+                event = name.to_owned();
+            } else if let Some(payload) = line.strip_prefix("data: ") {
+                data = payload.to_owned();
+            } else if line.is_empty() && !event.is_empty() {
+                events.push((std::mem::take(&mut event), std::mem::take(&mut data)));
+            }
+        }
+        Ok(events)
+    }
+}
+
+fn read_status(reader: &mut BufReader<TcpStream>) -> Result<u16, String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", line.trim_end()))
+}
+
+fn skip_headers(reader: &mut BufReader<TcpStream>) -> Result<(), String> {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 || line.trim_end().is_empty() {
+            return Ok(());
+        }
+    }
+}

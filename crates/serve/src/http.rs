@@ -1,0 +1,215 @@
+//! Minimal HTTP/1.1 plumbing over `std::net`.
+//!
+//! The serving layer deliberately has **zero external dependencies**: the
+//! build environments this workspace targets include offline sandboxes
+//! where crates.io is unreachable (see `tools/offline-check.sh`), so an
+//! async stack (tokio/hyper) is not available to depend on. A
+//! thread-per-connection `std::net` server is entirely adequate here —
+//! request handling is either trivial (status lookups) or dominated by
+//! simulation work that runs on the job executor's own worker pool, not
+//! on connection threads.
+//!
+//! Every response closes its connection (`Connection: close`), which
+//! lets the streaming endpoints (JSON-lines results, SSE events) write
+//! unbounded bodies without chunked framing: the body simply ends when
+//! the connection does.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// An upper bound on accepted request bodies (a full 4096-point sweep
+/// request is far below this).
+const MAX_BODY: usize = 4 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Request body (empty when none was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// The `/`-separated path segments, empties elided.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a message on malformed request lines/headers, an oversized
+/// body, or connection errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let target = parts.next().ok_or("request line has no target")?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response with a known body and closes the exchange.
+///
+/// # Errors
+///
+/// Returns the I/O error when the client hung up mid-write.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+///
+/// Returns the I/O error when the client hung up mid-write.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    respond(stream, status, "application/json", body)
+}
+
+/// Writes an error response as `{"error": …}`.
+///
+/// # Errors
+///
+/// Returns the I/O error when the client hung up mid-write.
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    respond_json(
+        stream,
+        status,
+        &format!("{{\"error\":{}}}", json_string(message)),
+    )
+}
+
+/// Starts a streamed (connection-delimited) response body: status line
+/// and headers only; the caller then writes the body incrementally and
+/// closes the connection to end it.
+///
+/// # Errors
+///
+/// Returns the I/O error when the client hung up mid-write.
+pub fn start_stream(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one Server-Sent-Events record (`event:`/`data:` lines plus the
+/// blank-line terminator) and flushes so the client sees it immediately.
+///
+/// # Errors
+///
+/// Returns the I/O error when the client hung up mid-write.
+pub fn write_sse_event(stream: &mut TcpStream, event: &str, data: &str) -> std::io::Result<()> {
+    write!(stream, "event: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}
+
+/// Renders a JSON string literal (quotes and escapes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream).unwrap()
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write!(
+            client,
+            "POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\n{{\"a\":1}}"
+        )
+        .unwrap();
+        let req = t.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweeps");
+        assert_eq!(req.segments(), vec!["v1", "sweeps"]);
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+}

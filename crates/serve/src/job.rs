@@ -1,0 +1,466 @@
+//! Job lifecycle: submission, sharding across the worker pool, progress
+//! tracking and the per-job event log consumed by the SSE endpoint.
+//!
+//! Every submitted sweep becomes a [`Job`] whose points are pushed onto
+//! one shared work queue; a fixed pool of worker threads drains the
+//! queue, so points from several jobs interleave and a wide sweep
+//! saturates the machine without starving later submissions.
+//!
+//! Each job runs against a **fresh in-memory [`SimCache`]** backed by a
+//! [`DiskStore::scoped`] handle onto the server's store. The fresh
+//! memory cache means repeated layers within the job still memoize, while
+//! everything a *previous* job (or server process) computed is visible
+//! only through the store — so the per-job store counters report true
+//! cross-job reuse: a fully warm job shows `hits == unique layers` and
+//! zero engine invocations.
+
+use crate::api::{expand, run_point, PointResult, SweepPoint, SweepRequest};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use stonne::core::{code_fingerprint, DiskStore, SimCache, StoreCounters};
+
+/// Aggregate simulation-cache activity of one job.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct JobCounters {
+    /// Cycle-level engine runs actually executed (0 on a fully warm job).
+    pub engine_invocations: u64,
+    /// In-memory layer-cache hits (intra-job reuse).
+    pub sim_cache_hits: u64,
+    /// In-memory layer-cache misses.
+    pub sim_cache_misses: u64,
+}
+
+/// A snapshot of one job's externally visible state.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStatus {
+    /// Job identifier (`job-0001`, …).
+    pub id: String,
+    /// The request's human-readable label (possibly empty).
+    pub name: String,
+    /// Lifecycle phase: `running` or `done`.
+    pub state: String,
+    /// Total points in the expanded grid.
+    pub total: usize,
+    /// Points completed successfully.
+    pub completed: usize,
+    /// Points that failed (panic or internal error).
+    pub failed: usize,
+    /// Aggregate engine/cache activity so far.
+    pub counters: JobCounters,
+    /// Whether the server runs with a persistent store attached.
+    pub store_enabled: bool,
+    /// This job's store activity (all zero when no store is attached).
+    pub store: StoreCounters,
+    /// The store namespace this server writes to.
+    pub fingerprint: String,
+}
+
+/// Mutable progress shared between workers and readers.
+#[derive(Debug, Default)]
+struct Progress {
+    completed: usize,
+    failed: usize,
+    /// Results slotted by point index (streamed in index order).
+    results: Vec<Option<PointResult>>,
+    /// Failure messages, prefixed with the point index.
+    errors: Vec<String>,
+    /// Append-only `(event, json-data)` log driving the SSE endpoint.
+    events: Vec<(String, String)>,
+    counters: JobCounters,
+    done: bool,
+}
+
+/// One submitted sweep: its expanded points plus live progress.
+#[derive(Debug)]
+pub struct Job {
+    /// Job identifier.
+    pub id: String,
+    /// Request label.
+    pub name: String,
+    /// The expanded grid, in result order.
+    pub points: Vec<SweepPoint>,
+    progress: Mutex<Progress>,
+    changed: Condvar,
+    /// Per-job cache: fresh memory, shared disk (see module docs).
+    cache: SimCache,
+    /// Scoped store handle whose counters are this job's alone.
+    store: Option<DiskStore>,
+}
+
+impl Job {
+    fn new(
+        id: String,
+        request: &SweepRequest,
+        points: Vec<SweepPoint>,
+        store: Option<&DiskStore>,
+    ) -> Self {
+        let scoped = store.map(DiskStore::scoped);
+        let mut cache = SimCache::new();
+        if let Some(s) = &scoped {
+            cache = cache.backed_by(s.clone());
+        }
+        let progress = Progress {
+            results: vec![None; points.len()],
+            ..Progress::default()
+        };
+        Self {
+            id,
+            name: request.name.clone(),
+            points,
+            progress: Mutex::new(progress),
+            changed: Condvar::new(),
+            cache,
+            store: scoped,
+        }
+    }
+
+    /// A snapshot of this job's status.
+    pub fn status(&self) -> JobStatus {
+        let p = self.progress.lock().unwrap();
+        JobStatus {
+            id: self.id.clone(),
+            name: self.name.clone(),
+            state: if p.done { "done" } else { "running" }.to_owned(),
+            total: self.points.len(),
+            completed: p.completed,
+            failed: p.failed,
+            counters: p.counters,
+            store_enabled: self.store.is_some(),
+            store: self
+                .store
+                .as_ref()
+                .map(DiskStore::counters)
+                .unwrap_or_default(),
+            fingerprint: code_fingerprint().to_owned(),
+        }
+    }
+
+    /// Failure messages accumulated so far.
+    pub fn errors(&self) -> Vec<String> {
+        self.progress.lock().unwrap().errors.clone()
+    }
+
+    /// Blocks until the job has processed every point.
+    pub fn wait_done(&self) {
+        let mut p = self.progress.lock().unwrap();
+        while !p.done {
+            p = self.changed.wait(p).unwrap();
+        }
+    }
+
+    /// Blocks until the result for `index` is available and returns it,
+    /// or returns `None` once the job is done and the point produced no
+    /// result (it failed).
+    pub fn result_at(&self, index: usize) -> Option<PointResult> {
+        let mut p = self.progress.lock().unwrap();
+        loop {
+            if let Some(r) = p.results.get(index)?.as_ref() {
+                return Some(r.clone());
+            }
+            if p.done {
+                return None;
+            }
+            p = self.changed.wait(p).unwrap();
+        }
+    }
+
+    /// Blocks until there are events past `cursor` (or the job is done)
+    /// and returns them with the advanced cursor and the done flag.
+    pub fn events_after(&self, cursor: usize) -> (Vec<(String, String)>, usize, bool) {
+        let mut p = self.progress.lock().unwrap();
+        loop {
+            if p.events.len() > cursor {
+                return (p.events[cursor..].to_vec(), p.events.len(), p.done);
+            }
+            if p.done {
+                return (Vec::new(), cursor, true);
+            }
+            p = self.changed.wait(p).unwrap();
+        }
+    }
+
+    /// Records one finished point, emits its event, and — on the last
+    /// point — marks the job done and emits the `done` event carrying
+    /// the final status.
+    fn record(&self, index: usize, outcome: Result<(PointResult, stonne::core::SimStats), String>) {
+        let done = {
+            let mut p = self.progress.lock().unwrap();
+            match outcome {
+                Ok((result, stats)) => {
+                    p.counters.engine_invocations += stats.engine_invocations;
+                    p.counters.sim_cache_hits += stats.sim_cache_hits;
+                    p.counters.sim_cache_misses += stats.sim_cache_misses;
+                    let data = serde_json::to_string(&result)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"));
+                    p.results[index] = Some(result);
+                    p.completed += 1;
+                    p.events.push(("point".to_owned(), data));
+                }
+                Err(message) => {
+                    p.failed += 1;
+                    p.errors.push(format!("point {index}: {message}"));
+                    p.events.push((
+                        "error".to_owned(),
+                        format!(
+                            "{{\"index\":{index},\"error\":{}}}",
+                            crate::http::json_string(&message)
+                        ),
+                    ));
+                }
+            }
+            let finished = p.completed + p.failed == self.points.len();
+            if finished {
+                p.done = true;
+            }
+            finished
+        };
+        if done {
+            // Status is read outside the progress lock; the job is
+            // already `done`, so the snapshot is final.
+            let status = serde_json::to_string(&self.status())
+                .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"));
+            self.progress
+                .lock()
+                .unwrap()
+                .events
+                .push(("done".to_owned(), status));
+        }
+        self.changed.notify_all();
+    }
+}
+
+/// A unit of work on the shared queue: one point of one job.
+struct Task {
+    job: Arc<Job>,
+    index: usize,
+}
+
+struct ManagerInner {
+    jobs: Mutex<Vec<Arc<Job>>>,
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    store: Option<DiskStore>,
+}
+
+/// The job registry plus the worker pool that executes submitted sweeps.
+#[derive(Clone)]
+pub struct JobManager {
+    inner: Arc<ManagerInner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl JobManager {
+    /// Starts a manager with `workers` execution threads, optionally
+    /// persisting layer results to `store`.
+    pub fn new(workers: usize, store: Option<DiskStore>) -> Self {
+        let inner = Arc::new(ManagerInner {
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            store,
+        });
+        let mut handles = Vec::new();
+        for w in 0..workers.max(1) {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("stonne-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+        Self {
+            inner,
+            workers: Arc::new(Mutex::new(handles)),
+        }
+    }
+
+    /// The server's store handle (process-lifetime counters), if any.
+    pub fn store(&self) -> Option<&DiskStore> {
+        self.inner.store.as_ref()
+    }
+
+    /// Validates and enqueues a sweep; returns the job immediately
+    /// (execution is asynchronous).
+    ///
+    /// # Errors
+    ///
+    /// Returns the grid-validation message for malformed requests;
+    /// nothing is enqueued in that case.
+    pub fn submit(&self, request: &SweepRequest) -> Result<Arc<Job>, String> {
+        let points = expand(request)?;
+        let id = format!(
+            "job-{:04}",
+            self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+        );
+        let job = Arc::new(Job::new(id, request, points, self.inner.store.as_ref()));
+        self.inner.jobs.lock().unwrap().push(Arc::clone(&job));
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            for index in 0..job.points.len() {
+                queue.push_back(Task {
+                    job: Arc::clone(&job),
+                    index,
+                });
+            }
+        }
+        self.inner.available.notify_all();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn job(&self, id: &str) -> Option<Arc<Job>> {
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// All jobs in submission order.
+    pub fn jobs(&self) -> Vec<Arc<Job>> {
+        self.inner.jobs.lock().unwrap().clone()
+    }
+
+    /// Stops the worker pool. Queued-but-unstarted work is abandoned;
+    /// in-flight points finish first.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ManagerInner) {
+    loop {
+        let task = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+        };
+        let point = task.job.points[task.index].clone();
+        let cache = task.job.cache.clone();
+        // A panicking engine must fail the point, not kill the worker.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| run_point(&point, &cache))).unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "engine panicked".to_owned());
+                Err(format!("panic: {msg}"))
+            });
+        task.job.record(task.index, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ArchSpec, ModelSel};
+
+    fn small_request() -> SweepRequest {
+        SweepRequest {
+            name: "unit".into(),
+            archs: vec![
+                ArchSpec {
+                    arch: "maeri".into(),
+                    ms: 32,
+                    bw: 16,
+                },
+                ArchSpec {
+                    arch: "tpu".into(),
+                    ms: 16,
+                    bw: 0,
+                },
+            ],
+            models: vec![ModelSel {
+                name: "alexnet".into(),
+                scale: "tiny".into(),
+            }],
+            sparsities: vec![0.0],
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn jobs_run_to_completion_and_stream_in_order() {
+        let manager = JobManager::new(2, None);
+        let job = manager.submit(&small_request()).unwrap();
+        job.wait_done();
+        let status = job.status();
+        assert_eq!(status.state, "done");
+        assert_eq!((status.completed, status.failed), (2, 0));
+        assert!(status.counters.engine_invocations > 0);
+        assert!(!status.store_enabled);
+        for (i, point) in job.points.iter().enumerate() {
+            let result = job.result_at(i).expect("every point succeeded");
+            assert_eq!(result.point, *point);
+        }
+        let (events, _, done) = job.events_after(0);
+        assert!(done);
+        assert_eq!(events.len(), 3, "2 point events + done");
+        assert_eq!(events.last().unwrap().0, "done");
+        manager.shutdown();
+    }
+
+    #[test]
+    fn warm_job_is_served_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("stonne-serve-job-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        let manager = JobManager::new(2, Some(store));
+        let cold = manager.submit(&small_request()).unwrap();
+        cold.wait_done();
+        let cold_status = cold.status();
+        assert!(cold_status.counters.engine_invocations > 0);
+        assert!(cold_status.store.writes > 0);
+
+        let warm = manager.submit(&small_request()).unwrap();
+        warm.wait_done();
+        let warm_status = warm.status();
+        assert_eq!(warm_status.counters.engine_invocations, 0);
+        assert_eq!(warm_status.store.misses, 0);
+        assert!(warm_status.store.hits > 0);
+        // Byte-identical results regardless of which side of the store
+        // a point was computed on.
+        for i in 0..cold.points.len() {
+            assert_eq!(
+                serde_json::to_string(&cold.result_at(i).unwrap()).unwrap(),
+                serde_json::to_string(&warm.result_at(i).unwrap()).unwrap(),
+            );
+        }
+        manager.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_rejects_invalid_grids() {
+        let manager = JobManager::new(1, None);
+        let mut bad = small_request();
+        bad.archs[0].arch = "torus".into();
+        assert!(manager.submit(&bad).is_err());
+        assert!(manager.jobs().is_empty());
+        manager.shutdown();
+    }
+}

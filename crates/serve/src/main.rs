@@ -1,0 +1,111 @@
+//! The `stonne-serve` binary: a long-running sweep/DSE job server.
+//!
+//! ```text
+//! stonne-serve [--addr HOST:PORT] [--store DIR | --no-store]
+//!              [--workers N] [--max-entries N]
+//! ```
+//!
+//! By default the server listens on `127.0.0.1:7433`, persists results
+//! under `$HOME/.stonne/store`, and sizes the worker pool to the
+//! available parallelism. See `docs/SERVING.md`.
+
+use std::path::PathBuf;
+use stonne::core::{code_fingerprint, DiskStore};
+use stonne_serve::job::JobManager;
+use stonne_serve::server::Server;
+
+struct Options {
+    addr: String,
+    store: Option<PathBuf>,
+    workers: usize,
+    max_entries: Option<usize>,
+}
+
+fn default_store() -> Option<PathBuf> {
+    std::env::var_os("HOME").map(|home| PathBuf::from(home).join(".stonne").join("store"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7433".to_owned(),
+        store: default_store(),
+        workers: std::thread::available_parallelism().map_or(4, usize::from),
+        max_entries: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--store" => options.store = Some(PathBuf::from(value("--store")?)),
+            "--no-store" => options.store = None,
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-entries" => {
+                options.max_entries = Some(
+                    value("--max-entries")?
+                        .parse()
+                        .map_err(|e| format!("--max-entries: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "stonne-serve [--addr HOST:PORT] [--store DIR | --no-store] \
+                     [--workers N] [--max-entries N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stonne-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let store = options.store.as_ref().map(|dir| {
+        let mut store = DiskStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("stonne-serve: cannot open store {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        if let Some(max) = options.max_entries {
+            store = store.with_max_entries(max);
+        }
+        eprintln!(
+            "store: {} ({} entries, fingerprint {})",
+            store.dir().display(),
+            store.len(),
+            store.fingerprint(),
+        );
+        store
+    });
+    if store.is_none() {
+        eprintln!("store: disabled (results are not persisted)");
+    }
+    let manager = JobManager::new(options.workers, store);
+    let handle = Server::bind(&options.addr, manager)
+        .and_then(Server::start)
+        .unwrap_or_else(|e| {
+            eprintln!("stonne-serve: cannot bind {}: {e}", options.addr);
+            std::process::exit(1);
+        });
+    eprintln!(
+        "stonne-serve listening on http://{} ({} workers, code {})",
+        handle.addr(),
+        options.workers,
+        code_fingerprint(),
+    );
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,263 @@
+//! The HTTP surface: route dispatch and the accept loop.
+//!
+//! | Method | Path                    | Response                                   |
+//! |--------|-------------------------|--------------------------------------------|
+//! | GET    | `/healthz`              | liveness + code fingerprint                |
+//! | POST   | `/v1/sweeps`            | `202` with the new job id and point count  |
+//! | GET    | `/v1/jobs`              | status array for all jobs                  |
+//! | GET    | `/v1/jobs/{id}`         | one job's status (plus failure messages)   |
+//! | GET    | `/v1/jobs/{id}/results` | JSON-lines result stream, index order      |
+//! | GET    | `/v1/jobs/{id}/events`  | SSE stream: `point` / `error` / `done`     |
+//! | GET    | `/v1/store`             | store location, entry count and counters   |
+//!
+//! See `docs/SERVING.md` for request/response schemas and examples.
+
+use crate::http::{
+    json_string, read_request, respond_error, respond_json, start_stream, write_sse_event, Request,
+};
+use crate::job::JobManager;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use stonne::core::code_fingerprint;
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    manager: JobManager,
+}
+
+/// Handle to a running server; dropping it does **not** stop the server —
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    manager: JobManager,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, …).
+    pub fn bind(addr: &str, manager: JobManager) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            manager,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from the socket-address query.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop on a background thread and returns a
+    /// handle for address lookup and shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from the socket-address query.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let manager = self.manager.clone();
+        let accept_stop = Arc::clone(&stop);
+        let accept_manager = self.manager.clone();
+        let listener = self.listener;
+        let accept_thread = std::thread::Builder::new()
+            .name("stonne-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let manager = accept_manager.clone();
+                    // Connection threads only shuttle already-computed
+                    // state; simulation happens on the worker pool.
+                    let _ = std::thread::Builder::new()
+                        .name("stonne-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &manager));
+                }
+            })?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            manager,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The job manager behind this server.
+    pub fn manager(&self) -> &JobManager {
+        &self.manager
+    }
+
+    /// Stops accepting connections and joins the accept loop. The worker
+    /// pool is stopped too (in-flight points finish first).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the blocking accept observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.manager.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, manager: &JobManager) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = respond_error(&mut stream, 400, &e);
+            return;
+        }
+    };
+    let _ = route(&mut stream, &request, manager);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, manager: &JobManager) -> std::io::Result<()> {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond_json(
+            stream,
+            200,
+            &format!(
+                "{{\"ok\":true,\"fingerprint\":{}}}",
+                json_string(code_fingerprint())
+            ),
+        ),
+        ("POST", ["v1", "sweeps"]) => submit_sweep(stream, request, manager),
+        ("GET", ["v1", "jobs"]) => {
+            let statuses: Vec<String> = manager
+                .jobs()
+                .iter()
+                .map(|job| serde_json::to_string(&job.status()).unwrap_or_default())
+                .collect();
+            respond_json(stream, 200, &format!("[{}]", statuses.join(",")))
+        }
+        ("GET", ["v1", "jobs", id]) => match manager.job(id) {
+            Some(job) => {
+                let status = serde_json::to_string(&job.status())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let errors: Vec<String> = job.errors().iter().map(|e| json_string(e)).collect();
+                // Splice the error list into the status object.
+                let body = format!("{{\"status\":{status},\"errors\":[{}]}}", errors.join(","));
+                respond_json(stream, 200, &body)
+            }
+            None => respond_error(stream, 404, &format!("no such job `{id}`")),
+        },
+        ("GET", ["v1", "jobs", id, "results"]) => match manager.job(id) {
+            Some(job) => stream_results(stream, &job),
+            None => respond_error(stream, 404, &format!("no such job `{id}`")),
+        },
+        ("GET", ["v1", "jobs", id, "events"]) => match manager.job(id) {
+            Some(job) => stream_events(stream, &job),
+            None => respond_error(stream, 404, &format!("no such job `{id}`")),
+        },
+        ("GET", ["v1", "store"]) => respond_json(stream, 200, &store_info(manager)),
+        ("POST" | "GET", _) => respond_error(stream, 404, &format!("no route {}", request.path)),
+        _ => respond_error(
+            stream,
+            405,
+            &format!("method {} not allowed", request.method),
+        ),
+    }
+}
+
+fn submit_sweep(
+    stream: &mut TcpStream,
+    request: &Request,
+    manager: &JobManager,
+) -> std::io::Result<()> {
+    let sweep = match serde_json::from_str(&request.body) {
+        Ok(s) => s,
+        Err(e) => return respond_error(stream, 400, &format!("bad request body: {e}")),
+    };
+    match manager.submit(&sweep) {
+        Ok(job) => respond_json(
+            stream,
+            202,
+            &format!(
+                "{{\"job\":{},\"points\":{}}}",
+                json_string(&job.id),
+                job.points.len()
+            ),
+        ),
+        Err(e) => respond_error(stream, 400, &e),
+    }
+}
+
+/// Streams results as JSON lines in point-index order, blocking on each
+/// index until its result arrives. Failed points are emitted as
+/// `{"index":…,"error":…}` lines so the stream always has exactly one
+/// line per point.
+fn stream_results(stream: &mut TcpStream, job: &crate::job::Job) -> std::io::Result<()> {
+    start_stream(stream, "application/jsonl")?;
+    for index in 0..job.points.len() {
+        let line = match job.result_at(index) {
+            Some(result) => {
+                serde_json::to_string(&result).map_err(|e| std::io::Error::other(e.to_string()))?
+            }
+            None => format!("{{\"index\":{index},\"error\":\"point failed\"}}"),
+        };
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+    }
+    Ok(())
+}
+
+/// Streams the job's event log as Server-Sent Events until the `done`
+/// event has been delivered.
+fn stream_events(stream: &mut TcpStream, job: &crate::job::Job) -> std::io::Result<()> {
+    start_stream(stream, "text/event-stream")?;
+    let mut cursor = 0;
+    loop {
+        let (events, next, done) = job.events_after(cursor);
+        cursor = next;
+        let mut saw_done = false;
+        for (event, data) in &events {
+            write_sse_event(stream, event, data)?;
+            saw_done |= event == "done";
+        }
+        if saw_done || (done && events.is_empty()) {
+            return Ok(());
+        }
+    }
+}
+
+fn store_info(manager: &JobManager) -> String {
+    match manager.store() {
+        Some(store) => {
+            let counters = serde_json::to_string(&store.counters()).unwrap_or_default();
+            format!(
+                "{{\"enabled\":true,\"fingerprint\":{},\"dir\":{},\"entries\":{},\"counters\":{counters}}}",
+                json_string(store.fingerprint()),
+                json_string(&store.dir().display().to_string()),
+                store.len(),
+            )
+        }
+        None => format!(
+            "{{\"enabled\":false,\"fingerprint\":{}}}",
+            json_string(code_fingerprint())
+        ),
+    }
+}

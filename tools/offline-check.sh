@@ -17,6 +17,8 @@
 #   tools/offline-check.sh clippy -- -D warnings
 #   tools/offline-check.sh ci              # the full .github/workflows/ci.yml
 #                                          # command sequence, offline
+#   tools/offline-check.sh serve           # the sweep-server acceptance test
+#                                          # (mirrors CI's `serve` job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,6 +74,15 @@ if [ "$1" = "ci" ]; then
     run cargo --offline test -q --workspace --no-fail-fast
     run cargo --offline test --release -p stonne-verify --test golden_fixtures
     run cargo --offline run --release -p stonne-verify -- --samples 200 --seed 7
+    run cargo --offline test --release -p stonne-serve --test server_roundtrip
+    exit 0
+fi
+
+# `serve` mirrors the CI `serve` job: the end-to-end sweep-server
+# acceptance test (cold sweep, warm store-served sweep, restart replay,
+# corruption healing) in release mode.
+if [ "$1" = "serve" ]; then
+    cargo --offline test --release -p stonne-serve --test server_roundtrip
     exit 0
 fi
 
