@@ -51,6 +51,13 @@ fn usage() -> &'static str {
                [--store DIR]               persist/reuse layer results on disk\n\
                [--workers N]               local worker threads\n\
                [--remote HOST:PORT]        submit to a running stonne-serve\n\
+       cluster --instances A[:ms[:bw]],... simulate a multi-accelerator,\n\
+               --models NAME[:scale],...   multi-tenant serving cluster:\n\
+               [--classes N[:w[:p[:sla]]],...]  Poisson arrivals, batching,\n\
+               [--requests N] [--rates F,...]   priority classes, shared-DRAM\n\
+               [--batch N] [--policy P]    arbitration (round-robin|priority);\n\
+               [--dram CH[:gbps[:lat]]]    prints the full JSON report\n\
+               [--remote HOST:PORT]        POST to a running stonne-serve\n\
        shell                               interactive prompt\n\
        help                                this text\n\
      \n\
@@ -470,12 +477,178 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the cluster flags into the request shared with the
+/// `/v1/cluster` route. Axis grammars mirror `sweep` (colon-separated
+/// fields, comma-separated lists): `--instances maeri:64:32,tpu:16`,
+/// `--classes interactive:1:2:400000,batch:3`
+/// (name[:weight[:priority[:sla_cycles]]]), `--dram 1:8:100`
+/// (channels[:GB/s[:latency]]).
+fn build_cluster_request(args: &Args) -> Result<stonne_cluster::ClusterRequest, String> {
+    let mut instances = Vec::new();
+    for spec in args.get_str("instances", "maeri").split(',') {
+        let mut parts = spec.split(':');
+        let arch = parts.next().unwrap_or_default().to_owned();
+        let ms = match parts.next() {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--instances: bad ms `{v}`"))?,
+        };
+        let bw = match parts.next() {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--instances: bad bw `{v}`"))?,
+        };
+        instances.push(stonne_cluster::InstanceSpec { arch, ms, bw });
+    }
+    let mut models = Vec::new();
+    for spec in args.get_str("models", "squeezenet").split(',') {
+        let mut parts = spec.split(':');
+        models.push(stonne_cluster::ModelRef {
+            name: parts.next().unwrap_or_default().to_owned(),
+            scale: parts.next().unwrap_or_default().to_owned(),
+        });
+    }
+    let mut classes = Vec::new();
+    if let Some(list) = args.get_opt("classes") {
+        for spec in list.split(',') {
+            let mut parts = spec.split(':');
+            let name = parts.next().unwrap_or_default().to_owned();
+            let weight = match parts.next() {
+                None => 0.0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--classes: bad weight `{v}`"))?,
+            };
+            let priority = match parts.next() {
+                None => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--classes: bad priority `{v}`"))?,
+            };
+            let sla_cycles = match parts.next() {
+                None => 0,
+                Some(v) => v.parse().map_err(|_| format!("--classes: bad sla `{v}`"))?,
+            };
+            classes.push(stonne_cluster::ClassSpec {
+                name,
+                weight,
+                priority,
+                sla_cycles,
+            });
+        }
+    }
+    let mut rates = Vec::new();
+    if let Some(list) = args.get_opt("rates") {
+        for v in list.split(',') {
+            rates.push(
+                v.parse()
+                    .map_err(|_| format!("--rates: bad number `{v}`"))?,
+            );
+        }
+    }
+    let dram = match args.get_opt("dram") {
+        None => None,
+        Some(spec) => {
+            let mut parts = spec.split(':');
+            let channels = match parts.next() {
+                None | Some("") => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--dram: bad channels `{v}`"))?,
+            };
+            let bandwidth_gbps = match parts.next() {
+                None => 0.0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--dram: bad bandwidth `{v}`"))?,
+            };
+            let latency_cycles = match parts.next() {
+                None => 0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--dram: bad latency `{v}`"))?,
+            };
+            Some(stonne_cluster::DramSpec {
+                channels,
+                bandwidth_gbps,
+                latency_cycles,
+            })
+        }
+    };
+    let sparsity = match args.get_opt("sparsity") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--sparsity: bad number `{v}`"))?,
+        ),
+    };
+    Ok(stonne_cluster::ClusterRequest {
+        name: args.get_str("name", ""),
+        instances,
+        models,
+        classes,
+        requests: args.get_usize("requests", 0)?,
+        rates,
+        batch: args.get_usize("batch", 0)?,
+        policy: args.get_str("policy", ""),
+        seed: args.get_usize("seed", 1)? as u64,
+        sparsity,
+        dram,
+    })
+}
+
+/// Runs a multi-accelerator serving scenario locally (profiling on the
+/// worker pool, optionally store-backed) or, with `--remote HOST:PORT`,
+/// on a running `stonne-serve` instance — the printed report is
+/// byte-identical between the two modes.
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    let request = build_cluster_request(args)?;
+    if let Some(remote) = args.get_opt("remote") {
+        let client = stonne_serve::Client::new(remote);
+        let body = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+        let (status, report) = client
+            .request("POST", "/v1/cluster", &body)
+            .map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("remote cluster run failed ({status}): {report}"));
+        }
+        println!("{report}");
+        return Ok(());
+    }
+    let mut cache = SimCache::new();
+    if let Some(dir) = args.get_opt("store") {
+        let store =
+            stonne::core::DiskStore::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+        cache = cache.backed_by(store);
+    }
+    let outcome = stonne_cluster::run_cluster(&request, &cache, stonne_cluster::ExecMode::Pool)?;
+    println!("{}", outcome.report.render());
+    for scenario in &outcome.report.scenarios {
+        eprintln!(
+            "rate {}: p50 {} / p99 {} cycles over {} requests, {} dram-wait cycles",
+            scenario.rate_rpmc,
+            scenario.latency.p50,
+            scenario.latency.p99,
+            scenario.requests,
+            scenario
+                .instances
+                .iter()
+                .map(|i| i.dram_wait_cycles)
+                .sum::<u64>(),
+        );
+    }
+    Ok(())
+}
+
 fn dispatch(command: &str, args: &Args) -> Result<(), String> {
     match command {
         "gemm" => cmd_gemm(args),
         "conv" => cmd_conv(args),
         "model" => cmd_model(args),
         "sweep" => cmd_sweep(args),
+        "cluster" => cmd_cluster(args),
         "help" => {
             println!("{}", usage());
             Ok(())
@@ -671,5 +844,55 @@ mod tests {
         // An invalid grid is rejected before any simulation starts.
         let bad = args("--archs hypercube --models alexnet");
         assert!(cmd_sweep(&bad).is_err());
+    }
+
+    #[test]
+    fn cluster_request_parses_every_axis() {
+        let a = args(
+            "--instances maeri:64:32,tpu:16 --models alexnet:tiny,squeezenet \
+             --classes interactive:1:2:400000,batch:3 --requests 16 --rates 0.5,2 \
+             --batch 2 --policy priority --seed 7 --dram 1:8:50",
+        );
+        let r = build_cluster_request(&a).unwrap();
+        r.validate().unwrap();
+        assert_eq!(r.instances.len(), 2);
+        assert_eq!(
+            (
+                r.instances[0].arch.as_str(),
+                r.instances[0].ms,
+                r.instances[0].bw
+            ),
+            ("maeri", 64, 32)
+        );
+        assert_eq!(r.models[1].name, "squeezenet");
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(
+            (r.classes[0].priority, r.classes[0].sla_cycles),
+            (2, 400_000)
+        );
+        assert_eq!(r.classes[1].weight, 3.0);
+        assert_eq!(r.effective_requests(), 16);
+        assert_eq!(r.rates, vec![0.5, 2.0]);
+        assert_eq!(r.effective_batch(), 2);
+        let dram = r.dram.unwrap();
+        assert_eq!(
+            (dram.channels, dram.bandwidth_gbps, dram.latency_cycles),
+            (1, 8.0, 50)
+        );
+        assert!(build_cluster_request(&args("--instances maeri:big")).is_err());
+        assert!(build_cluster_request(&args("--classes a:heavy")).is_err());
+        assert!(build_cluster_request(&args("--rates fast")).is_err());
+    }
+
+    #[test]
+    fn cluster_command_runs_a_small_scenario() {
+        let a =
+            args("--instances maeri:32:16 --models alexnet:tiny --requests 4 --rates 1 --seed 3");
+        cmd_cluster(&a).unwrap();
+        // Validation failures surface before any profiling runs.
+        let bad = args("--instances hypercube --models alexnet");
+        assert!(cmd_cluster(&bad).is_err());
+        let bad = args("--instances maeri --models alexnet --policy lottery");
+        assert!(cmd_cluster(&bad).is_err());
     }
 }

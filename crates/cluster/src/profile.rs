@@ -1,0 +1,241 @@
+//! Phase 1 of a cluster run: profile every (instance, model) pair once
+//! with the cycle-level simulator.
+//!
+//! The event loop (phase 2) never invokes the engines; it replays these
+//! profiles. That split is what makes cluster runs cheap (each unique
+//! pair simulates once, then thousands of requests replay it) and
+//! bitwise-reproducible: the profiles are a pure function of the request
+//! — cache hits, store warmth, and serial-vs-pool execution cannot
+//! change a single byte of them (the wave-parallel runner is bitwise
+//! equal to serial, and the volatile cache counters are stripped).
+
+use crate::spec::{parse_model, parse_scale, ClusterRequest};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use stonne::core::{NaturalOrder, SimCache, SimStats};
+use stonne::models::zoo;
+use stonne::nn::params::{generate_input, ModelParams};
+use stonne::nn::runner::{run_model_simulated_with, RunOptions};
+
+/// How phase 1 executes its (instance, model) profiling runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One run after another on the calling thread.
+    Serial,
+    /// All runs fan out across the `stonne-nn` worker pool, each run
+    /// itself using wave-parallel layer execution. Results are bitwise
+    /// identical to [`ExecMode::Serial`].
+    Pool,
+}
+
+/// One offloaded layer of a profiled inference, reduced to what the
+/// event loop needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Cycles the layer occupies its instance.
+    pub cycles: u64,
+    /// Elements the layer moves over the shared DRAM (reads + writes).
+    pub dram_elements: u64,
+    /// Fill-phase cycles (weight/operand loading); amortized across a
+    /// batch, since a batch loads weights once.
+    pub fill_cycles: u64,
+}
+
+/// The full profile of one model on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestProfile {
+    /// Per-layer timeline, in execution order.
+    pub layers: Vec<LayerProfile>,
+    /// Total inference cycles (sum of layer cycles).
+    pub cycles: u64,
+    /// Aggregate engine statistics with the cache-volatile counters
+    /// (`sim_cache_*`, `engine_invocations`) zeroed.
+    pub total: SimStats,
+}
+
+/// Zeroes the counters that depend on cache warmth rather than on the
+/// simulated work itself.
+fn strip_volatile(stats: &mut SimStats) {
+    stats.sim_cache_hits = 0;
+    stats.sim_cache_misses = 0;
+    stats.sim_cache_inserts = 0;
+    stats.engine_invocations = 0;
+}
+
+/// Profiles one (instance, model) pair.
+fn profile_one(
+    request: &ClusterRequest,
+    instance: usize,
+    model_index: usize,
+    cache: &SimCache,
+    parallel: bool,
+) -> Result<RequestProfile, String> {
+    let spec = &request.instances[instance];
+    let mut cfg = spec.config()?;
+    // Profile with the cluster's shared-DRAM model enabled: layer cycles
+    // then include each transfer's *uncontended* cost (the engine cache
+    // is DRAM-agnostic, so this shares entries with plain sweep runs),
+    // and the per-layer dram_reads/dram_writes counters populate. The
+    // event loop charges only the additional arbitration wait on top.
+    cfg.dram = request.dram.unwrap_or_default().config();
+    cfg.model_dram = true;
+    let model_ref = &request.models[model_index];
+    let id = parse_model(&model_ref.name)?;
+    let scale = parse_scale(&model_ref.scale)?;
+    let model = zoo::build(id, scale);
+    let sparsity = request.sparsity.unwrap_or_else(|| model.weight_sparsity());
+    let params = ModelParams::generate_with_sparsity(&model, request.seed, sparsity);
+    let input = generate_input(&model, request.seed ^ 1);
+    let mut options = RunOptions::new().with_cache(cache.clone());
+    if parallel {
+        options = options.parallel();
+    }
+    let run = run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        cfg,
+        Arc::new(NaturalOrder),
+        options,
+    )
+    .map_err(|e| e.to_string())?;
+    let layers: Vec<LayerProfile> = run
+        .layers
+        .iter()
+        .map(|l| LayerProfile {
+            cycles: l.stats.cycles,
+            dram_elements: l.stats.counters.dram_reads + l.stats.counters.dram_writes,
+            fill_cycles: l.stats.breakdown.fill_cycles.min(l.stats.cycles),
+        })
+        .collect();
+    let mut total = run.total;
+    strip_volatile(&mut total);
+    Ok(RequestProfile {
+        cycles: layers.iter().map(|l| l.cycles).sum(),
+        layers,
+        total,
+    })
+}
+
+/// Profiles every (instance, model) pair of `request`, returning
+/// `profiles[instance][model]`.
+///
+/// # Errors
+///
+/// Returns the first configuration/parse error (none after
+/// [`ClusterRequest::validate`]) or a worker-pool failure.
+pub fn build_profiles(
+    request: &ClusterRequest,
+    cache: &SimCache,
+    mode: ExecMode,
+) -> Result<Vec<Vec<RequestProfile>>, String> {
+    let instances = request.instances.len();
+    let models = request.models.len();
+    let flat: Vec<RequestProfile> = match mode {
+        ExecMode::Serial => {
+            let mut out = Vec::with_capacity(instances * models);
+            for i in 0..instances {
+                for m in 0..models {
+                    out.push(profile_one(request, i, m, cache, false)?);
+                }
+            }
+            out
+        }
+        ExecMode::Pool => {
+            let tasks: Vec<_> = (0..instances * models)
+                .map(|k| {
+                    let request = request.clone();
+                    let cache = cache.clone();
+                    move || profile_one(&request, k / models, k % models, &cache, true)
+                })
+                .collect();
+            stonne::nn::run_parallel(tasks)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .collect::<Result<Vec<_>, String>>()?
+        }
+    };
+    let mut flat = flat.into_iter();
+    Ok((0..instances)
+        .map(|_| {
+            (0..models)
+                .map(|_| flat.next().expect("sized above"))
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InstanceSpec, ModelRef};
+
+    fn tiny_request() -> ClusterRequest {
+        ClusterRequest {
+            name: String::new(),
+            instances: vec![
+                InstanceSpec {
+                    arch: "maeri".into(),
+                    ms: 64,
+                    bw: 32,
+                },
+                InstanceSpec {
+                    arch: "tpu".into(),
+                    ms: 16,
+                    bw: 0,
+                },
+            ],
+            models: vec![
+                ModelRef {
+                    name: "alexnet".into(),
+                    scale: "tiny".into(),
+                },
+                ModelRef {
+                    name: "squeezenet".into(),
+                    scale: String::new(),
+                },
+            ],
+            classes: Vec::new(),
+            requests: 8,
+            rates: Vec::new(),
+            batch: 1,
+            policy: String::new(),
+            seed: 7,
+            sparsity: None,
+            dram: None,
+        }
+    }
+
+    #[test]
+    fn serial_and_pool_profiles_are_bitwise_equal() {
+        let request = tiny_request();
+        let serial = build_profiles(&request, &SimCache::new(), ExecMode::Serial).unwrap();
+        let pool = build_profiles(&request, &SimCache::new(), ExecMode::Pool).unwrap();
+        assert_eq!(serial, pool);
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].len(), 2);
+        for row in &serial {
+            for profile in row {
+                assert!(profile.cycles > 0);
+                assert!(!profile.layers.is_empty());
+                assert_eq!(
+                    profile.cycles,
+                    profile.layers.iter().map(|l| l.cycles).sum::<u64>()
+                );
+                assert_eq!(profile.total.engine_invocations, 0, "volatile stripped");
+                assert!(profile.layers.iter().any(|l| l.dram_elements > 0));
+            }
+        }
+        // Heterogeneity is real: the two instances disagree on cost.
+        assert_ne!(serial[0][0].cycles, serial[1][0].cycles);
+    }
+
+    #[test]
+    fn profiles_are_cache_warmth_invariant() {
+        let request = tiny_request();
+        let shared = SimCache::new();
+        let cold = build_profiles(&request, &shared, ExecMode::Serial).unwrap();
+        let warm = build_profiles(&request, &shared, ExecMode::Serial).unwrap();
+        assert_eq!(cold, warm);
+    }
+}

@@ -1,0 +1,263 @@
+//! Cluster reports: latency distributions (p50/p95/p99, per class),
+//! throughput-vs-SLA curves, and per-instance utilization/contention.
+//!
+//! Everything here is integer arithmetic over cycle counts (percentiles
+//! are nearest-rank, ratios are parts-per-million), so a report is a
+//! pure function of the simulation records and renders to identical
+//! bytes on every run — the property the determinism oracle and the
+//! golden fixture pin.
+
+use crate::sim::{InstanceUsage, RequestRecord};
+use crate::spec::ClassSpec;
+use serde::{Deserialize, Serialize};
+use stonne::core::SimStats;
+
+/// Summary of a latency sample (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub count: usize,
+    /// Integer mean.
+    pub mean: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample (order irrelevant; empty → zeros).
+    pub fn of(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: u64| {
+            // Nearest-rank: smallest index covering q% of the sample.
+            let k = (q * sorted.len() as u64).div_ceil(100).max(1) as usize;
+            sorted[k - 1]
+        };
+        Self {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<u64>() / sorted.len() as u64,
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Latency/SLA outcome of one tenant class in one scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class label.
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// The class SLA in cycles (0 = none).
+    pub sla_cycles: u64,
+    /// Latency distribution of the class's requests.
+    pub latency: LatencySummary,
+    /// Requests that met the SLA (= all, when no SLA is set).
+    pub sla_met: usize,
+    /// SLA attainment in parts-per-million of the class's requests.
+    pub sla_attainment_ppm: u64,
+}
+
+/// Per-instance outcome of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance index.
+    pub index: usize,
+    /// Instance label (`arch:ms:bw`).
+    pub arch: String,
+    /// Requests served.
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Cycles occupied (compute + DRAM wait).
+    pub busy_cycles: u64,
+    /// Occupancy over the scenario makespan, parts-per-million.
+    pub utilization_ppm: u64,
+    /// Elements moved over the shared DRAM.
+    pub dram_elements: u64,
+    /// Channel cycles its transfers occupied.
+    pub dram_transfer_cycles: u64,
+    /// Cycles it waited behind other instances' traffic.
+    pub dram_wait_cycles: u64,
+    /// Aggregate engine statistics over every request it served, with
+    /// `dram_contention_cycles` carrying the arbiter wait.
+    pub stats: SimStats,
+}
+
+/// One simulated arrival rate: a point on the throughput-vs-SLA curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Offered arrival rate (requests per million cycles).
+    pub rate_rpmc: f64,
+    /// Requests simulated.
+    pub requests: usize,
+    /// Cycle the last request finished.
+    pub makespan_cycles: u64,
+    /// Achieved throughput in milli-requests per million cycles
+    /// (`requests × 10⁹ / makespan`).
+    pub throughput_milli_rpmc: u64,
+    /// Latency distribution over every request.
+    pub latency: LatencySummary,
+    /// Per-class breakdown, in class order.
+    pub classes: Vec<ClassReport>,
+    /// Per-instance breakdown, in instance order.
+    pub instances: Vec<InstanceReport>,
+}
+
+/// The full report of a cluster run: one scenario per requested rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Request label (possibly empty).
+    pub name: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Arbitration policy name.
+    pub policy: String,
+    /// Batching window.
+    pub batch: usize,
+    /// One entry per arrival rate, in request order — the
+    /// throughput-vs-SLA curve.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl ClusterReport {
+    /// Renders the report as pretty JSON (byte-stable across runs).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice (all fields are serializable).
+    pub fn render(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Assembles one scenario's report from its simulation outcome.
+pub fn scenario_report(
+    rate: f64,
+    records: &[RequestRecord],
+    usage: &[InstanceUsage],
+    classes: &[ClassSpec],
+    instance_labels: &[String],
+    per_instance_stats: Vec<SimStats>,
+) -> ScenarioReport {
+    let makespan = records.iter().map(|r| r.finish).max().unwrap_or(0);
+    let latencies: Vec<u64> = records.iter().map(|r| r.latency).collect();
+    let class_reports = classes
+        .iter()
+        .enumerate()
+        .map(|(c, spec)| {
+            let sample: Vec<u64> = records
+                .iter()
+                .filter(|r| r.class == c)
+                .map(|r| r.latency)
+                .collect();
+            let met = if spec.sla_cycles == 0 {
+                sample.len()
+            } else {
+                sample.iter().filter(|&&l| l <= spec.sla_cycles).count()
+            };
+            ClassReport {
+                name: spec.name.clone(),
+                priority: spec.priority,
+                sla_cycles: spec.sla_cycles,
+                latency: LatencySummary::of(&sample),
+                sla_met: met,
+                sla_attainment_ppm: if sample.is_empty() {
+                    1_000_000
+                } else {
+                    met as u64 * 1_000_000 / sample.len() as u64
+                },
+            }
+        })
+        .collect();
+    let instances = usage
+        .iter()
+        .enumerate()
+        .zip(per_instance_stats)
+        .map(|((i, u), stats)| InstanceReport {
+            index: i,
+            arch: instance_labels[i].clone(),
+            requests: u.served,
+            batches: u.batches,
+            busy_cycles: u.busy_cycles,
+            utilization_ppm: (u.busy_cycles * 1_000_000)
+                .checked_div(makespan)
+                .unwrap_or(0),
+            dram_elements: u.dram.elements,
+            dram_transfer_cycles: u.dram.transfer_cycles,
+            dram_wait_cycles: u.dram.wait_cycles,
+            stats,
+        })
+        .collect();
+    ScenarioReport {
+        rate_rpmc: rate,
+        requests: records.len(),
+        makespan_cycles: makespan,
+        throughput_milli_rpmc: (records.len() as u64 * 1_000_000_000)
+            .checked_div(makespan)
+            .unwrap_or(0),
+        latency: LatencySummary::of(&latencies),
+        classes: class_reports,
+        instances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::of(&sample);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50);
+        let tiny = LatencySummary::of(&[7]);
+        assert_eq!((tiny.p50, tiny.p99, tiny.max), (7, 7, 7));
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn sla_attainment_counts_met_requests() {
+        let classes = vec![ClassSpec {
+            name: "svc".into(),
+            weight: 1.0,
+            priority: 0,
+            sla_cycles: 100,
+        }];
+        let records: Vec<RequestRecord> = [(50u64, 0usize), (150, 1), (100, 2), (75, 3)]
+            .iter()
+            .map(|&(latency, id)| RequestRecord {
+                id,
+                class: 0,
+                model: 0,
+                instance: 0,
+                arrival: 0,
+                start: 0,
+                finish: latency,
+                latency,
+                queue_cycles: 0,
+                contention_cycles: 0,
+            })
+            .collect();
+        let report = scenario_report(1.0, &records, &[], &classes, &[], Vec::new());
+        assert_eq!(report.classes[0].sla_met, 3);
+        assert_eq!(report.classes[0].sla_attainment_ppm, 750_000);
+        assert_eq!(report.makespan_cycles, 150);
+    }
+}

@@ -1,0 +1,490 @@
+//! Phase 2: the virtual-time event loop.
+//!
+//! A single-threaded discrete-event simulation over integer cycles. All
+//! state transitions are pure functions of (profiles, workload, policy),
+//! so two runs of the same request — or a serial-profiled and a
+//! pool-profiled run — produce identical per-request records byte for
+//! byte.
+//!
+//! Per event bucket (one timestamp) the loop processes, in a fixed
+//! order: arrivals (dispatch to the least-loaded instance), layer
+//! completions (advance or retire batches), batch formation on idle
+//! instances, then one arbitration round in which every instance with a
+//! pending layer asks the shared-DRAM arbiter for its transfer window.
+//! The grant's wait cycles push the layer's completion out — that is
+//! where cross-instance memory contention becomes visible end to end.
+
+use crate::profile::RequestProfile;
+use crate::spec::ClassSpec;
+use crate::workload::GeneratedRequest;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stonne::dram::arbiter::{ArbiterPolicy, DramArbiter, InstanceDramCounters};
+use stonne::dram::DramConfig;
+
+/// The fully-resolved fate of one request (the per-request cycle counts
+/// the determinism oracle compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id (generation order).
+    pub id: usize,
+    /// Class index.
+    pub class: usize,
+    /// Model index.
+    pub model: usize,
+    /// Instance that served it.
+    pub instance: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Cycle its batch started executing.
+    pub start: u64,
+    /// Cycle its batch finished.
+    pub finish: u64,
+    /// End-to-end latency (`finish - arrival`).
+    pub latency: u64,
+    /// Cycles spent queued before execution (`start - arrival`).
+    pub queue_cycles: u64,
+    /// Shared-DRAM wait cycles its batch absorbed.
+    pub contention_cycles: u64,
+}
+
+/// Per-instance accounting of one simulated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceUsage {
+    /// Requests served.
+    pub served: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Cycles the instance was occupied (compute + DRAM wait).
+    pub busy_cycles: u64,
+    /// The arbiter's bandwidth/contention counters for this instance.
+    pub dram: InstanceDramCounters,
+}
+
+/// A queued request (the subset of state the scheduler needs).
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: usize,
+    model: usize,
+    class: usize,
+    arrival: u64,
+    priority: u8,
+}
+
+/// An executing batch on one instance.
+#[derive(Debug, Clone)]
+struct ActiveBatch {
+    members: Vec<Queued>,
+    model: usize,
+    priority: u8,
+    start: u64,
+    next_layer: usize,
+    contention: u64,
+    /// Set when the next layer still needs its DRAM grant.
+    needs_issue: bool,
+}
+
+struct Instance {
+    queue: Vec<Queued>,
+    active: Option<ActiveBatch>,
+    /// Estimated backlog in profile cycles (dispatch heuristic).
+    backlog: u64,
+    usage: InstanceUsage,
+}
+
+/// Runs one scenario: `workload` over `profiles[instance][model]`
+/// behind a shared arbiter. Returns the per-request records (id order)
+/// and per-instance usage.
+pub fn simulate(
+    profiles: &[Vec<RequestProfile>],
+    workload: &[GeneratedRequest],
+    classes: &[ClassSpec],
+    dram: DramConfig,
+    policy: ArbiterPolicy,
+    batch_window: usize,
+) -> (Vec<RequestRecord>, Vec<InstanceUsage>) {
+    let n_instances = profiles.len();
+    let mut arbiter = DramArbiter::new(dram, policy, n_instances);
+    let mut instances: Vec<Instance> = (0..n_instances)
+        .map(|_| Instance {
+            queue: Vec::new(),
+            active: None,
+            backlog: 0,
+            usage: InstanceUsage {
+                served: 0,
+                batches: 0,
+                busy_cycles: 0,
+                dram: InstanceDramCounters::default(),
+            },
+        })
+        .collect();
+    let mut records: Vec<Option<RequestRecord>> = vec![None; workload.len()];
+
+    // Events: (time, kind, seq, payload). kind 0 = arrival (payload =
+    // request index), kind 1 = layer done (payload = instance). Tuple
+    // order fixes the processing order inside a timestamp bucket.
+    let mut heap: BinaryHeap<Reverse<(u64, u8, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (k, request) in workload.iter().enumerate() {
+        heap.push(Reverse((request.arrival, 0, seq, k)));
+        seq += 1;
+    }
+
+    while let Some(&Reverse((t, _, _, _))) = heap.peek() {
+        // Drain the whole bucket for this timestamp.
+        while let Some(&Reverse((time, kind, _, payload))) = heap.peek() {
+            if time != t {
+                break;
+            }
+            heap.pop();
+            match kind {
+                0 => {
+                    let request = &workload[payload];
+                    let queued = Queued {
+                        id: request.id,
+                        model: request.model,
+                        class: request.class,
+                        arrival: request.arrival,
+                        priority: classes[request.class].priority,
+                    };
+                    // Least-loaded dispatch: backlog plus this request's
+                    // own cost on that instance; ties to the lowest index.
+                    let target = (0..n_instances)
+                        .min_by_key(|&i| {
+                            (instances[i].backlog + profiles[i][request.model].cycles, i)
+                        })
+                        .expect("at least one instance");
+                    let inst = &mut instances[target];
+                    inst.backlog += profiles[target][request.model].cycles;
+                    // Queue order: priority first, then arrival, then id.
+                    let at = inst
+                        .queue
+                        .iter()
+                        .position(|q| {
+                            (Reverse(q.priority), q.arrival, q.id)
+                                > (Reverse(queued.priority), queued.arrival, queued.id)
+                        })
+                        .unwrap_or(inst.queue.len());
+                    inst.queue.insert(at, queued);
+                }
+                _ => {
+                    let i = payload;
+                    let inst = &mut instances[i];
+                    let active = inst.active.as_mut().expect("layer done on active batch");
+                    active.next_layer += 1;
+                    if active.next_layer == profiles[i][active.model].layers.len() {
+                        let batch = inst.active.take().expect("checked above");
+                        inst.usage.batches += 1;
+                        for member in &batch.members {
+                            inst.usage.served += 1;
+                            inst.backlog = inst
+                                .backlog
+                                .saturating_sub(profiles[i][member.model].cycles);
+                            records[member.id] = Some(RequestRecord {
+                                id: member.id,
+                                class: member.class,
+                                model: member.model,
+                                instance: i,
+                                arrival: member.arrival,
+                                start: batch.start,
+                                finish: t,
+                                latency: t - member.arrival,
+                                queue_cycles: batch.start - member.arrival,
+                                contention_cycles: batch.contention,
+                            });
+                        }
+                    } else {
+                        active.needs_issue = true;
+                    }
+                }
+            }
+        }
+
+        // Batch formation on idle instances: head of queue plus up to
+        // `batch_window - 1` same-model requests, in queue order.
+        for inst in instances.iter_mut() {
+            if inst.active.is_some() || inst.queue.is_empty() {
+                continue;
+            }
+            let head = inst.queue.remove(0);
+            let mut members = vec![head];
+            let mut k = 0;
+            while members.len() < batch_window && k < inst.queue.len() {
+                if inst.queue[k].model == head.model {
+                    members.push(inst.queue.remove(k));
+                } else {
+                    k += 1;
+                }
+            }
+            inst.active = Some(ActiveBatch {
+                model: head.model,
+                priority: head.priority,
+                start: t,
+                next_layer: 0,
+                contention: 0,
+                needs_issue: true,
+                members,
+            });
+        }
+
+        // One arbitration round: every instance with a pending layer
+        // requests its transfer; the policy fixes the grant order.
+        let mut intents: Vec<(usize, u8)> = instances
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| {
+                inst.active
+                    .as_ref()
+                    .filter(|a| a.needs_issue)
+                    .map(|a| (i, a.priority))
+            })
+            .collect();
+        arbiter.order(&mut intents);
+        for &(i, _) in &intents {
+            let inst = &mut instances[i];
+            let active = inst.active.as_mut().expect("intent from active batch");
+            active.needs_issue = false;
+            let layer = profiles[i][active.model].layers[active.next_layer];
+            let m = active.members.len() as u64;
+            // Batch cost model: the fill phase (weight loads) happens
+            // once; steady/drain repeat per batched request. DRAM
+            // traffic scales with the batch (an approximation — weights
+            // are a fraction of it, but profiles do not split traffic
+            // by operand).
+            let batch_cycles = layer.cycles + (m - 1) * (layer.cycles - layer.fill_cycles);
+            let grant = arbiter.acquire(i, t, layer.dram_elements * m);
+            active.contention += grant.wait;
+            let busy = (grant.wait + batch_cycles).max(1);
+            inst.usage.busy_cycles += busy;
+            heap.push(Reverse((t + busy, 1, seq, i)));
+            seq += 1;
+        }
+    }
+
+    for (i, inst) in instances.iter_mut().enumerate() {
+        inst.usage.dram = arbiter.instance_counters()[i];
+    }
+    (
+        records
+            .into_iter()
+            .map(|r| r.expect("every request completes"))
+            .collect(),
+        instances.into_iter().map(|inst| inst.usage).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LayerProfile;
+
+    /// Synthetic profiles: no engines involved, so these tests pin the
+    /// event-loop semantics exactly.
+    fn flat_profile(cycles_per_layer: u64, layers: usize, dram: u64, fill: u64) -> RequestProfile {
+        let layer = LayerProfile {
+            cycles: cycles_per_layer,
+            dram_elements: dram,
+            fill_cycles: fill,
+        };
+        RequestProfile {
+            layers: vec![layer; layers],
+            cycles: cycles_per_layer * layers as u64,
+            total: Default::default(),
+        }
+    }
+
+    fn one_class() -> Vec<ClassSpec> {
+        vec![ClassSpec::default()]
+    }
+
+    fn narrow_dram() -> DramConfig {
+        DramConfig {
+            channels: 1,
+            bandwidth_gbps_per_channel: 1.0,
+            capacity_mib_per_channel: 1,
+            latency_cycles: 0,
+            clock_ghz: 1.0,
+            element_bytes: 1,
+        }
+    }
+
+    fn request(id: usize, arrival: u64, model: usize, class: usize) -> GeneratedRequest {
+        GeneratedRequest {
+            id,
+            arrival,
+            model,
+            class,
+        }
+    }
+
+    #[test]
+    fn a_lone_request_takes_its_profile_cycles() {
+        let profiles = vec![vec![flat_profile(100, 3, 0, 10)]];
+        let workload = vec![request(0, 5, 0, 0)];
+        let (records, usage) = simulate(
+            &profiles,
+            &workload,
+            &one_class(),
+            DramConfig::hbm2_dual(),
+            ArbiterPolicy::RoundRobin,
+            1,
+        );
+        assert_eq!(records[0].latency, 300);
+        assert_eq!(records[0].queue_cycles, 0);
+        assert_eq!(records[0].contention_cycles, 0);
+        assert_eq!(usage[0].served, 1);
+        assert_eq!(usage[0].busy_cycles, 300);
+    }
+
+    #[test]
+    fn contention_on_a_narrow_channel_is_charged() {
+        // Two instances, each 1 layer of 10 cycles moving 40 elements
+        // over a 1-element/cycle single channel: the second grant waits.
+        let profiles = vec![
+            vec![flat_profile(10, 1, 40, 0)],
+            vec![flat_profile(10, 1, 40, 0)],
+        ];
+        let workload = vec![request(0, 0, 0, 0), request(1, 0, 0, 0)];
+        let (records, usage) = simulate(
+            &profiles,
+            &workload,
+            &one_class(),
+            narrow_dram(),
+            ArbiterPolicy::RoundRobin,
+            1,
+        );
+        let waits: Vec<u64> = records.iter().map(|r| r.contention_cycles).collect();
+        assert_eq!(waits.iter().filter(|&&w| w == 0).count(), 1);
+        assert_eq!(waits.iter().filter(|&&w| w == 40).count(), 1);
+        assert_eq!(
+            usage.iter().map(|u| u.dram.wait_cycles).sum::<u64>(),
+            40,
+            "arbiter counters agree with records"
+        );
+    }
+
+    #[test]
+    fn priority_class_jumps_the_queue() {
+        // One instance busy with a long batch; two requests queue behind
+        // it: a low-priority early arrival and a high-priority late one.
+        let profiles = vec![vec![flat_profile(1000, 1, 0, 0)]];
+        let classes = vec![
+            ClassSpec {
+                name: "lo".into(),
+                weight: 1.0,
+                priority: 0,
+                sla_cycles: 0,
+            },
+            ClassSpec {
+                name: "hi".into(),
+                weight: 1.0,
+                priority: 5,
+                sla_cycles: 0,
+            },
+        ];
+        let workload = vec![
+            request(0, 0, 0, 0),
+            request(1, 10, 0, 0),
+            request(2, 20, 0, 1),
+        ];
+        let (records, _) = simulate(
+            &profiles,
+            &workload,
+            &classes,
+            DramConfig::hbm2_dual(),
+            ArbiterPolicy::Priority,
+            1,
+        );
+        assert!(
+            records[2].start < records[1].start,
+            "high priority served before the earlier low-priority request"
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_the_fill_phase() {
+        // Two same-model requests arriving together, window 2: one batch
+        // of 100 + (100 - 40) = 160 cycles instead of two × 100.
+        let profiles = vec![vec![flat_profile(100, 1, 0, 40)]];
+        let workload = vec![request(0, 0, 0, 0), request(1, 0, 0, 0)];
+        let (batched, usage) = simulate(
+            &profiles,
+            &workload,
+            &one_class(),
+            DramConfig::hbm2_dual(),
+            ArbiterPolicy::RoundRobin,
+            2,
+        );
+        assert_eq!(usage[0].batches, 1);
+        assert_eq!(batched[1].finish, 160);
+        let (unbatched, _) = simulate(
+            &profiles,
+            &workload,
+            &one_class(),
+            DramConfig::hbm2_dual(),
+            ArbiterPolicy::RoundRobin,
+            1,
+        );
+        assert!(unbatched[1].finish > batched[1].finish);
+    }
+
+    #[test]
+    fn dispatch_prefers_the_cheaper_instance() {
+        // Instance 1 runs the model 10× faster; both idle — request
+        // lands on 1 despite the lowest-index tie-break.
+        let profiles = vec![
+            vec![flat_profile(1000, 1, 0, 0)],
+            vec![flat_profile(100, 1, 0, 0)],
+        ];
+        let workload = vec![request(0, 0, 0, 0)];
+        let (records, _) = simulate(
+            &profiles,
+            &workload,
+            &one_class(),
+            DramConfig::hbm2_dual(),
+            ArbiterPolicy::RoundRobin,
+            1,
+        );
+        assert_eq!(records[0].instance, 1);
+    }
+
+    #[test]
+    fn the_loop_is_deterministic() {
+        let profiles = vec![
+            vec![flat_profile(70, 3, 50, 10), flat_profile(130, 2, 80, 20)],
+            vec![flat_profile(90, 3, 50, 10), flat_profile(110, 2, 80, 20)],
+        ];
+        let workload: Vec<GeneratedRequest> = (0..40)
+            .map(|k| request(k, (k as u64) * 37 % 500, k % 2, k % 2))
+            .collect();
+        let classes = vec![
+            ClassSpec::default(),
+            ClassSpec {
+                name: "hi".into(),
+                weight: 1.0,
+                priority: 3,
+                sla_cycles: 0,
+            },
+        ];
+        let a = simulate(
+            &profiles,
+            &workload,
+            &classes,
+            narrow_dram(),
+            ArbiterPolicy::Priority,
+            4,
+        );
+        let b = simulate(
+            &profiles,
+            &workload,
+            &classes,
+            narrow_dram(),
+            ArbiterPolicy::Priority,
+            4,
+        );
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.len(), 40, "every request completed");
+    }
+}

@@ -1,0 +1,460 @@
+//! Cluster scenario specifications: instances, models, tenant classes,
+//! the shared-DRAM override, and request validation.
+
+use serde::{Deserialize, Serialize};
+use stonne::core::AcceleratorConfig;
+use stonne::dram::DramConfig;
+use stonne::models::{ModelId, ModelScale};
+
+/// Hard bound on accelerator instances per cluster.
+pub const MAX_INSTANCES: usize = 16;
+/// Hard bound on models per cluster request.
+pub const MAX_MODELS: usize = 8;
+/// Hard bound on tenant classes.
+pub const MAX_CLASSES: usize = 8;
+/// Hard bound on generated requests per scenario.
+pub const MAX_REQUESTS: usize = 20_000;
+/// Hard bound on arrival rates (scenarios) per request.
+pub const MAX_RATES: usize = 16;
+/// Hard bound on the batching window.
+pub const MAX_BATCH: usize = 64;
+
+/// Builds a validated accelerator configuration from the serving-layer
+/// triple `(arch, ms, bw)` — the shared grammar of sweep grids and
+/// cluster instances. `ms`/`bw` of 0 select the preset defaults
+/// (256/128); `tpu` requires a square `ms` and ignores `bw`.
+///
+/// # Errors
+///
+/// Returns a message when the preset is unknown, a TPU `ms` is not a
+/// perfect square, or the composed configuration fails validation.
+pub fn config_from(arch: &str, ms: usize, bw: usize) -> Result<AcceleratorConfig, String> {
+    let ms = if ms == 0 { 256 } else { ms };
+    let bw = if bw == 0 { 128 } else { bw };
+    let cfg = match arch {
+        "tpu" => {
+            let dim = (ms as f64).sqrt().round() as usize;
+            if dim * dim != ms {
+                return Err(format!("arch tpu: ms {ms} is not a perfect square"));
+            }
+            AcceleratorConfig::tpu_like(dim)
+        }
+        "maeri" => AcceleratorConfig::maeri_like(ms, bw),
+        "sigma" => AcceleratorConfig::sigma_like(ms, bw),
+        other => return Err(format!("unknown arch `{other}` (tpu|maeri|sigma)")),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+/// Parses a zoo model name.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown model.
+pub fn parse_model(name: &str) -> Result<ModelId, String> {
+    Ok(match name {
+        "mobilenet" => ModelId::MobileNetV1,
+        "squeezenet" => ModelId::SqueezeNet,
+        "alexnet" => ModelId::AlexNet,
+        "resnet50" => ModelId::ResNet50,
+        "vgg16" => ModelId::Vgg16,
+        "ssd" => ModelId::SsdMobileNet,
+        "bert" => ModelId::Bert,
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+/// Parses a scale name (empty → `tiny`).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown scale.
+pub fn parse_scale(name: &str) -> Result<ModelScale, String> {
+    Ok(match name {
+        "" | "tiny" => ModelScale::Tiny,
+        "reduced" => ModelScale::Reduced,
+        "standard" => ModelScale::Standard,
+        other => return Err(format!("unknown scale `{other}` (tiny|reduced|standard)")),
+    })
+}
+
+/// One accelerator instance of the cluster (heterogeneous configs
+/// allowed: a cluster can mix `tpu`, `maeri` and `sigma` instances of
+/// different sizes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Architecture preset: `tpu`, `maeri` or `sigma`.
+    pub arch: String,
+    /// Multiplier switches (0 → preset default, 256).
+    #[serde(default)]
+    pub ms: usize,
+    /// GB bandwidth in elements/cycle (0 → preset default, 128; ignored
+    /// by `tpu`).
+    #[serde(default)]
+    pub bw: usize,
+}
+
+impl InstanceSpec {
+    /// The validated accelerator configuration of this instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`config_from`].
+    pub fn config(&self) -> Result<AcceleratorConfig, String> {
+        config_from(&self.arch, self.ms, self.bw)
+    }
+
+    /// Human-readable label, e.g. `maeri:64:32`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}:{}",
+            self.arch,
+            if self.ms == 0 { 256 } else { self.ms },
+            if self.bw == 0 { 128 } else { self.bw }
+        )
+    }
+}
+
+/// One model requests may ask for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRef {
+    /// Model name (see [`parse_model`]).
+    pub name: String,
+    /// Input scale: `tiny`, `reduced` or `standard` (empty → `tiny`).
+    #[serde(default)]
+    pub scale: String,
+}
+
+/// One tenant / priority class of the request mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Class label (echoed in per-class latency reports).
+    pub name: String,
+    /// Relative share of arriving requests (normalized over all
+    /// classes; 0 → 1.0, so an omitted weight means an equal share).
+    #[serde(default)]
+    pub weight: f64,
+    /// Scheduling priority (higher preempts queue order; also the
+    /// request priority the `priority` DRAM arbiter sees).
+    #[serde(default)]
+    pub priority: u8,
+    /// Latency SLA in cycles (0 → no SLA; attainment reports 100%).
+    #[serde(default)]
+    pub sla_cycles: u64,
+}
+
+impl ClassSpec {
+    /// The sampling weight with the omitted-field zero resolved to an
+    /// equal share.
+    pub fn effective_weight(&self) -> f64 {
+        if self.weight == 0.0 {
+            1.0
+        } else {
+            self.weight
+        }
+    }
+}
+
+impl Default for ClassSpec {
+    fn default() -> Self {
+        Self {
+            name: "default".to_owned(),
+            weight: 1.0,
+            priority: 0,
+            sla_cycles: 0,
+        }
+    }
+}
+
+/// Overrides for the shared off-chip memory system. Zeros select the
+/// corresponding [`DramConfig::hbm2_dual`] default; tightening these
+/// (one channel, a few GB/s) is how contention studies force visible
+/// arbiter wait cycles.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DramSpec {
+    /// Shared channels (0 → 2).
+    #[serde(default)]
+    pub channels: usize,
+    /// Peak bandwidth per channel in GB/s (0 → 256).
+    #[serde(default)]
+    pub bandwidth_gbps: f64,
+    /// Fixed access latency in cycles (0 → 100).
+    #[serde(default)]
+    pub latency_cycles: u64,
+}
+
+impl DramSpec {
+    /// Resolves the override into a full [`DramConfig`].
+    pub fn config(&self) -> DramConfig {
+        let base = DramConfig::hbm2_dual();
+        DramConfig {
+            channels: if self.channels == 0 {
+                base.channels
+            } else {
+                self.channels
+            },
+            bandwidth_gbps_per_channel: if self.bandwidth_gbps <= 0.0 {
+                base.bandwidth_gbps_per_channel
+            } else {
+                self.bandwidth_gbps
+            },
+            latency_cycles: if self.latency_cycles == 0 {
+                base.latency_cycles
+            } else {
+                self.latency_cycles
+            },
+            ..base
+        }
+    }
+}
+
+/// A full cluster scenario request: the machine (instances + shared
+/// DRAM), the tenant mix (models + classes), and the workload knobs
+/// (request count, arrival rates, batching window, seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterRequest {
+    /// Optional human-readable label echoed in the report.
+    #[serde(default)]
+    pub name: String,
+    /// Accelerator instances (1–16, heterogeneous allowed).
+    pub instances: Vec<InstanceSpec>,
+    /// Models requests draw from uniformly (1–8).
+    pub models: Vec<ModelRef>,
+    /// Tenant classes (empty → one `default` class).
+    #[serde(default)]
+    pub classes: Vec<ClassSpec>,
+    /// Requests generated per scenario (0 → 64).
+    #[serde(default)]
+    pub requests: usize,
+    /// Poisson arrival rates in requests per million cycles; each rate
+    /// is simulated as its own scenario, which is what produces the
+    /// throughput-vs-SLA curve (empty → `[1.0]`).
+    #[serde(default)]
+    pub rates: Vec<f64>,
+    /// Batching window: up to this many queued same-model requests run
+    /// as one batch (0 → 1 = no batching).
+    #[serde(default)]
+    pub batch: usize,
+    /// DRAM arbitration policy: `round-robin` (default) or `priority`.
+    #[serde(default)]
+    pub policy: String,
+    /// Workload seed; every scenario derives deterministically from it.
+    #[serde(default)]
+    pub seed: u64,
+    /// Weight sparsity override in `[0, 1)` (absent → each model's own
+    /// published default).
+    #[serde(default)]
+    pub sparsity: Option<f64>,
+    /// Shared-memory override (absent → the paper's dual-HBM2 setup).
+    #[serde(default)]
+    pub dram: Option<DramSpec>,
+}
+
+impl ClusterRequest {
+    /// The effective class list (the single default class when none
+    /// were given), with omitted weights resolved.
+    pub fn effective_classes(&self) -> Vec<ClassSpec> {
+        if self.classes.is_empty() {
+            vec![ClassSpec::default()]
+        } else {
+            self.classes
+                .iter()
+                .map(|c| ClassSpec {
+                    weight: c.effective_weight(),
+                    ..c.clone()
+                })
+                .collect()
+        }
+    }
+
+    /// The effective request count (0 → 64).
+    pub fn effective_requests(&self) -> usize {
+        if self.requests == 0 {
+            64
+        } else {
+            self.requests
+        }
+    }
+
+    /// The effective batching window (0 → 1 = no batching).
+    pub fn effective_batch(&self) -> usize {
+        if self.batch == 0 {
+            1
+        } else {
+            self.batch
+        }
+    }
+
+    /// The effective rate list (`[1.0]` when none were given).
+    pub fn effective_rates(&self) -> Vec<f64> {
+        if self.rates.is_empty() {
+            vec![1.0]
+        } else {
+            self.rates.clone()
+        }
+    }
+
+    /// Validates every axis of the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated bound or
+    /// unparsable name.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instances.is_empty() || self.instances.len() > MAX_INSTANCES {
+            return Err(format!("instances must be 1..={MAX_INSTANCES}"));
+        }
+        for spec in &self.instances {
+            spec.config()?;
+        }
+        if self.models.is_empty() || self.models.len() > MAX_MODELS {
+            return Err(format!("models must be 1..={MAX_MODELS}"));
+        }
+        for model in &self.models {
+            parse_model(&model.name)?;
+            parse_scale(&model.scale)?;
+        }
+        if self.classes.len() > MAX_CLASSES {
+            return Err(format!("at most {MAX_CLASSES} classes"));
+        }
+        for class in &self.classes {
+            if !class.weight.is_finite() || class.weight < 0.0 {
+                return Err(format!(
+                    "class `{}` weight must be positive (or 0 for the default)",
+                    class.name
+                ));
+            }
+        }
+        if self.effective_requests() > MAX_REQUESTS {
+            return Err(format!("requests must be 1..={MAX_REQUESTS}"));
+        }
+        if self.rates.len() > MAX_RATES {
+            return Err(format!("at most {MAX_RATES} rates"));
+        }
+        for &rate in &self.rates {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(format!("rate {rate} must be positive and finite"));
+            }
+        }
+        if self.effective_batch() > MAX_BATCH {
+            return Err(format!("batch must be 1..={MAX_BATCH}"));
+        }
+        stonne::dram::arbiter::ArbiterPolicy::parse(&self.policy)?;
+        if let Some(s) = self.sparsity {
+            if !(0.0..1.0).contains(&s) {
+                return Err(format!("sparsity {s} outside [0, 1)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> ClusterRequest {
+        serde_json::from_str(
+            r#"{
+                "instances": [{"arch":"maeri","ms":64,"bw":32},{"arch":"tpu","ms":16}],
+                "models": [{"name":"alexnet"},{"name":"squeezenet","scale":"tiny"}],
+                "classes": [
+                    {"name":"interactive","weight":1.0,"priority":2,"sla_cycles":400000},
+                    {"name":"batch","weight":3.0}
+                ],
+                "requests": 16,
+                "rates": [0.5, 2.0],
+                "batch": 2,
+                "policy": "priority",
+                "seed": 7
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_full_request_validates_and_roundtrips() {
+        let r = request();
+        r.validate().unwrap();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: ClusterRequest = serde_json::from_str(&text).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.instances[0].label(), "maeri:64:32");
+        assert_eq!(back.instances[1].label(), "tpu:16:128");
+        assert_eq!(back.classes[1].priority, 0, "priority defaults to 0");
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let min: ClusterRequest =
+            serde_json::from_str(r#"{"instances":[{"arch":"sigma"}],"models":[{"name":"bert"}]}"#)
+                .unwrap();
+        min.validate().unwrap();
+        assert_eq!(min.effective_requests(), 64);
+        assert_eq!(min.effective_batch(), 1);
+        assert_eq!(min.effective_rates(), vec![1.0]);
+        let classes = min.effective_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].name, "default");
+        assert!(min.dram.is_none());
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut r = request();
+        r.instances.clear();
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.models[0].name = "lenet".into();
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.classes[0].weight = -1.0;
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.requests = MAX_REQUESTS + 1;
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.rates = vec![-1.0];
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.batch = MAX_BATCH + 1;
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.batch = 0;
+        r.validate().unwrap();
+        assert_eq!(r.effective_batch(), 1, "0 means no batching");
+        let mut r = request();
+        r.classes[0].weight = 0.0;
+        r.validate().unwrap();
+        assert_eq!(
+            r.effective_classes()[0].weight,
+            1.0,
+            "0 weight resolves to an equal share"
+        );
+        let mut r = request();
+        r.policy = "lottery".into();
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.sparsity = Some(1.0);
+        assert!(r.validate().is_err());
+        let mut r = request();
+        r.instances[1].ms = 15; // non-square TPU
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn dram_spec_resolves_zeros_to_defaults() {
+        let spec = DramSpec {
+            channels: 1,
+            bandwidth_gbps: 0.0,
+            latency_cycles: 50,
+        };
+        let cfg = spec.config();
+        assert_eq!(cfg.channels, 1);
+        assert_eq!(cfg.bandwidth_gbps_per_channel, 256.0);
+        assert_eq!(cfg.latency_cycles, 50);
+        let default = DramSpec::default().config();
+        assert_eq!(default, stonne::dram::DramConfig::hbm2_dual());
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end cluster gates: bitwise determinism (two runs, and serial
+//! vs worker-pool execution), visible DRAM-arbiter contention, and a
+//! committed golden fixture of the fixed-seed acceptance scenario.
+//!
+//! Re-bless after an intentional timing change with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p stonne-cluster --test cluster_scenario
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use stonne::core::SimCache;
+use stonne_cluster::{run_cluster, ClusterRequest, ExecMode};
+
+/// The acceptance scenario: two heterogeneous instances, two zoo
+/// models, two priority classes, Poisson arrivals at two rates, batching
+/// window 2, priority DRAM arbitration, and a deliberately narrow shared
+/// memory system (one channel at 8 GB/s) so arbitration wait is visible.
+fn scenario() -> ClusterRequest {
+    serde_json::from_str(
+        r#"{
+            "name": "acceptance",
+            "instances": [
+                {"arch": "maeri", "ms": 64, "bw": 32},
+                {"arch": "tpu", "ms": 16}
+            ],
+            "models": [
+                {"name": "alexnet", "scale": "tiny"},
+                {"name": "squeezenet", "scale": "tiny"}
+            ],
+            "classes": [
+                {"name": "interactive", "weight": 1.0, "priority": 2, "sla_cycles": 3000000},
+                {"name": "batch", "weight": 3.0}
+            ],
+            "requests": 24,
+            "rates": [0.5, 2.0],
+            "batch": 2,
+            "policy": "priority",
+            "seed": 7,
+            "dram": {"channels": 1, "bandwidth_gbps": 8.0}
+        }"#,
+    )
+    .expect("scenario parses")
+}
+
+#[test]
+fn reports_are_bitwise_deterministic_across_runs_and_exec_modes() {
+    let request = scenario();
+    let serial = run_cluster(&request, &SimCache::new(), ExecMode::Serial).unwrap();
+    let pool_a = run_cluster(&request, &SimCache::new(), ExecMode::Pool).unwrap();
+    let pool_b = run_cluster(&request, &SimCache::new(), ExecMode::Pool).unwrap();
+
+    assert_eq!(
+        pool_a.report.render(),
+        pool_b.report.render(),
+        "same seed + config must render identical bytes"
+    );
+    assert_eq!(
+        serial.report.render(),
+        pool_a.report.render(),
+        "serial and worker-pool execution must agree byte-for-byte"
+    );
+    // Per-request agreement, not just aggregates: every generated request
+    // finishes on the same cycle either way.
+    assert_eq!(serial.per_request, pool_a.per_request);
+    for records in &serial.per_request {
+        assert_eq!(records.len(), 24);
+        for r in records {
+            assert!(r.finish > r.arrival);
+            assert_eq!(r.latency, r.finish - r.arrival);
+        }
+    }
+}
+
+#[test]
+fn arbiter_contention_is_visible_in_per_instance_stats() {
+    let request = scenario();
+    let outcome = run_cluster(&request, &SimCache::new(), ExecMode::Pool).unwrap();
+    // The high-rate scenario on a single narrow channel must show wait.
+    let busy = outcome.report.scenarios.last().unwrap();
+    let total_wait: u64 = busy.instances.iter().map(|i| i.dram_wait_cycles).sum();
+    assert!(total_wait > 0, "no contention on a 1-channel 8 GB/s DRAM");
+    for instance in busy.instances.iter() {
+        assert_eq!(
+            instance.stats.dram_contention_cycles, instance.dram_wait_cycles,
+            "SimStats must surface the arbiter wait"
+        );
+        assert!(
+            instance.dram_elements > 0,
+            "served layers move DRAM traffic"
+        );
+        assert!(
+            instance.requests > 0,
+            "dispatch starved instance {}",
+            instance.index
+        );
+    }
+    // Both priority classes got traffic, and the high-priority class's
+    // median latency does not exceed the low-priority one's under the
+    // priority policy.
+    let [hot, cold] = &busy.classes[..] else {
+        panic!("expected two classes");
+    };
+    assert!(hot.latency.count > 0 && cold.latency.count > 0);
+    assert!(hot.priority > cold.priority);
+    assert!(
+        hot.latency.p50 <= cold.latency.p50,
+        "priority class p50 {} > default p50 {}",
+        hot.latency.p50,
+        cold.latency.p50
+    );
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("cluster_scenario.json")
+}
+
+#[test]
+fn acceptance_scenario_matches_the_golden_fixture() {
+    let rendered = run_cluster(&scenario(), &SimCache::new(), ExecMode::Pool)
+        .unwrap()
+        .report
+        .render();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &rendered).unwrap();
+        eprintln!("blessed {path:?}");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path:?} ({e}); bless with UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        rendered, golden,
+        "cluster report drifted from {path:?}; re-bless with UPDATE_GOLDEN=1 if intentional"
+    );
+}

@@ -176,6 +176,11 @@ pub struct SimStats {
     /// hit, 1 for a simulated operation; sums under [`SimStats::merge`]).
     #[serde(default)]
     pub engine_invocations: u64,
+    /// Cycles spent waiting for a shared-DRAM channel behind other
+    /// accelerator instances (charged by the cluster arbiter; 0 for
+    /// single-instance runs). Defaults so older summaries still parse.
+    #[serde(default)]
+    pub dram_contention_cycles: u64,
 }
 
 impl SimStats {
@@ -203,6 +208,7 @@ impl SimStats {
         self.sim_cache_misses += other.sim_cache_misses;
         self.sim_cache_inserts += other.sim_cache_inserts;
         self.engine_invocations += other.engine_invocations;
+        self.dram_contention_cycles += other.dram_contention_cycles;
         if self.ms_size == 0 {
             self.ms_size = other.ms_size;
         }
@@ -227,6 +233,7 @@ impl SimStats {
         s.sim_cache_misses *= count;
         s.sim_cache_inserts *= count;
         s.engine_invocations *= count;
+        s.dram_contention_cycles *= count;
         let c = &mut s.counters;
         let k = count;
         c.multiplications *= k;

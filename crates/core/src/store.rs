@@ -356,6 +356,9 @@ impl DiskStore {
         }
     }
 
+    /// The eviction victim: smallest mtime, ties broken by path so that
+    /// entries written within one filesystem-timestamp tick still evict
+    /// in a deterministic order.
     fn oldest_entry(&self) -> Option<PathBuf> {
         let entries = fs::read_dir(&self.inner.dir).ok()?;
         entries
@@ -365,7 +368,7 @@ impl DiskStore {
                 let modified = e.metadata().ok()?.modified().ok()?;
                 Some((modified, e.path()))
             })
-            .min_by_key(|(modified, _)| *modified)
+            .min_by(|(am, ap), (bm, bp)| am.cmp(bm).then_with(|| ap.cmp(bp)))
             .map(|(_, path)| path)
     }
 }
@@ -493,6 +496,48 @@ mod tests {
         assert_eq!(store.counters().evictions, 1);
         assert!(store.load(&key(0)).is_none(), "oldest entry evicted");
         assert!(store.load(&key(2)).is_some());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn equal_mtime_eviction_is_deterministic_by_path() {
+        let root = tmp_root("evict-tie");
+        let store = DiskStore::open(&root).unwrap();
+        for m in 0..3 {
+            store.save(&key(m), &entry(m as u64));
+        }
+        // Force all entries into one timestamp tick — the situation a
+        // coarse-granularity filesystem produces on its own.
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        let mut paths: Vec<PathBuf> = fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".json"))
+            .collect();
+        for path in &paths {
+            let file = fs::File::options().write(true).open(path).unwrap();
+            file.set_modified(stamp).unwrap();
+        }
+        paths.sort();
+        // Bound at 2 and insert a (newer) fourth entry: two of the three
+        // tied entries must go, and with the path tie-break it is exactly
+        // the two lexicographically smallest.
+        let bounded = DiskStore::open(&root).unwrap().with_max_entries(2);
+        bounded.save(&key(9), &entry(9));
+        let survivors: Vec<PathBuf> = fs::read_dir(bounded.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".json"))
+            .collect();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(bounded.counters().evictions, 2);
+        assert!(
+            survivors.contains(&paths[2]),
+            "largest tied path survives, kept {survivors:?} of {paths:?}"
+        );
+        assert!(!survivors.contains(&paths[0]) && !survivors.contains(&paths[1]));
         fs::remove_dir_all(&root).ok();
     }
 

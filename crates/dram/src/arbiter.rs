@@ -1,0 +1,281 @@
+//! Contention-aware DRAM arbitration across accelerator instances.
+//!
+//! [`crate::DramModel`] serializes the requests of *one* accelerator on its
+//! channels; a multi-accelerator cluster additionally needs to decide
+//! **whose** request goes first when several instances contend for the
+//! shared memory system in the same cycle, and to account the resulting
+//! wait cycles to the instance that suffered them. [`DramArbiter`] does
+//! both: it owns the shared channel timeline, orders simultaneous
+//! requests by a [`ArbiterPolicy`] (rotating round-robin or strict
+//! priority), and keeps per-instance bandwidth/contention counters that
+//! the cluster layer surfaces in its per-instance `SimStats`.
+//!
+//! The grant model matches [`crate::DramModel::read`]: a request occupies the
+//! least-loaded channel for `ceil(elements / per-channel-rate)` cycles
+//! starting no earlier than `now`; the gap between `now` and the grant
+//! start is the **contention wait** — cycles this instance lost because
+//! other traffic (its own earlier layers or other instances) held every
+//! channel busy.
+
+use crate::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// How simultaneous requests from different instances are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ArbiterPolicy {
+    /// Fair rotation: the instance after the previously favoured one
+    /// goes first; ties between a batch of same-cycle requests are
+    /// resolved by rotating distance from the cursor.
+    RoundRobin,
+    /// Strict priority: higher request priority first, then lower
+    /// instance index (deterministic tie-break).
+    Priority,
+}
+
+impl ArbiterPolicy {
+    /// Parses a policy name (`round-robin` or `priority`; empty selects
+    /// round-robin).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown policy.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "" | "round-robin" => Ok(Self::RoundRobin),
+            "priority" => Ok(Self::Priority),
+            other => Err(format!("unknown policy `{other}` (round-robin|priority)")),
+        }
+    }
+
+    /// The canonical name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::Priority => "priority",
+        }
+    }
+}
+
+/// Per-instance bandwidth and contention accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceDramCounters {
+    /// Requests granted to this instance.
+    pub grants: u64,
+    /// Elements this instance transferred.
+    pub elements: u64,
+    /// Channel-occupancy cycles attributed to this instance.
+    pub transfer_cycles: u64,
+    /// Cycles this instance waited for a channel past its request time.
+    pub wait_cycles: u64,
+}
+
+/// One granted request: when the transfer started and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Channel the transfer was scheduled on.
+    pub channel: usize,
+    /// Cycle the transfer started occupying the channel (≥ request time).
+    pub start: u64,
+    /// `start - now`: contention cycles suffered by the requester.
+    pub wait: u64,
+    /// Channel-occupancy cycles of the transfer itself.
+    pub transfer: u64,
+}
+
+/// The shared-memory arbiter of a multi-accelerator cluster.
+#[derive(Debug, Clone)]
+pub struct DramArbiter {
+    config: DramConfig,
+    policy: ArbiterPolicy,
+    channel_free_at: Vec<u64>,
+    /// Round-robin cursor: the instance favoured in the next same-cycle
+    /// ordering round.
+    cursor: usize,
+    per_instance: Vec<InstanceDramCounters>,
+}
+
+impl DramArbiter {
+    /// Creates an arbiter over `config`'s channels for `instances`
+    /// accelerator instances.
+    pub fn new(config: DramConfig, policy: ArbiterPolicy, instances: usize) -> Self {
+        Self {
+            channel_free_at: vec![0; config.channels.max(1)],
+            config,
+            policy,
+            cursor: 0,
+            per_instance: vec![InstanceDramCounters::default(); instances.max(1)],
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.policy
+    }
+
+    /// Orders a batch of same-cycle requests `(instance, priority)`
+    /// according to the policy; the caller then grants them in the
+    /// returned order. Advances the round-robin cursor so repeated
+    /// batches rotate fairness.
+    pub fn order(&mut self, requests: &mut [(usize, u8)]) {
+        let n = self.per_instance.len();
+        match self.policy {
+            ArbiterPolicy::RoundRobin => {
+                let cursor = self.cursor;
+                requests.sort_by_key(|&(instance, _)| (instance + n - cursor % n) % n);
+                self.cursor = (self.cursor + 1) % n;
+            }
+            ArbiterPolicy::Priority => {
+                requests.sort_by_key(|&(instance, priority)| (u8::MAX - priority, instance));
+            }
+        }
+    }
+
+    /// Grants `instance` a transfer of `elements` requested at cycle
+    /// `now`: schedules it on the least-loaded channel (ties to the
+    /// lowest index) and charges the instance's counters.
+    pub fn acquire(&mut self, instance: usize, now: u64, elements: u64) -> Grant {
+        self.per_instance[instance].grants += 1;
+        if elements == 0 {
+            return Grant {
+                channel: 0,
+                start: now,
+                wait: 0,
+                transfer: 0,
+            };
+        }
+        let (channel, _) = self
+            .channel_free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .expect("at least one channel");
+        let start = now.max(self.channel_free_at[channel]);
+        let transfer = self.transfer_cycles(elements);
+        self.channel_free_at[channel] = start + transfer;
+        let wait = start - now;
+        let counters = &mut self.per_instance[instance];
+        counters.elements += elements;
+        counters.transfer_cycles += transfer;
+        counters.wait_cycles += wait;
+        Grant {
+            channel,
+            start,
+            wait,
+            transfer,
+        }
+    }
+
+    /// Per-instance counters, indexed by instance.
+    pub fn instance_counters(&self) -> &[InstanceDramCounters] {
+        &self.per_instance
+    }
+
+    /// Total contention wait across every instance.
+    pub fn total_wait_cycles(&self) -> u64 {
+        self.per_instance.iter().map(|c| c.wait_cycles).sum()
+    }
+
+    /// Channel-occupancy cycles of one transfer, mirroring
+    /// [`crate::DramModel`]'s bandwidth model (degenerate configurations
+    /// transfer for free rather than poisoning the timeline).
+    fn transfer_cycles(&self, elements: u64) -> u64 {
+        if elements == 0 || self.config.elements_per_cycle() <= 0.0 {
+            return 0;
+        }
+        let per_channel = self.config.bandwidth_gbps_per_channel
+            / self.config.clock_ghz
+            / self.config.element_bytes as f64;
+        (elements as f64 / per_channel).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow_config() -> DramConfig {
+        DramConfig {
+            channels: 1,
+            bandwidth_gbps_per_channel: 4.0, // 4 elements/cycle at 1 GHz FP8
+            capacity_mib_per_channel: 1,
+            latency_cycles: 10,
+            clock_ghz: 1.0,
+            element_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn policy_parses_and_round_trips() {
+        assert_eq!(ArbiterPolicy::parse("").unwrap(), ArbiterPolicy::RoundRobin);
+        assert_eq!(
+            ArbiterPolicy::parse("priority").unwrap(),
+            ArbiterPolicy::Priority
+        );
+        assert!(ArbiterPolicy::parse("fifo").is_err());
+        assert_eq!(ArbiterPolicy::RoundRobin.name(), "round-robin");
+    }
+
+    #[test]
+    fn contended_channel_charges_wait_to_the_later_grant() {
+        let mut arb = DramArbiter::new(narrow_config(), ArbiterPolicy::RoundRobin, 2);
+        let a = arb.acquire(0, 0, 40); // 10 transfer cycles
+        let b = arb.acquire(1, 0, 40);
+        assert_eq!((a.start, a.wait), (0, 0));
+        assert_eq!((b.start, b.wait), (10, 10));
+        let counters = arb.instance_counters();
+        assert_eq!(counters[0].wait_cycles, 0);
+        assert_eq!(counters[1].wait_cycles, 10);
+        assert_eq!(counters[1].elements, 40);
+        assert_eq!(arb.total_wait_cycles(), 10);
+    }
+
+    #[test]
+    fn idle_channels_grant_without_wait() {
+        let mut cfg = narrow_config();
+        cfg.channels = 2;
+        let mut arb = DramArbiter::new(cfg, ArbiterPolicy::RoundRobin, 2);
+        let a = arb.acquire(0, 5, 40);
+        let b = arb.acquire(1, 5, 40);
+        assert_eq!((a.wait, b.wait), (0, 0));
+        assert_ne!(a.channel, b.channel, "parallel channels");
+    }
+
+    #[test]
+    fn round_robin_rotates_the_favoured_instance() {
+        let mut arb = DramArbiter::new(narrow_config(), ArbiterPolicy::RoundRobin, 3);
+        let mut batch = vec![(0usize, 0u8), (1, 0), (2, 0)];
+        arb.order(&mut batch);
+        assert_eq!(batch[0].0, 0);
+        arb.order(&mut batch);
+        assert_eq!(batch[0].0, 1, "cursor advanced");
+        arb.order(&mut batch);
+        assert_eq!(batch[0].0, 2);
+    }
+
+    #[test]
+    fn priority_orders_by_class_then_instance() {
+        let mut arb = DramArbiter::new(narrow_config(), ArbiterPolicy::Priority, 3);
+        let mut batch = vec![(2usize, 0u8), (1, 1), (0, 0)];
+        arb.order(&mut batch);
+        assert_eq!(batch, vec![(1, 1), (0, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn zero_element_grants_cost_nothing() {
+        let mut arb = DramArbiter::new(narrow_config(), ArbiterPolicy::Priority, 1);
+        let g = arb.acquire(0, 7, 0);
+        assert_eq!((g.start, g.wait, g.transfer), (7, 0, 0));
+        let real = arb.acquire(0, 0, 40);
+        assert_eq!(real.start, 0, "channel stayed free");
+    }
+
+    #[test]
+    fn degenerate_configs_transfer_for_free() {
+        let mut cfg = narrow_config();
+        cfg.bandwidth_gbps_per_channel = 0.0;
+        let mut arb = DramArbiter::new(cfg, ArbiterPolicy::RoundRobin, 1);
+        let g = arb.acquire(0, 3, 1024);
+        assert_eq!((g.start, g.wait, g.transfer), (3, 0, 0));
+    }
+}

@@ -19,6 +19,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod arbiter;
+
 /// Configuration of the off-chip memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DramConfig {

@@ -116,96 +116,115 @@ pub struct PointResult {
 
 /// Parses an architecture spec into a validated configuration.
 ///
+/// The `(arch, ms, bw)` grammar is shared with cluster instance specs,
+/// so both surfaces delegate to [`stonne_cluster::spec::config_from`].
+///
 /// # Errors
 ///
 /// Returns a message when the preset is unknown, a TPU `ms` is not a
 /// perfect square, or the composed configuration fails validation.
 pub fn config_for(spec: &ArchSpec) -> Result<AcceleratorConfig, String> {
-    let ms = if spec.ms == 0 { 256 } else { spec.ms };
-    let bw = if spec.bw == 0 { 128 } else { spec.bw };
-    let cfg = match spec.arch.as_str() {
-        "tpu" => {
-            let dim = (ms as f64).sqrt().round() as usize;
-            if dim * dim != ms {
-                return Err(format!("arch tpu: ms {ms} is not a perfect square"));
-            }
-            AcceleratorConfig::tpu_like(dim)
-        }
-        "maeri" => AcceleratorConfig::maeri_like(ms, bw),
-        "sigma" => AcceleratorConfig::sigma_like(ms, bw),
-        other => return Err(format!("unknown arch `{other}` (tpu|maeri|sigma)")),
-    };
-    cfg.validate().map_err(|e| e.to_string())?;
-    Ok(cfg)
+    stonne_cluster::spec::config_from(&spec.arch, spec.ms, spec.bw)
 }
 
-/// Parses a model name.
+/// Parses a model name (see [`stonne_cluster::spec::parse_model`]).
 ///
 /// # Errors
 ///
 /// Returns a message naming the unknown model.
 pub fn parse_model(name: &str) -> Result<ModelId, String> {
-    Ok(match name {
-        "mobilenet" => ModelId::MobileNetV1,
-        "squeezenet" => ModelId::SqueezeNet,
-        "alexnet" => ModelId::AlexNet,
-        "resnet50" => ModelId::ResNet50,
-        "vgg16" => ModelId::Vgg16,
-        "ssd" => ModelId::SsdMobileNet,
-        "bert" => ModelId::Bert,
-        other => return Err(format!("unknown model `{other}`")),
-    })
+    stonne_cluster::spec::parse_model(name)
 }
 
-/// Parses a scale name (empty → `tiny`).
+/// Parses a scale name, empty meaning `tiny` (see
+/// [`stonne_cluster::spec::parse_scale`]).
 ///
 /// # Errors
 ///
 /// Returns a message naming the unknown scale.
 pub fn parse_scale(name: &str) -> Result<ModelScale, String> {
-    Ok(match name {
-        "" | "tiny" => ModelScale::Tiny,
-        "reduced" => ModelScale::Reduced,
-        "standard" => ModelScale::Standard,
-        other => return Err(format!("unknown scale `{other}` (tiny|reduced|standard)")),
-    })
+    stonne_cluster::spec::parse_scale(name)
+}
+
+/// An expanded sweep grid: the points to run plus how many raw grid
+/// cells were collapsed away by axis deduplication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    /// The deduplicated, ordered simulation points.
+    pub points: Vec<SweepPoint>,
+    /// Raw grid cells removed by deduplication (0 when every axis value
+    /// was unique). Surfaced in the `202` submission response.
+    pub collapsed: usize,
 }
 
 /// Expands a request into its ordered simulation points, validating
 /// every grid axis up front so a submitted job can only fail on
-/// simulator internals, never on malformed input.
+/// simulator internals, never on malformed input. Repeated axis values
+/// (same resolved architecture, same model+scale, bit-identical
+/// sparsity) are deduplicated — previously `--sparsities 0.5,0.5`
+/// silently simulated and streamed duplicate points — keeping the first
+/// occurrence of each and reporting the collapsed cell count.
 ///
 /// # Errors
 ///
 /// Returns a message describing the first invalid axis value, an empty
-/// axis, or a grid larger than [`MAX_POINTS`].
-pub fn expand(request: &SweepRequest) -> Result<Vec<SweepPoint>, String> {
+/// axis, or a (deduplicated) grid larger than [`MAX_POINTS`].
+pub fn expand(request: &SweepRequest) -> Result<Expansion, String> {
     if request.archs.is_empty() {
         return Err("request needs at least one arch".to_owned());
     }
     if request.models.is_empty() {
         return Err("request needs at least one model".to_owned());
     }
-    for spec in &request.archs {
-        config_for(spec)?;
-    }
     for s in &request.sparsities {
         if !(0.0..1.0).contains(s) {
             return Err(format!("sparsity {s} outside [0, 1)"));
         }
     }
-    let mut points = Vec::new();
+    // Validate then dedup each axis, keeping first occurrences in order.
+    let mut archs: Vec<&ArchSpec> = Vec::new();
+    let mut arch_keys: Vec<(String, usize, usize)> = Vec::new();
+    for spec in &request.archs {
+        let cfg = config_for(spec)?;
+        let key = (
+            spec.arch.clone(),
+            cfg.ms_size,
+            if spec.bw == 0 { 128 } else { spec.bw },
+        );
+        if !arch_keys.contains(&key) {
+            arch_keys.push(key);
+            archs.push(spec);
+        }
+    }
+    let mut models: Vec<&ModelSel> = Vec::new();
+    let mut model_keys: Vec<(ModelId, ModelScale)> = Vec::new();
     for model in &request.models {
+        let key = (parse_model(&model.name)?, parse_scale(&model.scale)?);
+        if !model_keys.contains(&key) {
+            model_keys.push(key);
+            models.push(model);
+        }
+    }
+    let mut sparsities: Vec<f64> = Vec::new();
+    for &s in &request.sparsities {
+        if !sparsities.iter().any(|kept| kept.to_bits() == s.to_bits()) {
+            sparsities.push(s);
+        }
+    }
+    let raw_cells = request.models.len() * request.archs.len() * request.sparsities.len().max(1);
+
+    let mut points = Vec::new();
+    for model in &models {
         let id = parse_model(&model.name)?;
         let scale = parse_scale(&model.scale)?;
         // One probe build resolves the model's own sparsity default.
         let default_sparsity = zoo::build(id, scale).weight_sparsity();
-        let sparsities = if request.sparsities.is_empty() {
+        let sparsities = if sparsities.is_empty() {
             vec![default_sparsity]
         } else {
-            request.sparsities.clone()
+            sparsities.clone()
         };
-        for spec in &request.archs {
+        for spec in &archs {
             let cfg = config_for(spec)?;
             for &sparsity in &sparsities {
                 points.push(SweepPoint {
@@ -228,7 +247,10 @@ pub fn expand(request: &SweepRequest) -> Result<Vec<SweepPoint>, String> {
             }
         }
     }
-    Ok(points)
+    Ok(Expansion {
+        collapsed: raw_cells - points.len(),
+        points,
+    })
 }
 
 /// Runs one sweep point through the shared cache and returns its result
@@ -305,8 +327,10 @@ mod tests {
 
     #[test]
     fn expansion_is_row_major_and_indexed() {
-        let points = expand(&request()).unwrap();
+        let expansion = expand(&request()).unwrap();
+        let points = &expansion.points;
         assert_eq!(points.len(), 4);
+        assert_eq!(expansion.collapsed, 0);
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i);
         }
@@ -315,6 +339,38 @@ mod tests {
             ("maeri", 0.0)
         );
         assert_eq!((points[3].arch.as_str(), points[3].sparsity), ("tpu", 0.5));
+    }
+
+    #[test]
+    fn repeated_axis_values_collapse_and_are_counted() {
+        // Duplicate sparsity, duplicate model, and an arch that resolves
+        // to the same configuration as an earlier one (ms 0 → 256).
+        let mut r = request();
+        r.sparsities = vec![0.5, 0.5, 0.0];
+        r.models.push(ModelSel {
+            name: "alexnet".into(),
+            scale: "tiny".into(),
+        });
+        r.archs.push(ArchSpec {
+            arch: "maeri".into(),
+            ms: 32,
+            bw: 16,
+        });
+        let expansion = expand(&r).unwrap();
+        // Unique cells: 1 model × 2 archs × 2 sparsities.
+        assert_eq!(expansion.points.len(), 4);
+        // Raw cells: 2 × 3 × 3 = 18.
+        assert_eq!(expansion.collapsed, 14);
+        for (i, p) in expansion.points.iter().enumerate() {
+            assert_eq!(p.index, i, "indices stay dense after dedup");
+        }
+        // A blank scale and an explicit `tiny` are the same model.
+        let mut r = request();
+        r.models.push(ModelSel {
+            name: "alexnet".into(),
+            scale: String::new(),
+        });
+        assert_eq!(expand(&r).unwrap().points.len(), 4);
     }
 
     #[test]
@@ -338,14 +394,18 @@ mod tests {
         let mut r = request();
         r.sparsities.clear();
         r.models[0].name = "squeezenet".into();
-        let points = expand(&r).unwrap();
-        assert_eq!(points.len(), 2);
-        assert!(points[0].sparsity > 0.0, "SqueezeNet ships pruned");
+        let expansion = expand(&r).unwrap();
+        assert_eq!(expansion.points.len(), 2);
+        assert_eq!(expansion.collapsed, 0);
+        assert!(
+            expansion.points[0].sparsity > 0.0,
+            "SqueezeNet ships pruned"
+        );
     }
 
     #[test]
     fn run_point_is_deterministic_and_cache_invariant() {
-        let points = expand(&request()).unwrap();
+        let points = expand(&request()).unwrap().points;
         let (cold, _) = run_point(&points[1], &SimCache::new()).unwrap();
         let shared = SimCache::new();
         let (warm_a, _) = run_point(&points[1], &shared).unwrap();

@@ -17,9 +17,30 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-/// An upper bound on accepted request bodies (a full 4096-point sweep
-/// request is far below this).
-const MAX_BODY: usize = 4 << 20;
+/// Default upper bound on accepted request bodies (a full 4096-point
+/// sweep request is far below this). Override per server with
+/// [`crate::Server::with_body_limit`].
+pub const DEFAULT_MAX_BODY: usize = 4 << 20;
+
+/// A request-parse failure carrying the HTTP status it should produce:
+/// `411` for a body-bearing method without `Content-Length`, `413` for a
+/// body over the configured limit, `400` for everything else.
+#[derive(Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code for the error response.
+    pub status: u16,
+    /// Human-readable message (goes into the `{"error": …}` body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -39,43 +60,76 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Reads and parses one request from `stream`, accepting bodies up to
+/// `max_body` bytes.
 ///
 /// # Errors
 ///
-/// Returns a message on malformed request lines/headers, an oversized
-/// body, or connection errors.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+/// Returns an [`HttpError`] on malformed request lines/headers (`400`),
+/// a `POST`/`PUT` without `Content-Length` (`411` — previously the body
+/// was silently treated as empty), or a declared body over `max_body`
+/// (`413` — rejected before allocating, so a hostile `Content-Length`
+/// cannot reserve memory).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| HttpError::bad_request(e.to_string()))?,
+    );
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::bad_request(e.to_string()))?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_owned();
-    let target = parts.next().ok_or("request line has no target")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("request line has no target"))?;
     let path = target.split('?').next().unwrap_or(target).to_owned();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| HttpError::bad_request(e.to_string()))?;
         let header = header.trim_end();
         if n == 0 || header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length `{}`", value.trim()))?;
+                content_length = Some(value.trim().parse().map_err(|_| {
+                    HttpError::bad_request(format!("bad content-length `{}`", value.trim()))
+                })?);
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    let content_length = match content_length {
+        Some(n) => n,
+        // A body-bearing method must declare its length; guessing
+        // "empty" silently drops the body the client is sending.
+        None if matches!(method.as_str(), "POST" | "PUT") => {
+            return Err(HttpError {
+                status: 411,
+                message: format!("{method} requires a Content-Length header"),
+            })
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds limit of {max_body}"),
+        });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad_request(e.to_string()))?;
     Ok(Request {
         method,
         path,
@@ -90,6 +144,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
         _ => "Internal Server Error",
     }
 }
@@ -186,25 +242,64 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    #[test]
-    fn parses_a_post_with_body() {
+    fn parse_raw(raw: &'static str, max_body: usize) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let t = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            read_request(&mut stream).unwrap()
+            read_request(&mut stream, max_body)
         });
         let mut client = TcpStream::connect(addr).unwrap();
-        write!(
-            client,
-            "POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\n{{\"a\":1}}"
+        client.write_all(raw.as_bytes()).unwrap();
+        t.join().unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_raw(
+            "POST /v1/sweeps?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            DEFAULT_MAX_BODY,
         )
         .unwrap();
-        let req = t.join().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/sweeps");
         assert_eq!(req.segments(), vec!["v1", "sweeps"]);
         assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn get_without_content_length_is_fine() {
+        let req = parse_raw("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n", DEFAULT_MAX_BODY).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        let err = parse_raw(
+            "POST /v1/sweeps HTTP/1.1\r\nHost: t\r\n\r\n",
+            DEFAULT_MAX_BODY,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 411);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let err =
+            parse_raw("POST /v1/sweeps HTTP/1.1\r\nContent-Length: 64\r\n\r\n", 16).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert!(err.message.contains("64"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        let err = parse_raw(
+            "POST /v1/sweeps HTTP/1.1\r\nContent-Length: lots\r\n\r\n",
+            DEFAULT_MAX_BODY,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub struct Job {
     pub name: String,
     /// The expanded grid, in result order.
     pub points: Vec<SweepPoint>,
+    /// Raw grid cells removed by axis deduplication at submission.
+    pub collapsed: usize,
     progress: Mutex<Progress>,
     changed: Condvar,
     /// Per-job cache: fresh memory, shared disk (see module docs).
@@ -95,9 +97,10 @@ impl Job {
     fn new(
         id: String,
         request: &SweepRequest,
-        points: Vec<SweepPoint>,
+        expansion: crate::api::Expansion,
         store: Option<&DiskStore>,
     ) -> Self {
+        let crate::api::Expansion { points, collapsed } = expansion;
         let scoped = store.map(DiskStore::scoped);
         let mut cache = SimCache::new();
         if let Some(s) = &scoped {
@@ -111,6 +114,7 @@ impl Job {
             id,
             name: request.name.clone(),
             points,
+            collapsed,
             progress: Mutex::new(progress),
             changed: Condvar::new(),
             cache,
@@ -296,12 +300,12 @@ impl JobManager {
     /// Returns the grid-validation message for malformed requests;
     /// nothing is enqueued in that case.
     pub fn submit(&self, request: &SweepRequest) -> Result<Arc<Job>, String> {
-        let points = expand(request)?;
+        let expansion = expand(request)?;
         let id = format!(
             "job-{:04}",
             self.inner.next_id.fetch_add(1, Ordering::Relaxed)
         );
-        let job = Arc::new(Job::new(id, request, points, self.inner.store.as_ref()));
+        let job = Arc::new(Job::new(id, request, expansion, self.inner.store.as_ref()));
         self.inner.jobs.lock().unwrap().push(Arc::clone(&job));
         {
             let mut queue = self.inner.queue.lock().unwrap();
@@ -452,6 +456,19 @@ mod tests {
         }
         manager.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_axis_values_collapse_at_submission() {
+        let manager = JobManager::new(1, None);
+        let mut r = small_request();
+        r.sparsities = vec![0.0, 0.0, 0.0];
+        let job = manager.submit(&r).unwrap();
+        assert_eq!(job.points.len(), 2, "duplicates are not simulated");
+        assert_eq!(job.collapsed, 4);
+        job.wait_done();
+        assert_eq!(job.status().completed, 2);
+        manager.shutdown();
     }
 
     #[test]

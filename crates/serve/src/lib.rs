@@ -7,6 +7,12 @@
 //! pool built on the `stonne-nn` runner, and streams results back as
 //! JSON lines and Server-Sent Events with per-job progress.
 //!
+//! The same service also fronts the `stonne-cluster` multi-accelerator
+//! serving simulator: `POST /v1/cluster` runs a full multi-tenant
+//! scenario (heterogeneous instances, Poisson arrivals, priority
+//! classes, shared-DRAM arbitration) synchronously and returns its
+//! byte-deterministic report.
+//!
 //! Results persist in a **content-addressed disk store**
 //! ([`stonne::core::DiskStore`]) keyed by the simulator's layer-cache
 //! signatures plus a code-version fingerprint, so repeated sweeps — even
@@ -56,7 +62,9 @@ pub mod http;
 pub mod job;
 pub mod server;
 
-pub use api::{expand, run_point, ArchSpec, ModelSel, PointResult, SweepPoint, SweepRequest};
+pub use api::{
+    expand, run_point, ArchSpec, Expansion, ModelSel, PointResult, SweepPoint, SweepRequest,
+};
 pub use client::Client;
 pub use job::{Job, JobManager, JobStatus};
 pub use server::{Server, ServerHandle};

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! stonne-serve [--addr HOST:PORT] [--store DIR | --no-store]
-//!              [--workers N] [--max-entries N]
+//!              [--workers N] [--max-entries N] [--max-body BYTES]
 //! ```
 //!
 //! By default the server listens on `127.0.0.1:7433`, persists results
-//! under `$HOME/.stonne/store`, and sizes the worker pool to the
-//! available parallelism. See `docs/SERVING.md`.
+//! under `$HOME/.stonne/store`, sizes the worker pool to the available
+//! parallelism, and caps request bodies at 4 MiB (`--max-body`; larger
+//! declared bodies are rejected with `413` before being read). See
+//! `docs/SERVING.md`.
 
 use std::path::PathBuf;
 use stonne::core::{code_fingerprint, DiskStore};
+use stonne_serve::http::DEFAULT_MAX_BODY;
 use stonne_serve::job::JobManager;
 use stonne_serve::server::Server;
 
@@ -19,6 +22,7 @@ struct Options {
     store: Option<PathBuf>,
     workers: usize,
     max_entries: Option<usize>,
+    max_body: usize,
 }
 
 fn default_store() -> Option<PathBuf> {
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
         store: default_store(),
         workers: std::thread::available_parallelism().map_or(4, usize::from),
         max_entries: None,
+        max_body: DEFAULT_MAX_BODY,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,10 +56,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--max-entries: {e}"))?,
                 );
             }
+            "--max-body" => {
+                options.max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|e| format!("--max-body: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "stonne-serve [--addr HOST:PORT] [--store DIR | --no-store] \
-                     [--workers N] [--max-entries N]"
+                     [--workers N] [--max-entries N] [--max-body BYTES]"
                 );
                 std::process::exit(0);
             }
@@ -93,6 +103,7 @@ fn main() {
     }
     let manager = JobManager::new(options.workers, store);
     let handle = Server::bind(&options.addr, manager)
+        .map(|server| server.with_body_limit(options.max_body))
         .and_then(Server::start)
         .unwrap_or_else(|e| {
             eprintln!("stonne-serve: cannot bind {}: {e}", options.addr);

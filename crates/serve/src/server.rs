@@ -4,6 +4,7 @@
 //! |--------|-------------------------|--------------------------------------------|
 //! | GET    | `/healthz`              | liveness + code fingerprint                |
 //! | POST   | `/v1/sweeps`            | `202` with the new job id and point count  |
+//! | POST   | `/v1/cluster`           | `200` with the full cluster report         |
 //! | GET    | `/v1/jobs`              | status array for all jobs                  |
 //! | GET    | `/v1/jobs/{id}`         | one job's status (plus failure messages)   |
 //! | GET    | `/v1/jobs/{id}/results` | JSON-lines result stream, index order      |
@@ -14,6 +15,7 @@
 
 use crate::http::{
     json_string, read_request, respond_error, respond_json, start_stream, write_sse_event, Request,
+    DEFAULT_MAX_BODY,
 };
 use crate::job::JobManager;
 use std::io::Write;
@@ -21,12 +23,13 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use stonne::core::code_fingerprint;
+use stonne::core::{code_fingerprint, SimCache};
 
 /// A bound-but-not-yet-serving server.
 pub struct Server {
     listener: TcpListener,
     manager: JobManager,
+    max_body: usize,
 }
 
 /// Handle to a running server; dropping it does **not** stop the server —
@@ -48,7 +51,15 @@ impl Server {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             manager,
+            max_body: DEFAULT_MAX_BODY,
         })
+    }
+
+    /// Overrides the request-body size limit (bytes); bodies declaring
+    /// more than this are rejected with `413` before any allocation.
+    pub fn with_body_limit(mut self, max_body: usize) -> Self {
+        self.max_body = max_body;
+        self
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -73,6 +84,7 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let accept_manager = self.manager.clone();
         let listener = self.listener;
+        let max_body = self.max_body;
         let accept_thread = std::thread::Builder::new()
             .name("stonne-accept".to_owned())
             .spawn(move || {
@@ -83,10 +95,13 @@ impl Server {
                     let Ok(stream) = conn else { continue };
                     let manager = accept_manager.clone();
                     // Connection threads only shuttle already-computed
-                    // state; simulation happens on the worker pool.
+                    // state; simulation happens on the worker pool. The
+                    // exception is /v1/cluster, whose event-loop phase is
+                    // cheap and whose profiling phase reuses the shared
+                    // store through a scoped cache.
                     let _ = std::thread::Builder::new()
                         .name("stonne-conn".to_owned())
-                        .spawn(move || handle_connection(stream, &manager));
+                        .spawn(move || handle_connection(stream, &manager, max_body));
                 }
             })?;
         Ok(ServerHandle {
@@ -122,11 +137,11 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, manager: &JobManager) {
-    let request = match read_request(&mut stream) {
+fn handle_connection(mut stream: TcpStream, manager: &JobManager, max_body: usize) {
+    let request = match read_request(&mut stream, max_body) {
         Ok(r) => r,
         Err(e) => {
-            let _ = respond_error(&mut stream, 400, &e);
+            let _ = respond_error(&mut stream, e.status, &e.message);
             return;
         }
     };
@@ -145,6 +160,7 @@ fn route(stream: &mut TcpStream, request: &Request, manager: &JobManager) -> std
             ),
         ),
         ("POST", ["v1", "sweeps"]) => submit_sweep(stream, request, manager),
+        ("POST", ["v1", "cluster"]) => run_cluster(stream, request, manager),
         ("GET", ["v1", "jobs"]) => {
             let statuses: Vec<String> = manager
                 .jobs()
@@ -196,11 +212,38 @@ fn submit_sweep(
             stream,
             202,
             &format!(
-                "{{\"job\":{},\"points\":{}}}",
+                "{{\"job\":{},\"points\":{},\"collapsed\":{}}}",
                 json_string(&job.id),
-                job.points.len()
+                job.points.len(),
+                job.collapsed
             ),
         ),
+        Err(e) => respond_error(stream, 400, &e),
+    }
+}
+
+/// Runs a multi-accelerator serving scenario synchronously and responds
+/// with the full report. Cluster runs are request/response rather than
+/// jobs: the expensive part (profiling each instance × model pair) goes
+/// through a cache scoped to the shared disk store, so repeated
+/// scenarios over the same zoo hit persisted engine results, and the
+/// event-loop replay is milliseconds. The report is a pure function of
+/// the request body — identical bytes on every call.
+fn run_cluster(
+    stream: &mut TcpStream,
+    request: &Request,
+    manager: &JobManager,
+) -> std::io::Result<()> {
+    let cluster: stonne_cluster::ClusterRequest = match serde_json::from_str(&request.body) {
+        Ok(c) => c,
+        Err(e) => return respond_error(stream, 400, &format!("bad request body: {e}")),
+    };
+    let mut cache = SimCache::new();
+    if let Some(store) = manager.store() {
+        cache = cache.backed_by(store.scoped());
+    }
+    match stonne_cluster::run_cluster(&cluster, &cache, stonne_cluster::ExecMode::Pool) {
+        Ok(outcome) => respond_json(stream, 200, &outcome.report.render()),
         Err(e) => respond_error(stream, 400, &e),
     }
 }

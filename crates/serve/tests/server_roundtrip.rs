@@ -197,3 +197,79 @@ fn server_rejects_malformed_requests() {
     assert!(store_body.contains("\"enabled\":false"));
     handle.shutdown();
 }
+
+#[test]
+fn cluster_route_returns_a_deterministic_report() {
+    let manager = JobManager::new(2, None);
+    let handle = Server::bind("127.0.0.1:0", manager)
+        .and_then(Server::start)
+        .expect("bind server");
+    let client = Client::new(&handle.addr().to_string());
+
+    let scenario = r#"{
+        "instances": [{"arch":"maeri","ms":32,"bw":16},{"arch":"tpu","ms":16}],
+        "models": [{"name":"alexnet","scale":"tiny"}],
+        "classes": [{"name":"interactive","priority":1,"sla_cycles":2000000},
+                    {"name":"batch","weight":3.0}],
+        "requests": 8, "rates": [2.0], "batch": 2,
+        "policy": "priority", "seed": 7,
+        "dram": {"channels": 1, "bandwidth_gbps": 8.0}
+    }"#;
+    let (status, first) = client.request("POST", "/v1/cluster", scenario).unwrap();
+    assert_eq!(status, 200, "cluster run failed: {first}");
+    let report: serde_json::Value = serde_json::from_str(&first).expect("report json");
+    assert_eq!(report["policy"].as_str(), Some("priority"));
+    let scenarios = report["scenarios"].as_array().expect("scenarios");
+    assert_eq!(scenarios.len(), 1);
+    assert_eq!(scenarios[0]["requests"].as_u64(), Some(8));
+    assert_eq!(scenarios[0]["instances"].as_array().unwrap().len(), 2);
+
+    let (status, second) = client.request("POST", "/v1/cluster", scenario).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "same scenario must render identical bytes");
+
+    // Validation errors surface as 400 with the offending detail.
+    let bad = scenario.replace("priority\"", "lottery\"");
+    let (status, body) = client.request("POST", "/v1/cluster", &bad).unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        body.contains("lottery"),
+        "error names the bad policy: {body}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn body_limits_and_length_requirements_are_enforced() {
+    use std::io::{Read, Write};
+
+    let manager = JobManager::new(1, None);
+    let handle = Server::bind("127.0.0.1:0", manager)
+        .map(|s| s.with_body_limit(64))
+        .and_then(Server::start)
+        .expect("bind server");
+    let client = Client::new(&handle.addr().to_string());
+
+    // Declared body over the configured cap: 413 before the body is read.
+    let oversized = format!("{{\"padding\":\"{}\"}}", "x".repeat(256));
+    let (status, body) = client.request("POST", "/v1/sweeps", &oversized).unwrap();
+    assert_eq!(status, 413, "oversized body: {body}");
+
+    // Within the cap, routing proceeds (and fails on content, not size).
+    let (status, _) = client.request("POST", "/v1/sweeps", "{}").unwrap();
+    assert_eq!(status, 400);
+
+    // A POST with no Content-Length at all is 411, answered raw since
+    // the client always declares one.
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(b"POST /v1/sweeps HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 411"),
+        "expected 411, got: {response}"
+    );
+    handle.shutdown();
+}

@@ -98,6 +98,27 @@ pub enum Workload {
         /// Architecture selector, as in [`Workload::CacheReplay`].
         arch: u8,
     },
+    /// Multi-accelerator serving scenario (`stonne-cluster`): serial vs
+    /// worker-pool profiling must yield byte-identical reports and equal
+    /// per-request cycle counts.
+    ClusterScenario {
+        /// Architecture selector of instance 0 (0 = TPU, 1 = MAERI,
+        /// 2 = SIGMA).
+        arch_a: u8,
+        /// Architecture selector of instance 1.
+        arch_b: u8,
+        /// Model selector into the cheap fuzz-model roster.
+        model: u8,
+        /// Requests generated for the scenario.
+        requests: usize,
+        /// Batching window.
+        batch: usize,
+        /// `true` → priority DRAM arbitration, else round-robin.
+        priority_policy: bool,
+        /// Poisson arrival rate in tenths of a request per million
+        /// cycles (integer keeps the workload `Eq`-comparable).
+        rate_deci: u32,
+    },
     /// Dense GEMM on the flexible composition, run serially and with the
     /// intra-layer tile fan-out ([`stonne::core::Stonne::with_intra_tiles`]):
     /// outputs and statistics must be bitwise equal.
@@ -126,6 +147,7 @@ impl Workload {
             Workload::CacheReplay { .. } => "cache_replay",
             Workload::Pool { .. } => "pool",
             Workload::ModelRun { .. } => "model_run",
+            Workload::ClusterScenario { .. } => "cluster_scenario",
             Workload::IntraLayerParallel { .. } => "intra_layer_parallel",
         }
     }
@@ -235,10 +257,20 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             window,
             stride,
         }
-    } else {
+    } else if roll < 98 {
         Workload::ModelRun {
             model: FUZZ_MODELS[rng.index(FUZZ_MODELS.len())],
             arch: rng.index(3) as u8,
+        }
+    } else {
+        Workload::ClusterScenario {
+            arch_a: rng.index(3) as u8,
+            arch_b: rng.index(3) as u8,
+            model: rng.index(4) as u8,
+            requests: 4 + rng.index(12),
+            batch: 1 + rng.index(3),
+            priority_policy: rng.chance(0.5),
+            rate_deci: 5 + rng.index(25) as u32,
         }
     }
 }
@@ -275,6 +307,7 @@ mod tests {
             "cache_replay",
             "pool",
             "model_run",
+            "cluster_scenario",
             "intra_layer_parallel",
         ] {
             assert!(seen.contains(class), "class {class} never generated");

@@ -64,7 +64,7 @@ pub struct SampleCheck {
 }
 
 /// The fixed oracle roster, in report order.
-pub const ORACLES: [&str; 11] = [
+pub const ORACLES: [&str; 12] = [
     "systolic_exact_cycles",
     "flexible_maeri_band",
     "sigma_dense_band",
@@ -73,6 +73,7 @@ pub const ORACLES: [&str; 11] = [
     "cache_replay_bitwise",
     "serial_parallel_equal",
     "intra_serial_parallel_bitwise",
+    "cluster_serial_parallel_bitwise",
     "functional_outputs",
     "breakdown_sums_to_cycles",
     "stats_energy_invariants",
@@ -544,6 +545,124 @@ fn check_intra_layer_parallel(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn check_cluster_scenario(
+    arch_a: u8,
+    arch_b: u8,
+    model: u8,
+    requests: usize,
+    batch: usize,
+    priority_policy: bool,
+    rate_deci: u32,
+    seed: u64,
+) -> SampleCheck {
+    use stonne_cluster::{
+        run_cluster, ClassSpec, ClusterRequest, ExecMode, InstanceSpec, ModelRef,
+    };
+
+    let mut outcomes = Vec::new();
+    // Small heterogeneous presets keep a cluster sample in the same cost
+    // band as a ModelRun sample (two tiny-model profiles per mode).
+    let instance = |sel: u8| match sel % 3 {
+        0 => InstanceSpec {
+            arch: "tpu".into(),
+            ms: 16,
+            bw: 0,
+        },
+        1 => InstanceSpec {
+            arch: "maeri".into(),
+            ms: 64,
+            bw: 32,
+        },
+        _ => InstanceSpec {
+            arch: "sigma".into(),
+            ms: 64,
+            bw: 32,
+        },
+    };
+    let models = ["squeezenet", "alexnet", "mobilenet", "bert"];
+    let request = ClusterRequest {
+        name: String::new(),
+        instances: vec![instance(arch_a), instance(arch_b)],
+        models: vec![ModelRef {
+            name: models[usize::from(model) % models.len()].into(),
+            scale: "tiny".into(),
+        }],
+        classes: vec![
+            ClassSpec {
+                name: "interactive".into(),
+                weight: 1.0,
+                priority: 1,
+                sla_cycles: 0,
+            },
+            ClassSpec {
+                name: "batch".into(),
+                weight: 2.0,
+                priority: 0,
+                sla_cycles: 0,
+            },
+        ],
+        requests,
+        rates: vec![f64::from(rate_deci) / 10.0],
+        batch,
+        policy: if priority_policy {
+            "priority".into()
+        } else {
+            String::new()
+        },
+        seed,
+        sparsity: None,
+        // One narrow channel so the arbiter actually serializes traffic.
+        dram: Some(stonne_cluster::DramSpec {
+            channels: 1,
+            bandwidth_gbps: 8.0,
+            latency_cycles: 0,
+        }),
+    };
+
+    let serial =
+        run_cluster(&request, &SimCache::new(), ExecMode::Serial).expect("generated request valid");
+    let pool =
+        run_cluster(&request, &SimCache::new(), ExecMode::Pool).expect("generated request valid");
+
+    let bytes_equal = serial.report.render() == pool.report.render();
+    let records_equal = serial.per_request == pool.per_request;
+    let scenario = &serial.report.scenarios[0];
+    let l = &scenario.latency;
+    let percentiles_ordered = l.p50 <= l.p95 && l.p95 <= l.p99 && l.p99 <= l.max;
+    let class_counts: usize = scenario.classes.iter().map(|c| c.latency.count).sum();
+    let contention_surfaced = scenario
+        .instances
+        .iter()
+        .all(|i| i.stats.dram_contention_cycles == i.dram_wait_cycles);
+    push(
+        &mut outcomes,
+        "cluster_serial_parallel_bitwise",
+        bytes_equal
+            && records_equal
+            && percentiles_ordered
+            && class_counts == requests
+            && contention_surfaced,
+        None,
+        format!(
+            "{} req: bytes {} records {} percentiles {} classes {}/{} contention {} ({} cycles makespan)",
+            requests,
+            bytes_equal,
+            records_equal,
+            percentiles_ordered,
+            class_counts,
+            requests,
+            contention_surfaced,
+            scenario.makespan_cycles
+        ),
+    );
+    SampleCheck {
+        outcomes,
+        maeri_full_bw: None,
+        sigma_dense: None,
+    }
+}
+
 /// Runs every applicable oracle on one workload. `seed` must be the
 /// sample seed from [`crate::gen::sample_seed`] so operand data is
 /// deterministic per sample.
@@ -567,6 +686,24 @@ pub fn check_workload(workload: &Workload, seed: u64) -> SampleCheck {
             stride,
         } => check_pool(c, hw, window, stride, seed),
         Workload::ModelRun { model, arch } => check_model_run(model, arch, seed),
+        Workload::ClusterScenario {
+            arch_a,
+            arch_b,
+            model,
+            requests,
+            batch,
+            priority_policy,
+            rate_deci,
+        } => check_cluster_scenario(
+            arch_a,
+            arch_b,
+            model,
+            requests,
+            batch,
+            priority_policy,
+            rate_deci,
+            seed,
+        ),
         Workload::IntraLayerParallel {
             ms,
             m,
@@ -605,6 +742,21 @@ mod tests {
             let r = check_workload(&w, 0x77);
             assert!(r.outcomes.iter().all(|o| o.passed), "{:?}", r.outcomes);
         }
+    }
+
+    #[test]
+    fn cluster_oracle_accepts_the_engine() {
+        let w = Workload::ClusterScenario {
+            arch_a: 1,
+            arch_b: 0,
+            model: 0,
+            requests: 6,
+            batch: 2,
+            priority_policy: true,
+            rate_deci: 20,
+        };
+        let r = check_workload(&w, 0x5eed);
+        assert!(r.outcomes.iter().all(|o| o.passed), "{:?}", r.outcomes);
     }
 
     #[test]

@@ -201,6 +201,50 @@ pub fn candidates(w: &Workload) -> Vec<Workload> {
         }
         // A model run has no smaller version of itself.
         Workload::ModelRun { .. } => {}
+        Workload::ClusterScenario {
+            arch_a,
+            arch_b,
+            model,
+            requests,
+            batch,
+            priority_policy,
+            rate_deci,
+        } => {
+            if let Some(v) = halved(requests, 2) {
+                out.push(Workload::ClusterScenario {
+                    arch_a,
+                    arch_b,
+                    model,
+                    requests: v,
+                    batch,
+                    priority_policy,
+                    rate_deci,
+                });
+            }
+            if let Some(v) = halved(batch, 1) {
+                out.push(Workload::ClusterScenario {
+                    arch_a,
+                    arch_b,
+                    model,
+                    requests,
+                    batch: v,
+                    priority_policy,
+                    rate_deci,
+                });
+            }
+            // Homogenize the pair: one fewer distinct profile to eyeball.
+            if arch_b != arch_a {
+                out.push(Workload::ClusterScenario {
+                    arch_a,
+                    arch_b: arch_a,
+                    model,
+                    requests,
+                    batch,
+                    priority_policy,
+                    rate_deci,
+                });
+            }
+        }
     }
     out
 }

@@ -19,6 +19,9 @@
 #                                          # command sequence, offline
 #   tools/offline-check.sh serve           # the sweep-server acceptance test
 #                                          # (mirrors CI's `serve` job)
+#   tools/offline-check.sh cluster         # the fixed-seed cluster scenario
+#                                          # vs its golden fixture (mirrors
+#                                          # CI's `cluster` job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,6 +78,7 @@ if [ "$1" = "ci" ]; then
     run cargo --offline test --release -p stonne-verify --test golden_fixtures
     run cargo --offline run --release -p stonne-verify -- --samples 200 --seed 7
     run cargo --offline test --release -p stonne-serve --test server_roundtrip
+    run cargo --offline test --release -p stonne-cluster
     exit 0
 fi
 
@@ -83,6 +87,17 @@ fi
 # corruption healing) in release mode.
 if [ "$1" = "serve" ]; then
     cargo --offline test --release -p stonne-serve --test server_roundtrip
+    exit 0
+fi
+
+# `cluster` mirrors the CI `cluster` job: the multi-accelerator serving
+# scenario tests in release mode, including the fixed-seed acceptance
+# scenario diffed against its committed golden fixture
+# (crates/cluster/tests/golden/cluster_scenario.json). Re-bless after an
+# intentional timing change with:
+#   UPDATE_GOLDEN=1 tools/offline-check.sh cluster
+if [ "$1" = "cluster" ]; then
+    cargo --offline test --release -p stonne-cluster
     exit 0
 fi
 
