@@ -4,19 +4,94 @@
 //!
 //! Usage:
 //! `cargo run -p stonne-bench --release --bin perf --
-//!    [--out PATH] [--reps N] [--quick] [--parallel] [--baseline PATH]`
+//!    [--out PATH] [--reps N] [--quick] [--parallel] [--baseline PATH]
+//!    [--shard I/N]`
+//! `cargo run -p stonne-bench --release --bin perf -- merge
+//!    [--out PATH] SHARD.json...`
 //!
 //! `--out` writes the JSON report (stdout otherwise); `--reps` sets the
 //! median-of-N repetition count (default 3); `--quick` shrinks every
 //! workload for smoke runs; `--parallel` adds the intra-layer
 //! tile-parallel model entries; `--baseline` prints a per-entry speedup
-//! comparison against a previous report in the same schema.
+//! comparison against a previous report in the same schema. `--shard
+//! I/N` times only the basket entries at positions with `pos % N == I`
+//! and `perf merge` recombines shard artifacts into a report whose
+//! cycle counts and entry order are byte-identical (canonically) to a
+//! single-process run.
 
 use std::process::ExitCode;
-use stonne_bench::perf::{compare, run_basket, BenchReport, PerfConfig};
+use stonne_bench::perf::{
+    compare, merge_reports, run_basket, run_basket_shard, BenchReport, PerfConfig,
+};
+
+fn run_merge(args: &[String]) -> ExitCode {
+    let mut out = None;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            p => paths.push(p.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: perf merge [--out PATH] SHARD.json...");
+        return ExitCode::from(2);
+    }
+    let mut shards = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read shard {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match BenchReport::from_json(&text) {
+            Ok(s) => shards.push(s),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match merge_reports(&shards) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: merge failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "perf: merged {} shards into {} entries",
+        shards.len(),
+        report.entries.len()
+    );
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: --out {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("perf: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return run_merge(&args[1..]);
+    }
     let value_of = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -33,6 +108,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let shard = match value_of("--shard") {
+        None => None,
+        Some(spec) => {
+            let parsed = spec.split_once('/').and_then(|(i, n)| {
+                let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
+                (i < n).then_some((i, n))
+            });
+            match parsed {
+                Some(s) => Some(s),
+                None => {
+                    eprintln!("error: --shard needs I/N with I < N");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     let cfg = PerfConfig {
         reps,
         quick: args.iter().any(|a| a == "--quick"),
@@ -42,7 +133,13 @@ fn main() -> ExitCode {
         "perf: timing basket (reps {}, quick {}, parallel {}) …",
         cfg.reps, cfg.quick, cfg.parallel
     );
-    let report = run_basket(&cfg);
+    let report = match shard {
+        Some((i, n)) => {
+            eprintln!("perf: shard {i}/{n} of the basket");
+            run_basket_shard(&cfg, i, n)
+        }
+        None => run_basket(&cfg),
+    };
     let json = report.to_json();
 
     if let Some(path) = value_of("--baseline") {

@@ -66,6 +66,23 @@ impl BenchReport {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 
+    /// Pretty JSON with every nondeterministic field zeroed — wall-clock
+    /// timings, thread count and peak RSS. What remains (entry order,
+    /// reps, `cycles`, `engine_invocations`) is deterministic for a
+    /// fixed basket, so a sharded run merged with [`merge_reports`]
+    /// must reproduce the single-process run's canonical bytes exactly.
+    pub fn canonical_json(&self) -> String {
+        let mut canonical = self.clone();
+        canonical.threads = 0;
+        canonical.peak_rss_kb = 0;
+        for e in &mut canonical.entries {
+            e.median_ms = 0.0;
+            e.min_ms = 0.0;
+            e.max_ms = 0.0;
+        }
+        canonical.to_json()
+    }
+
     /// Parses a report previously written by [`BenchReport::to_json`].
     ///
     /// # Errors
@@ -243,63 +260,152 @@ fn model_entry(
     })
 }
 
-/// Runs the fixed basket and assembles the report.
-///
-/// Every workload runs with the simulation cache off: the basket
-/// measures the *first* (uncached) simulation cost that PR 2's cache
-/// cannot hide. Progress goes to stderr so stdout stays clean.
-pub fn run_basket(cfg: &PerfConfig) -> BenchReport {
+/// The canonical basket roster, in report order. The optional
+/// intra-layer entries come last; [`basket_names`] selects the active
+/// prefix for a configuration. Shards partition *positions* in this
+/// list, and [`merge_reports`] restores this order, which is what makes
+/// a merged report canonically byte-identical to a monolithic one.
+pub const BASKET_ORDER: [&str; 9] = [
+    "micro_systolic_os_gemm",
+    "micro_flexible_ws_gemm",
+    "micro_flexible_os_gemm",
+    "micro_sparse_spmm",
+    "micro_maxpool",
+    "model_bert_uncached",
+    "model_resnet50_uncached",
+    "model_bert_uncached_intra",
+    "model_resnet50_uncached_intra",
+];
+
+/// The entry names a configuration's basket runs, in order.
+pub fn basket_names(cfg: &PerfConfig) -> Vec<&'static str> {
+    let count = if cfg.parallel { 9 } else { 7 };
+    BASKET_ORDER[..count].to_vec()
+}
+
+/// Runs one named basket entry.
+fn run_entry(name: &str, cfg: &PerfConfig) -> BenchEntry {
     let scale = if cfg.quick {
         ModelScale::Tiny
     } else {
         ModelScale::Reduced
     };
     let serial = RunOptions::new().uncached();
-    let mut entries = vec![
-        micro_systolic(cfg.quick, cfg.reps),
-        micro_flexible(
-            Dataflow::WeightStationary,
-            "micro_flexible_ws_gemm",
-            cfg.quick,
-            cfg.reps,
-        ),
-        micro_flexible(
-            Dataflow::OutputStationary,
-            "micro_flexible_os_gemm",
-            cfg.quick,
-            cfg.reps,
-        ),
-        micro_sparse(cfg.quick, cfg.reps),
-        micro_pool(cfg.quick, cfg.reps),
-    ];
-    for e in &entries {
-        eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
-    }
-    for (name, id) in [
-        ("model_bert_uncached", ModelId::Bert),
-        ("model_resnet50_uncached", ModelId::ResNet50),
-    ] {
-        let e = model_entry(name, id, scale, &serial, cfg.reps);
-        eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
-        entries.push(e);
-    }
-    if cfg.parallel {
-        let intra = RunOptions::new().uncached().intra_layer_parallel();
-        for (name, id) in [
-            ("model_bert_uncached_intra", ModelId::Bert),
-            ("model_resnet50_uncached_intra", ModelId::ResNet50),
-        ] {
-            let e = model_entry(name, id, scale, &intra, cfg.reps);
-            eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
-            entries.push(e);
+    let intra = RunOptions::new().uncached().intra_layer_parallel();
+    let e = match name {
+        "micro_systolic_os_gemm" => micro_systolic(cfg.quick, cfg.reps),
+        "micro_flexible_ws_gemm" => {
+            micro_flexible(Dataflow::WeightStationary, name, cfg.quick, cfg.reps)
         }
-    }
+        "micro_flexible_os_gemm" => {
+            micro_flexible(Dataflow::OutputStationary, name, cfg.quick, cfg.reps)
+        }
+        "micro_sparse_spmm" => micro_sparse(cfg.quick, cfg.reps),
+        "micro_maxpool" => micro_pool(cfg.quick, cfg.reps),
+        "model_bert_uncached" => model_entry(name, ModelId::Bert, scale, &serial, cfg.reps),
+        "model_resnet50_uncached" => model_entry(name, ModelId::ResNet50, scale, &serial, cfg.reps),
+        "model_bert_uncached_intra" => model_entry(name, ModelId::Bert, scale, &intra, cfg.reps),
+        "model_resnet50_uncached_intra" => {
+            model_entry(name, ModelId::ResNet50, scale, &intra, cfg.reps)
+        }
+        other => unreachable!("unknown basket entry {other}"),
+    };
+    eprintln!("perf: {} median {:.2} ms", e.name, e.median_ms);
+    e
+}
+
+fn assemble(entries: Vec<BenchEntry>) -> BenchReport {
     BenchReport {
         schema: SCHEMA.to_owned(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         peak_rss_kb: peak_rss_kb(),
         entries,
     }
+}
+
+/// Runs the fixed basket and assembles the report.
+///
+/// Every workload runs with the simulation cache off: the basket
+/// measures the *first* (uncached) simulation cost that PR 2's cache
+/// cannot hide. Progress goes to stderr so stdout stays clean.
+pub fn run_basket(cfg: &PerfConfig) -> BenchReport {
+    assemble(
+        basket_names(cfg)
+            .into_iter()
+            .map(|name| run_entry(name, cfg))
+            .collect(),
+    )
+}
+
+/// Runs shard `shard_index` of the basket split `shard_count` ways:
+/// exactly the entries at basket positions with
+/// `position % shard_count == shard_index`. A shard report carries only
+/// its own entries; [`merge_reports`] recombines the artifacts.
+///
+/// # Panics
+///
+/// Panics when `shard_index >= shard_count`.
+pub fn run_basket_shard(cfg: &PerfConfig, shard_index: usize, shard_count: usize) -> BenchReport {
+    assert!(
+        shard_index < shard_count && shard_count > 0,
+        "shard {shard_index}/{shard_count} out of range"
+    );
+    assemble(
+        basket_names(cfg)
+            .into_iter()
+            .enumerate()
+            .filter(|(position, _)| position % shard_count == shard_index)
+            .map(|(_, name)| run_entry(name, cfg))
+            .collect(),
+    )
+}
+
+/// Recombines shard reports into one report in canonical basket order.
+///
+/// The merged report's [`BenchReport::canonical_json`] is byte-identical
+/// to a monolithic run of the same basket (cycle and invocation counts
+/// are deterministic; timings, threads and RSS are canonically zeroed —
+/// the merge keeps each shard's measured timings and takes the max of
+/// the per-process `threads`/`peak_rss_kb`).
+///
+/// # Errors
+///
+/// Returns a description when the shards disagree on schema, duplicate
+/// an entry, contain an unknown entry, or fail to cover the basket
+/// implied by the union (the full 7-entry roster, plus the intra
+/// entries when any shard carries one).
+pub fn merge_reports(shards: &[BenchReport]) -> Result<BenchReport, String> {
+    if shards.is_empty() {
+        return Err("no shard reports to merge".to_owned());
+    }
+    let mut by_name: std::collections::BTreeMap<&str, &BenchEntry> = Default::default();
+    for s in shards {
+        if s.schema != SCHEMA {
+            return Err(format!(
+                "shard has schema {:?} (expected {SCHEMA:?})",
+                s.schema
+            ));
+        }
+        for e in &s.entries {
+            if !BASKET_ORDER.contains(&e.name.as_str()) {
+                return Err(format!("unknown basket entry {:?}", e.name));
+            }
+            if by_name.insert(&e.name, e).is_some() {
+                return Err(format!("entry {:?} appears in two shards", e.name));
+            }
+        }
+    }
+    let parallel = by_name.keys().any(|n| n.ends_with("_intra"));
+    let expected = &BASKET_ORDER[..if parallel { 9 } else { 7 }];
+    if let Some(missing) = expected.iter().find(|n| !by_name.contains_key(**n)) {
+        return Err(format!("entry {missing:?} is missing from the shards"));
+    }
+    Ok(BenchReport {
+        schema: SCHEMA.to_owned(),
+        threads: shards.iter().map(|s| s.threads).max().unwrap_or(1),
+        peak_rss_kb: shards.iter().map(|s| s.peak_rss_kb).max().unwrap_or(0),
+        entries: expected.iter().map(|n| by_name[*n].clone()).collect(),
+    })
 }
 
 /// Formats a per-entry comparison of `new` against `old` (matched by
@@ -352,6 +458,79 @@ mod tests {
         }
         let parsed = BenchReport::from_json(&a.to_json()).unwrap();
         assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn sharded_basket_merges_canonically_byte_identical() {
+        let cfg = PerfConfig {
+            reps: 1,
+            quick: true,
+            parallel: false,
+        };
+        let mono = run_basket(&cfg);
+        for shard_count in [2usize, 3] {
+            let shards: Vec<BenchReport> = (0..shard_count)
+                .map(|i| {
+                    let s = run_basket_shard(&cfg, i, shard_count);
+                    BenchReport::from_json(&s.to_json()).expect("artifact round-trips")
+                })
+                .collect();
+            let merged = merge_reports(&shards).expect("shards are consistent");
+            assert_eq!(
+                merged.canonical_json(),
+                mono.canonical_json(),
+                "{shard_count} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_bad_shard_sets() {
+        let cfg = PerfConfig {
+            reps: 1,
+            quick: true,
+            parallel: false,
+        };
+        let a = run_basket_shard(&cfg, 0, 2);
+        let b = run_basket_shard(&cfg, 1, 2);
+        assert!(merge_reports(&[]).is_err(), "empty set");
+        assert!(
+            merge_reports(std::slice::from_ref(&a)).is_err(),
+            "incomplete basket"
+        );
+        assert!(
+            merge_reports(&[a.clone(), a.clone()]).is_err(),
+            "duplicate entries"
+        );
+        let mut foreign = b.clone();
+        foreign.schema = "stonne-bench-perf/0".into();
+        assert!(
+            merge_reports(&[a.clone(), foreign]).is_err(),
+            "foreign schema"
+        );
+        let mut unknown = b.clone();
+        unknown.entries[0].name = "micro_unknown".into();
+        assert!(
+            merge_reports(&[a.clone(), unknown]).is_err(),
+            "unknown entry"
+        );
+        assert!(merge_reports(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn basket_names_track_the_parallel_flag() {
+        let base = PerfConfig {
+            reps: 1,
+            quick: true,
+            parallel: false,
+        };
+        assert_eq!(basket_names(&base).len(), 7);
+        let par = PerfConfig {
+            parallel: true,
+            ..base
+        };
+        assert_eq!(basket_names(&par).len(), 9);
+        assert!(basket_names(&par).ends_with(&["model_resnet50_uncached_intra"]));
     }
 
     #[test]

@@ -232,6 +232,21 @@ mod tests {
         assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
     }
 
+    /// Nearest-rank edge case: with a single sample every percentile is
+    /// that sample — `(q * 1).div_ceil(100).max(1)` must resolve to
+    /// rank 1 for all of p50/p95/p99, never rank 0 or out of bounds.
+    #[test]
+    fn single_sample_collapses_every_percentile() {
+        let s = LatencySummary::of(&[42]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42);
+        assert_eq!((s.p50, s.p95, s.p99), (42, 42, 42));
+        assert_eq!(s.max, 42);
+        // Two samples: p50 is the lower, the tail percentiles the upper.
+        let s = LatencySummary::of(&[10, 20]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (10, 20, 20, 20));
+    }
+
     #[test]
     fn sla_attainment_counts_met_requests() {
         let classes = vec![ClassSpec {

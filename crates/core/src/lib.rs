@@ -42,6 +42,9 @@
 //! * [`cache`] — the layer-simulation memoization cache ([`SimCache`]).
 //! * [`store`] — the disk-persistent, content-addressed result store
 //!   backing the cache across processes ([`DiskStore`]).
+//! * [`checkpoint`] — deterministic model-run snapshots at layer
+//!   boundaries ([`Checkpoint`], [`StateHash`]) enabling
+//!   bitwise-identical resume after a crash.
 //! * [`api`] — the coarse-grained STONNE API instruction set (Table III).
 //! * [`stats`] / [`output`] — activity counters, JSON summary, counter
 //!   file, Chrome-trace timeline export.
@@ -53,6 +56,7 @@
 pub mod accelerator;
 pub mod api;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fifo;
@@ -66,6 +70,7 @@ pub mod trace;
 pub use accelerator::Stonne;
 pub use api::{ApiError, Instruction, OpConfig, OpOutput, OperandData, StonneMachine};
 pub use cache::SimCache;
+pub use checkpoint::{Checkpoint, CheckpointError, StateHash, CHECKPOINT_SCHEMA};
 pub use config::{
     AcceleratorConfig, ConfigError, ControllerKind, Dataflow, DnKind, MnKind, RnKind, SparseFormat,
 };

@@ -98,8 +98,44 @@ struct StoreInner {
     fingerprint: String,
     /// Approximate number of entry files (maintained, not re-scanned).
     entries: AtomicUsize,
-    /// Sequence for unique temporary-file names within this process.
-    tmp_seq: AtomicU64,
+}
+
+/// Process-wide sequence for unique temporary-file names (shared by the
+/// store and the checkpoint writer so concurrent writers into one
+/// directory never collide).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `text` to `path` atomically: the bytes land in a uniquely
+/// named `tmp-*.part` file inside `dir` (same filesystem, so the rename
+/// is atomic) and are renamed into place only when complete. A killed
+/// process can leave a stale `.part` file behind but never a
+/// half-written entry under the final name. Shared by [`DiskStore`] and
+/// [`crate::checkpoint::Checkpoint::save`].
+pub(crate) fn atomic_write_text(dir: &Path, path: &Path, text: &str) -> io::Result<()> {
+    let tmp = dir.join(format!(
+        "tmp-{}-{}.part",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = fs::write(&tmp, text) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// The serialized form of one auxiliary blob file (see
+/// [`DiskStore::save_blob`]).
+#[derive(Serialize, Deserialize)]
+struct StoredBlob {
+    /// Full key text, checked on load to rule out digest collisions.
+    key: String,
+    /// The opaque payload.
+    text: String,
 }
 
 /// The serialized form of one entry file.
@@ -188,7 +224,6 @@ impl DiskStore {
                 dir,
                 fingerprint: safe,
                 entries: AtomicUsize::new(entries),
-                tmp_seq: AtomicU64::new(0),
             }),
             counters: Arc::new(CounterCells::default()),
             parent: None,
@@ -321,16 +356,9 @@ impl DiskStore {
         let Ok(text) = serde_json::to_string(&stored) else {
             return;
         };
-        let tmp = self.inner.dir.join(format!(
-            "tmp-{}-{}.part",
-            std::process::id(),
-            self.inner.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
         let existed = path.exists();
-        let written = fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_ok();
-        if !written {
-            eprintln!("stonne-store: failed to persist {}", path.display());
-            fs::remove_file(&tmp).ok();
+        if let Err(e) = atomic_write_text(&self.inner.dir, &path, &text) {
+            eprintln!("stonne-store: failed to persist {} ({e})", path.display());
             return;
         }
         self.bump(|c| &c.writes);
@@ -338,6 +366,59 @@ impl DiskStore {
             self.inner.entries.fetch_add(1, Ordering::Relaxed);
         }
         self.enforce_bound();
+    }
+
+    /// Persists an auxiliary, content-addressed blob next to (but
+    /// outside) the cache-entry namespace: the file lands under
+    /// `<dir>/<kind>/<digest-of-key>.json` with the full key stored
+    /// inside, so digest collisions degrade to misses exactly like
+    /// cache entries. Blobs do not count toward `len()` and are never
+    /// evicted — the sweep server uses this channel for per-point job
+    /// checkpoints (see `crates/serve`). Returns whether the write
+    /// landed (failures are logged, not fatal, matching `save`).
+    pub fn save_blob(&self, kind: &str, key: &str, text: &str) -> bool {
+        let dir = self.inner.dir.join(kind);
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("stonne-store: cannot create {} ({e})", dir.display());
+            return false;
+        }
+        let path = dir.join(format!("{}.json", digest128(key)));
+        let stored = StoredBlob {
+            key: key.to_owned(),
+            text: text.to_owned(),
+        };
+        let Ok(json) = serde_json::to_string(&stored) else {
+            return false;
+        };
+        if let Err(e) = atomic_write_text(&dir, &path, &json) {
+            eprintln!("stonne-store: failed to persist {} ({e})", path.display());
+            return false;
+        }
+        true
+    }
+
+    /// Loads the blob stored under `(kind, key)`, if a valid one
+    /// exists. Corrupt or colliding files are removed best-effort and
+    /// treated as absent.
+    pub fn load_blob(&self, kind: &str, key: &str) -> Option<String> {
+        let path = self
+            .inner
+            .dir
+            .join(kind)
+            .join(format!("{}.json", digest128(key)));
+        let text = fs::read_to_string(&path).ok()?;
+        let stored: StoredBlob = match serde_json::from_str(&text) {
+            Ok(stored) => stored,
+            Err(e) => {
+                eprintln!(
+                    "stonne-store: corrupt blob {} ({e:?}); treating as absent",
+                    path.display()
+                );
+                fs::remove_file(&path).ok();
+                return None;
+            }
+        };
+        (stored.key == key).then_some(stored.text)
     }
 
     /// Evicts oldest entries (by modification time) while over the bound.
@@ -376,8 +457,10 @@ impl DiskStore {
 /// 128-bit content digest of the canonical key text, rendered as 32 hex
 /// characters: two independent 64-bit FNV-1a passes over the same bytes
 /// with different offset bases. Collisions are additionally guarded by
-/// the full key text stored inside every entry file.
-fn digest128(s: &str) -> String {
+/// the full key text stored inside every entry file. Also used to
+/// derive cache signatures for checkpoints and the per-point result
+/// keys of the sweep server.
+pub(crate) fn digest128(s: &str) -> String {
     format!(
         "{:016x}{:016x}",
         fnv1a(0xcbf2_9ce4_8422_2325, s.as_bytes()),
@@ -553,6 +636,83 @@ mod tests {
         // A sibling scope starts from zero.
         let other = store.scoped();
         assert_eq!(other.counters(), StoreCounters::default());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn blobs_roundtrip_outside_the_entry_namespace() {
+        let root = tmp_root("blob");
+        let store = DiskStore::open(&root).unwrap();
+        assert!(store.save_blob("points", "point-key", "{\"cycles\":7}"));
+        assert_eq!(
+            store.load_blob("points", "point-key").as_deref(),
+            Some("{\"cycles\":7}")
+        );
+        assert_eq!(store.load_blob("points", "other-key"), None);
+        // Blobs are invisible to entry bookkeeping and eviction.
+        assert_eq!(store.len(), 0);
+        let reopened = DiskStore::open(&root).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert_eq!(
+            reopened.load_blob("points", "point-key").as_deref(),
+            Some("{\"cycles\":7}")
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_blob_is_absent_and_healed() {
+        let root = tmp_root("blob-corrupt");
+        let store = DiskStore::open(&root).unwrap();
+        store.save_blob("points", "k", "payload");
+        let file = fs::read_dir(store.dir().join("points"))
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .unwrap()
+            .path();
+        let full = fs::read_to_string(&file).unwrap();
+        fs::write(&file, &full[..full.len() / 2]).unwrap();
+        assert_eq!(store.load_blob("points", "k"), None);
+        assert!(!file.exists(), "corrupt blob removed");
+        store.save_blob("points", "k", "payload");
+        assert_eq!(store.load_blob("points", "k").as_deref(), Some("payload"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// Concurrent `scoped()` handles hammering a bounded store must
+    /// never panic or lose the bound: eviction races (a victim already
+    /// removed by a sibling) back off rather than spin, and all
+    /// counters still roll up into the parent.
+    #[test]
+    fn bounded_store_survives_racing_scoped_handles() {
+        let root = tmp_root("evict-race");
+        let store = DiskStore::open(&root).unwrap().with_max_entries(4);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let scoped = store.scoped();
+                scope.spawn(move || {
+                    for m in 0..12 {
+                        scoped.save(&key(t * 100 + m), &entry(m as u64));
+                        // Interleave loads so evicted-underneath reads
+                        // exercise the miss path concurrently.
+                        scoped.load(&key(t * 100 + m));
+                    }
+                });
+            }
+        });
+        // The maintained count and the directory agree, and the bound
+        // holds once the dust settles.
+        let on_disk = fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .count();
+        assert_eq!(store.len(), on_disk);
+        assert!(on_disk <= 4, "bound violated: {on_disk} entries");
+        let c = store.counters();
+        assert_eq!(c.writes, 48, "every save rolled up");
+        assert!(c.evictions >= 44, "evictions rolled up: {c:?}");
         fs::remove_dir_all(&root).ok();
     }
 

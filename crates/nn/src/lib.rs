@@ -18,7 +18,11 @@
 //! * [`runner`] — full-model inference: per-layer statistics, aggregate
 //!   cycles/energy, and functional validation against the reference.
 //!   [`RunOptions`] controls layer-simulation memoization (on by default;
-//!   see [`stonne_core::SimCache`]) and independent-layer parallelism.
+//!   see [`stonne_core::SimCache`]), independent-layer parallelism, and
+//!   checkpoint/resume (`checkpoint_every` / `resume_from`).
+//! * [`checkpoint`] — deterministic snapshot/resume at layer boundaries:
+//!   interrupted runs restart at the last boundary and finish
+//!   bitwise-identical to uninterrupted ones, guarded by a state hash.
 //! * [`parallel`] — the bounded worker pool behind the parallel runner
 //!   and the bench-harness figure sweeps.
 //!
@@ -44,6 +48,7 @@
 //! ```
 
 pub mod backend;
+pub mod checkpoint;
 pub mod executor;
 pub mod parallel;
 pub mod params;
@@ -55,7 +60,8 @@ pub use executor::execute_graph;
 pub use parallel::{run_parallel, ParallelError};
 pub use params::{generate_input, ModelParams, NodeWeights};
 pub use runner::{
-    run_model_reference, run_model_simulated, run_model_simulated_with, LayerReport, ModelRun,
-    ReferenceRun, RunOptions,
+    run_model_reference, run_model_simulated, run_model_simulated_traced,
+    run_model_simulated_traced_with, run_model_simulated_with, LayerReport, ModelRun, ReferenceRun,
+    RunOptions,
 };
 pub use value::Value;

@@ -7,6 +7,7 @@ use crate::executor::{execute_graph, execute_node, is_offloaded_op};
 use crate::parallel::run_parallel;
 use crate::params::ModelParams;
 use crate::value::Value;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use stonne_core::{
     AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimCache, SimStats, Stonne,
@@ -74,6 +75,18 @@ impl ModelRun {
         };
         serde_json::to_string_pretty(&report).expect("report serializes")
     }
+
+    /// FNV-1a state hash over the run's canonical state: every output
+    /// value's exact `f32` bits plus the per-layer statistics with
+    /// volatile counters (cache hits/misses/inserts, engine
+    /// invocations) zeroed. Two runs of the same model/config agree on
+    /// this hash exactly when they agree bitwise on outputs and
+    /// hardware-level stats — across the serial, wave-parallel and
+    /// intra-tile runners, and across straight, checkpointed and
+    /// resumed executions.
+    pub fn state_hash(&self) -> u64 {
+        crate::checkpoint::run_state_hash(self)
+    }
 }
 
 /// Knobs of a simulated full-model run: layer-simulation memoization and
@@ -89,6 +102,8 @@ pub struct RunOptions {
     cache: Option<SimCache>,
     parallel: bool,
     intra_tiles: bool,
+    checkpoint: Option<(usize, PathBuf)>,
+    resume: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -97,6 +112,8 @@ impl Default for RunOptions {
             cache: Some(SimCache::new()),
             parallel: false,
             intra_tiles: false,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -152,9 +169,48 @@ impl RunOptions {
         self
     }
 
+    /// Snapshots the run into `dir` every `every` layer boundaries (an
+    /// offloaded operation finishing is a boundary; `every` is clamped
+    /// to ≥ 1). Checkpointed runs execute sequentially — the layer
+    /// boundary order that defines a snapshot has no meaning under
+    /// wave-parallel dispatch — but compose with the cache and with
+    /// [`RunOptions::intra_layer_parallel`], and the snapshots do not
+    /// perturb the run: outputs, stats and traces are bitwise-identical
+    /// to a run without checkpointing. See [`crate::checkpoint`].
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some((every.max(1), dir.into()));
+        self
+    }
+
+    /// Resumes from the newest valid checkpoint in `dir` (written by a
+    /// prior [`RunOptions::checkpoint_every`] run of the same model,
+    /// configuration and build), restarting at its layer boundary. A
+    /// truncated or hash-mismatched checkpoint is skipped in favor of
+    /// the boundary before it; with no valid checkpoint the run starts
+    /// clean. The resumed run's outputs, stats and energy are
+    /// bitwise-identical to an uninterrupted run.
+    #[must_use]
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume = Some(dir.into());
+        self
+    }
+
+    /// The checkpoint cadence and directory, when enabled.
+    pub(crate) fn checkpoint_policy(&self) -> Option<(usize, &Path)> {
+        self.checkpoint
+            .as_ref()
+            .map(|(every, dir)| (*every, dir.as_path()))
+    }
+
+    /// The resume directory, when enabled.
+    pub(crate) fn resume_dir(&self) -> Option<&Path> {
+        self.resume.as_deref()
+    }
+
     /// Worker budget handed to [`Stonne::with_intra_tiles`]: the host's
     /// available parallelism when intra-layer tiling is on, else 1.
-    fn intra_workers(&self) -> usize {
+    pub(crate) fn intra_worker_budget(&self) -> usize {
         if self.intra_tiles {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -237,6 +293,17 @@ pub fn run_model_simulated_with(
     options: RunOptions,
 ) -> Result<ModelRun, ConfigError> {
     let energy_model = EnergyModel::for_config(&config);
+    if options.checkpoint.is_some() || options.resume.is_some() {
+        return crate::checkpoint::run_checkpointed(
+            model,
+            params,
+            input,
+            config,
+            schedule,
+            &options,
+            energy_model,
+        );
+    }
     if options.parallel {
         return run_parallel_waves(
             model,
@@ -248,7 +315,7 @@ pub fn run_model_simulated_with(
             energy_model,
         );
     }
-    let mut sim = Stonne::new(config)?.with_intra_tiles(options.intra_workers());
+    let mut sim = Stonne::new(config)?.with_intra_tiles(options.intra_worker_budget());
     if let Some(cache) = options.cache {
         sim = sim.with_cache(cache);
     }
@@ -339,7 +406,7 @@ fn run_parallel_waves(
                 let config = config.clone();
                 let schedule = Arc::clone(&schedule);
                 let cache = options.cache.clone();
-                let intra_workers = options.intra_workers();
+                let intra_workers = options.intra_worker_budget();
                 move || {
                     let mut sim = Stonne::new(config)
                         .expect("config validated above")
@@ -404,8 +471,42 @@ pub fn run_model_simulated_traced(
     config: AcceleratorConfig,
     capacity: usize,
 ) -> Result<(ModelRun, stonne_core::Trace), ConfigError> {
+    run_model_simulated_traced_with(
+        model,
+        params,
+        input,
+        config,
+        capacity,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_model_simulated_traced`] with explicit [`RunOptions`] — used to
+/// assert that checkpointing does not perturb the recorded timeline
+/// (checkpoint-enabled and plain runs trace byte-identically). The
+/// trace buffer is thread-local, so options should keep the run
+/// sequential ([`RunOptions::parallel`] layers trace nothing).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the accelerator configuration is invalid.
+pub fn run_model_simulated_traced_with(
+    model: &stonne_models::ModelSpec,
+    params: &ModelParams,
+    input: &Value,
+    config: AcceleratorConfig,
+    capacity: usize,
+    options: RunOptions,
+) -> Result<(ModelRun, stonne_core::Trace), ConfigError> {
     stonne_core::trace::start(capacity);
-    let run = run_model_simulated(model, params, input, config);
+    let run = run_model_simulated_with(
+        model,
+        params,
+        input,
+        config,
+        Arc::new(NaturalOrder),
+        options,
+    );
     let trace = stonne_core::trace::finish().unwrap_or_default();
     Ok((run?, trace))
 }

@@ -32,6 +32,11 @@ pub struct JobCounters {
     pub sim_cache_hits: u64,
     /// In-memory layer-cache misses.
     pub sim_cache_misses: u64,
+    /// Points restored whole from a previously persisted result — a
+    /// killed server picks a sweep back up without re-simulating (or
+    /// even re-assembling from layer entries) the points it had already
+    /// finished.
+    pub resumed: u64,
 }
 
 /// A snapshot of one job's externally visible state.
@@ -185,6 +190,50 @@ impl Job {
             }
             p = self.changed.wait(p).unwrap();
         }
+    }
+
+    /// Content address of a point in the store's `points` blob channel.
+    /// Deliberately excludes the grid `index`: the same physical point
+    /// at a different grid position is still the same simulation.
+    fn point_key(point: &SweepPoint) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{:016x}/{}",
+            point.arch,
+            point.ms,
+            point.bw,
+            point.model,
+            point.scale,
+            point.sparsity.to_bits(),
+            point.seed
+        )
+    }
+
+    /// Restores a previously persisted result for `point`, if the store
+    /// holds one. Corrupt or foreign blobs read as a miss (the point is
+    /// simply re-simulated and the blob overwritten).
+    fn load_point(&self, point: &SweepPoint) -> Option<PointResult> {
+        let store = self.store.as_ref()?;
+        let text = store.load_blob("points", &Self::point_key(point))?;
+        let mut result: PointResult = serde_json::from_str(&text).ok()?;
+        // The blob may have been written under a different grid index.
+        result.point = point.clone();
+        Some(result)
+    }
+
+    /// Persists a finished point into the `points` blob channel so a
+    /// later process can resume a sweep without re-simulating it.
+    fn persist_point(&self, result: &PointResult) {
+        if let Some(store) = &self.store {
+            if let Ok(text) = serde_json::to_string(result) {
+                store.save_blob("points", &Self::point_key(&result.point), &text);
+            }
+        }
+    }
+
+    /// Records a point restored from the store rather than simulated.
+    fn record_resumed(&self, index: usize, result: PointResult) {
+        self.progress.lock().unwrap().counters.resumed += 1;
+        self.record(index, Ok((result, stonne::core::SimStats::default())));
     }
 
     /// Records one finished point, emits its event, and — on the last
@@ -363,6 +412,12 @@ fn worker_loop(inner: &ManagerInner) {
             }
         };
         let point = task.job.points[task.index].clone();
+        // Resume first: a previous process may have persisted this
+        // exact point already.
+        if let Some(result) = task.job.load_point(&point) {
+            task.job.record_resumed(task.index, result);
+            continue;
+        }
         let cache = task.job.cache.clone();
         // A panicking engine must fail the point, not kill the worker.
         let outcome =
@@ -374,6 +429,9 @@ fn worker_loop(inner: &ManagerInner) {
                     .unwrap_or_else(|| "engine panicked".to_owned());
                 Err(format!("panic: {msg}"))
             });
+        if let Ok((result, _)) = &outcome {
+            task.job.persist_point(result);
+        }
         task.job.record(task.index, outcome);
     }
 }
@@ -443,9 +501,11 @@ mod tests {
         let warm = manager.submit(&small_request()).unwrap();
         warm.wait_done();
         let warm_status = warm.status();
+        // Finished points were persisted whole, so the warm job resumes
+        // them from the blob channel without simulating (or even
+        // re-assembling from layer entries).
         assert_eq!(warm_status.counters.engine_invocations, 0);
-        assert_eq!(warm_status.store.misses, 0);
-        assert!(warm_status.store.hits > 0);
+        assert_eq!(warm_status.counters.resumed as usize, warm.points.len());
         // Byte-identical results regardless of which side of the store
         // a point was computed on.
         for i in 0..cold.points.len() {
@@ -455,6 +515,44 @@ mod tests {
             );
         }
         manager.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The kill-and-resume guarantee: a sweep finished by one process is
+    /// resumed by a *fresh* process (new `JobManager`, new `DiskStore`
+    /// handle on the same directory) entirely from persisted per-point
+    /// checkpoints — zero engine invocations, byte-identical results.
+    #[test]
+    fn killed_server_resumes_a_job_from_a_fresh_process() {
+        let dir = std::env::temp_dir().join(format!("stonne-serve-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = JobManager::new(2, Some(DiskStore::open(&dir).unwrap()));
+        let before = first.submit(&small_request()).unwrap();
+        before.wait_done();
+        assert!(before.status().counters.engine_invocations > 0);
+        let before_results: Vec<String> = (0..before.points.len())
+            .map(|i| serde_json::to_string(&before.result_at(i).unwrap()).unwrap())
+            .collect();
+        // Simulate a kill: the whole manager (workers, cache, store
+        // handle) goes away; only the on-disk directory survives.
+        first.shutdown();
+        drop(before);
+
+        let second = JobManager::new(2, Some(DiskStore::open(&dir).unwrap()));
+        let after = second.submit(&small_request()).unwrap();
+        after.wait_done();
+        let status = after.status();
+        assert_eq!(status.state, "done");
+        assert_eq!(status.counters.engine_invocations, 0);
+        assert_eq!(status.counters.resumed as usize, after.points.len());
+        for (i, expected) in before_results.iter().enumerate() {
+            assert_eq!(
+                &serde_json::to_string(&after.result_at(i).unwrap()).unwrap(),
+                expected,
+            );
+        }
+        second.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

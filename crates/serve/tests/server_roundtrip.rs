@@ -89,7 +89,8 @@ fn repeated_sweeps_are_bitwise_identical_and_store_served() {
     assert!(counter(&cold_status, "store", "writes") > 0);
 
     // --- Warm sweep on the same server: a fresh job sees nothing in
-    // memory, so every layer must come from the disk store. ---
+    // memory, but every finished point was persisted whole, so the job
+    // resumes from per-point checkpoints without touching an engine. ---
     let (warm_job, warm_lines) = run_sweep(&client);
     assert_eq!(cold_lines, warm_lines, "bitwise-identical result stream");
     let warm_status = job_status(&client, &warm_job);
@@ -98,8 +99,12 @@ fn repeated_sweeps_are_bitwise_identical_and_store_served() {
         0,
         "warm job never invoked an engine"
     );
+    assert_eq!(
+        counter(&warm_status, "counters", "resumed"),
+        2,
+        "both points restored from persisted results"
+    );
     assert_eq!(counter(&warm_status, "store", "misses"), 0);
-    assert!(counter(&warm_status, "store", "hits") > 0);
 
     // --- SSE: point events then a terminal done event. ---
     let events = client.stream_events(&warm_job).expect("events");
@@ -115,8 +120,9 @@ fn repeated_sweeps_are_bitwise_identical_and_store_served() {
 
     handle.shutdown();
 
-    // --- Restart against the same store directory: still fully warm,
-    // still byte-identical (the acceptance criterion). ---
+    // --- Restart against the same store directory: a killed server
+    // resumes the sweep from persisted points, still byte-identical
+    // (the acceptance criterion). ---
     let (handle, client) = start_server(&dir);
     let (restart_job, restart_lines) = run_sweep(&client);
     assert_eq!(cold_lines, restart_lines, "identical across restarts");
@@ -125,25 +131,28 @@ fn repeated_sweeps_are_bitwise_identical_and_store_served() {
         counter(&restart_status, "counters", "engine_invocations"),
         0
     );
+    assert_eq!(counter(&restart_status, "counters", "resumed"), 2);
     assert_eq!(counter(&restart_status, "store", "misses"), 0);
     handle.shutdown();
 
-    // --- Corruption resilience: truncate every stored entry; the next
-    // sweep must treat them as misses, re-run, and heal the store. ---
-    let fingerprint_dir = std::fs::read_dir(&dir)
-        .expect("store root")
-        .map(|e| e.unwrap().path())
-        .find(|p| p.is_dir())
-        .expect("fingerprint namespace dir");
-    let mut truncated = 0usize;
-    for entry in std::fs::read_dir(&fingerprint_dir).expect("entries") {
-        let path = entry.unwrap().path();
-        if path.extension().is_some_and(|x| x == "json") {
-            let text = std::fs::read_to_string(&path).unwrap();
-            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
-            truncated += 1;
+    // --- Corruption resilience: truncate every stored file — layer
+    // entries and per-point checkpoint blobs alike; the next sweep must
+    // treat them all as misses, re-run, and heal the store. ---
+    fn truncate_json_files(dir: &std::path::Path) -> usize {
+        let mut truncated = 0usize;
+        for entry in std::fs::read_dir(dir).expect("store dir") {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                truncated += truncate_json_files(&path);
+            } else if path.extension().is_some_and(|x| x == "json") {
+                let text = std::fs::read_to_string(&path).unwrap();
+                std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+                truncated += 1;
+            }
         }
+        truncated
     }
+    let truncated = truncate_json_files(&dir);
     assert!(truncated > 0, "store held entries to truncate");
 
     let (handle, client) = start_server(&dir);

@@ -134,6 +134,29 @@ pub enum Workload {
         /// Worker budget handed to the engine.
         workers: usize,
     },
+    /// Full-model run checkpointed every `every` layer boundaries, then
+    /// interrupted (newer checkpoints deleted) and resumed: the resumed
+    /// run must be bitwise identical to an uninterrupted one — outputs,
+    /// stats (including cache counters), energy, and state hash.
+    CheckpointResume {
+        /// DNN model to run at `ModelScale::Tiny`.
+        model: ModelId,
+        /// Architecture selector, as in [`Workload::CacheReplay`].
+        arch: u8,
+        /// Checkpoint cadence in layer boundaries.
+        every: usize,
+    },
+    /// A nested cheap-space campaign run monolithically and as
+    /// `shards` deterministic shards merged back together: the merged
+    /// report must be byte-identical to the monolithic one.
+    ShardMerge {
+        /// Samples of the nested campaign.
+        samples: u64,
+        /// Mixed into the sample seed to decorrelate nested campaigns.
+        seed_offset: u64,
+        /// Number of shards to split into.
+        shards: u64,
+    },
 }
 
 impl Workload {
@@ -149,6 +172,8 @@ impl Workload {
             Workload::ModelRun { .. } => "model_run",
             Workload::ClusterScenario { .. } => "cluster_scenario",
             Workload::IntraLayerParallel { .. } => "intra_layer_parallel",
+            Workload::CheckpointResume { .. } => "checkpoint_resume",
+            Workload::ShardMerge { .. } => "shard_merge",
         }
     }
 }
@@ -229,14 +254,14 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 2 + rng.index(32),
             k: 4 + rng.index(48),
         }
-    } else if roll < 82 {
+    } else if roll < 80 {
         Workload::CacheReplay {
             arch: rng.index(3) as u8,
             m: 1 + rng.index(32),
             n: 1 + rng.index(32),
             k: 1 + rng.index(48),
         }
-    } else if roll < 88 {
+    } else if roll < 86 {
         // Sized so the auto tile yields several filter chunks — the
         // serial-vs-fanned comparison is vacuous on a single chunk.
         let sizes = [32, 64];
@@ -248,7 +273,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             k: 8 + rng.index(48),
             workers: worker_counts[rng.index(worker_counts.len())],
         }
-    } else if roll < 96 {
+    } else if roll < 92 {
         let window = 2 + rng.index(2);
         let stride = 1 + rng.index(2);
         Workload::Pool {
@@ -257,10 +282,22 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             window,
             stride,
         }
-    } else if roll < 98 {
+    } else if roll < 94 {
         Workload::ModelRun {
             model: FUZZ_MODELS[rng.index(FUZZ_MODELS.len())],
             arch: rng.index(3) as u8,
+        }
+    } else if roll < 96 {
+        Workload::CheckpointResume {
+            model: FUZZ_MODELS[rng.index(FUZZ_MODELS.len())],
+            arch: rng.index(3) as u8,
+            every: 1 + rng.index(4),
+        }
+    } else if roll < 98 {
+        Workload::ShardMerge {
+            samples: 4 + rng.index(8) as u64,
+            seed_offset: rng.index(1 << 16) as u64,
+            shards: 2 + rng.index(3) as u64,
         }
     } else {
         Workload::ClusterScenario {
@@ -271,6 +308,51 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             batch: 1 + rng.index(3),
             priority_policy: rng.chance(0.5),
             rate_deci: 5 + rng.index(25) as u32,
+        }
+    }
+}
+
+/// Generates the workload of sample `index` from the **cheap** sample
+/// space: single-operation classes only, no full-model runs and no
+/// recursive campaign classes. This is what the nested campaigns of
+/// [`Workload::ShardMerge`] draw from, so a shard-merge sample stays in
+/// the same cost band as a handful of GEMMs and can never recurse.
+pub fn generate_cheap(campaign_seed: u64, index: u64) -> Workload {
+    let mut rng = SeededRng::new(sample_seed(campaign_seed, index));
+    match rng.index(4) {
+        0 => {
+            let dims = [4, 8];
+            Workload::SystolicGemm {
+                dim: dims[rng.index(dims.len())],
+                m: 1 + rng.index(16),
+                n: 1 + rng.index(16),
+                k: 1 + rng.index(24),
+            }
+        }
+        1 => {
+            let sizes = [16, 32];
+            Workload::FlexibleGemm {
+                ms: sizes[rng.index(sizes.len())],
+                m: 1 + rng.index(16),
+                n: 1 + rng.index(16),
+                k: 1 + rng.index(24),
+            }
+        }
+        2 => Workload::CacheReplay {
+            arch: rng.index(3) as u8,
+            m: 1 + rng.index(12),
+            n: 1 + rng.index(12),
+            k: 1 + rng.index(16),
+        },
+        _ => {
+            let window = 2 + rng.index(2);
+            let stride = 1 + rng.index(2);
+            Workload::Pool {
+                c: 1 + rng.index(4),
+                hw: window + 2 + rng.index(8),
+                window,
+                stride,
+            }
         }
     }
 }
@@ -296,7 +378,7 @@ mod tests {
     #[test]
     fn every_class_appears_in_a_modest_campaign() {
         let mut seen = std::collections::BTreeSet::new();
-        for i in 0..200 {
+        for i in 0..300 {
             seen.insert(generate(7, i).class());
         }
         for class in [
@@ -309,7 +391,24 @@ mod tests {
             "model_run",
             "cluster_scenario",
             "intra_layer_parallel",
+            "checkpoint_resume",
+            "shard_merge",
         ] {
+            assert!(seen.contains(class), "class {class} never generated");
+        }
+    }
+
+    #[test]
+    fn cheap_space_stays_cheap_and_covers_its_classes() {
+        let cheap = ["systolic_gemm", "flexible_gemm", "cache_replay", "pool"];
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let w = generate_cheap(11, i);
+            assert!(cheap.contains(&w.class()), "expensive class {:?}", w);
+            assert_eq!(w, generate_cheap(11, i), "cheap space deterministic");
+            seen.insert(w.class());
+        }
+        for class in cheap {
             assert!(seen.contains(class), "class {class} never generated");
         }
     }

@@ -18,7 +18,10 @@
 //! 3. **The `verify` bin** ([`report`]) — `cargo run -p stonne-verify --
 //!    --samples 200 --seed 7` runs a deterministic campaign and writes a
 //!    machine-readable `verify_report.json` that CI uploads and gates
-//!    on.
+//!    on. Campaigns shard across processes (`--shard i/n`, then
+//!    `verify merge`) and the merged report is byte-identical to the
+//!    single-process one — a guarantee the `shard_merge_bitwise` fuzz
+//!    oracle itself enforces continuously.
 //!
 //! The divergence thresholds every consumer asserts live in
 //! [`tolerance`]; `docs/VALIDATION.md` documents the full oracle matrix.
@@ -33,10 +36,10 @@ pub mod report;
 pub mod shrink;
 pub mod tolerance;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{merge_shards, run_campaign, run_shard, CampaignConfig, SampleSpace};
 pub use gen::Workload;
 pub use oracle::{check_workload, OracleOutcome, SampleCheck, ORACLES};
-pub use report::VerifyReport;
+pub use report::{ShardReport, VerifyReport};
 pub use tolerance::{
     MAERI_FULL_BW_AVG_MAX_PCT, MAERI_LOW_BW_EXCESS_MIN_PCT, MAERI_LOW_BW_WORST_MIN_PCT,
     SIGMA_DENSE_AVG_MAX_PCT, SIGMA_SPARSE90_MIN_PCT, SYSTOLIC_VS_SCALESIM_MAX_PCT,

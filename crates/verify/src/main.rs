@@ -5,29 +5,52 @@
 //! cargo run --release -p stonne-verify -- --samples 200 --seed 7
 //! ```
 //!
-//! Exit status is non-zero when any oracle or campaign check fails. The
-//! report is byte-identical across re-runs with the same seed except for
-//! `wall_time_ms` (compare with `jq 'del(.wall_time_ms)'`).
+//! Campaigns shard across processes without losing the byte-identity
+//! guarantee: `--shard i/n` checks only the samples with
+//! `index % n == i` and writes a shard artifact, and `verify merge`
+//! recombines the artifacts into a report byte-identical to the
+//! single-process run (compare with `jq 'del(.wall_time_ms)'`):
+//!
+//! ```text
+//! verify --samples 2000 --seed 7 --shard 0/4 --out shard0.json
+//! ...
+//! verify merge --out verify_report.json shard0.json ... shard3.json
+//! ```
+//!
+//! Exit status is non-zero when any oracle or campaign check fails.
 
 use std::process::ExitCode;
 
-use stonne_verify::{run_campaign, CampaignConfig};
+use stonne_verify::campaign::{merge_shards, run_shard, SampleSpace};
+use stonne_verify::report::ShardReport;
+use stonne_verify::{run_campaign, CampaignConfig, VerifyReport};
 
 struct Args {
     samples: u64,
     seed: u64,
     out: String,
     shrink: bool,
+    shard: Option<(u64, u64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: verify [--samples N] [--seed S] [--out PATH] [--no-shrink]\n\
+        "usage: verify [--samples N] [--seed S] [--out PATH] [--no-shrink] [--shard I/N]\n\
+         \x20      verify merge [--out PATH] SHARD.json...\n\
          \n\
          Runs the differential fuzz campaign (default: 200 samples, seed 7)\n\
-         and writes the report to PATH (default: verify_report.json)."
+         and writes the report to PATH (default: verify_report.json).\n\
+         With --shard I/N only samples with index % N == I are checked and\n\
+         a shard artifact is written instead; `verify merge` recombines\n\
+         shard artifacts into the report the single-process run produces."
     );
     std::process::exit(2);
+}
+
+fn parse_shard(spec: &str) -> Option<(u64, u64)> {
+    let (i, n) = spec.split_once('/')?;
+    let (i, n) = (i.parse().ok()?, n.parse().ok()?);
+    (i < n).then_some((i, n))
 }
 
 fn parse_args() -> Args {
@@ -36,6 +59,7 @@ fn parse_args() -> Args {
         seed: 7,
         out: "verify_report.json".to_owned(),
         shrink: true,
+        shard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +80,14 @@ fn parse_args() -> Args {
                 args.out = it.next().unwrap_or_else(|| usage());
             }
             "--no-shrink" => args.shrink = false,
+            "--shard" => {
+                args.shard = Some(
+                    it.next()
+                        .as_deref()
+                        .and_then(parse_shard)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -63,8 +95,151 @@ fn parse_args() -> Args {
     args
 }
 
+/// Prints the human summary and returns the process exit code.
+fn report_verdict(report: &VerifyReport, out: &str) -> ExitCode {
+    for o in &report.oracles {
+        println!(
+            "  {:<32} runs {:>5}  failures {:>3}  worst divergence {:>8.2}%",
+            o.name,
+            o.runs,
+            o.failures,
+            o.worst_divergence_cpct as f64 / 100.0
+        );
+    }
+    for c in &report.campaign {
+        println!(
+            "  {:<32} over {:>4} samples: {:.2}% (limit {:.2}%) -> {}",
+            c.name,
+            c.samples,
+            c.value_cpct as f64 / 100.0,
+            c.limit_cpct as f64 / 100.0,
+            if c.pass { "pass" } else { "FAIL" }
+        );
+    }
+
+    if report.passed() {
+        println!("verify: PASS (report written to {out})");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "verify: FAIL — {} failing checks (report written to {out})",
+            report.total_failures
+        );
+        for f in &report.failures {
+            println!(
+                "\n--- reproducer for sample {} ({}) ---",
+                f.sample_index, f.oracle
+            );
+            println!("{}", f.repro_test);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_merge(mut argv: std::env::Args) -> ExitCode {
+    let mut out = "verify_report.json".to_owned();
+    let mut paths = Vec::new();
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--out" => out = argv.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            p => paths.push(p.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    let mut shards = Vec::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("verify: cannot read shard {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match ShardReport::from_json(&text) {
+            Ok(s) => shards.push(s),
+            Err(e) => {
+                eprintln!("verify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match merge_shards(&shards) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: merge failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("verify: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "verify: merged {} shards, {} samples, seed {}",
+        shards.len(),
+        report.samples,
+        report.seed
+    );
+    report_verdict(&report, &out)
+}
+
+fn run_one_shard(args: &Args, shard_index: u64, shard_count: u64) -> ExitCode {
+    let shard = run_shard(
+        CampaignConfig {
+            samples: args.samples,
+            seed: args.seed,
+            shrink: args.shrink,
+            space: SampleSpace::Full,
+        },
+        shard_index,
+        shard_count,
+    );
+    if let Err(e) = std::fs::write(&args.out, shard.to_json()) {
+        eprintln!("verify: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    let failures = shard.total_failures();
+    println!(
+        "verify: shard {shard_index}/{shard_count} of {} samples, seed {}, {} failures \
+         (artifact written to {})",
+        args.samples, args.seed, failures, args.out
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        for f in &shard.failure_records {
+            println!(
+                "\n--- reproducer for sample {} ({}) ---",
+                f.sample_index, f.oracle
+            );
+            println!("{}", f.repro_test);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    if let Some(first) = std::env::args().nth(1) {
+        if first == "merge" {
+            argv.next(); // the subcommand itself
+            return run_merge(argv);
+        }
+    }
+
     let args = parse_args();
+    if let Some((i, n)) = args.shard {
+        eprintln!(
+            "verify: shard {i}/{n} of a {} sample campaign, seed {}",
+            args.samples, args.seed
+        );
+        return run_one_shard(&args, i, n);
+    }
+
     eprintln!(
         "verify: campaign of {} samples, seed {}",
         args.samples, args.seed
@@ -73,6 +248,7 @@ fn main() -> ExitCode {
         samples: args.samples,
         seed: args.seed,
         shrink: args.shrink,
+        space: SampleSpace::Full,
     });
 
     if let Err(e) = std::fs::write(&args.out, report.to_json()) {
@@ -84,41 +260,5 @@ fn main() -> ExitCode {
         "verify: {} samples, seed {}, {} ms",
         report.samples, report.seed, report.wall_time_ms
     );
-    for o in &report.oracles {
-        println!(
-            "  {:<28} runs {:>5}  failures {:>3}  worst divergence {:>8.2}%",
-            o.name,
-            o.runs,
-            o.failures,
-            o.worst_divergence_cpct as f64 / 100.0
-        );
-    }
-    for c in &report.campaign {
-        println!(
-            "  {:<28} over {:>4} samples: {:.2}% (limit {:.2}%) -> {}",
-            c.name,
-            c.samples,
-            c.value_cpct as f64 / 100.0,
-            c.limit_cpct as f64 / 100.0,
-            if c.pass { "pass" } else { "FAIL" }
-        );
-    }
-
-    if report.passed() {
-        println!("verify: PASS (report written to {})", args.out);
-        ExitCode::SUCCESS
-    } else {
-        println!(
-            "verify: FAIL — {} failing checks (report written to {})",
-            report.total_failures, args.out
-        );
-        for f in &report.failures {
-            println!(
-                "\n--- reproducer for sample {} ({}) ---",
-                f.sample_index, f.oracle
-            );
-            println!("{}", f.repro_test);
-        }
-        ExitCode::FAILURE
-    }
+    report_verdict(&report, &args.out)
 }

@@ -201,6 +201,38 @@ pub fn candidates(w: &Workload) -> Vec<Workload> {
         }
         // A model run has no smaller version of itself.
         Workload::ModelRun { .. } => {}
+        Workload::CheckpointResume { model, arch, every } => {
+            // The model itself cannot shrink; the checkpoint cadence can.
+            if let Some(e) = halved(every, 1) {
+                out.push(Workload::CheckpointResume {
+                    model,
+                    arch,
+                    every: e,
+                });
+            }
+        }
+        Workload::ShardMerge {
+            samples,
+            seed_offset,
+            shards,
+        } => {
+            // Keep at least one sample per shard so every shard stays
+            // non-trivially populated while shrinking.
+            if let Some(v) = halved(samples as usize, shards as usize) {
+                out.push(Workload::ShardMerge {
+                    samples: v as u64,
+                    seed_offset,
+                    shards,
+                });
+            }
+            if let Some(v) = halved(shards as usize, 2) {
+                out.push(Workload::ShardMerge {
+                    samples,
+                    seed_offset,
+                    shards: v as u64,
+                });
+            }
+        }
         Workload::ClusterScenario {
             arch_a,
             arch_b,
@@ -257,27 +289,34 @@ fn still_fails(w: &Workload, seed: u64, oracle: &str) -> bool {
         .any(|o| o.oracle == oracle && !o.passed)
 }
 
-/// Shrinks a failing workload to a locally minimal one on which `oracle`
-/// still fails, returning it with the oracle's evidence there.
+/// Core greedy descent against an arbitrary failure predicate: returns
+/// a locally minimal workload on which `fails` still holds, or the
+/// input unchanged when it does not fail to begin with (the shrinker
+/// never invents failures).
 ///
-/// The input is returned unchanged when it does not actually fail (the
-/// shrinker never invents failures).
-pub fn shrink(w: &Workload, seed: u64, oracle: &str) -> (Workload, String) {
+/// The real campaign instantiates `fails` with "this oracle rejects the
+/// workload"; the self-check tests instantiate it with synthetic
+/// predicates per fuzz class to prove the descent preserves failure.
+pub fn shrink_with(w: &Workload, fails: impl Fn(&Workload) -> bool) -> Workload {
     let mut current = w.clone();
-    if !still_fails(&current, seed, oracle) {
-        return (current, String::new());
+    if !fails(&current) {
+        return current;
     }
     // Greedy descent; bounded to keep a pathological failure from
     // stalling the campaign.
     for _ in 0..64 {
-        let Some(next) = candidates(&current)
-            .into_iter()
-            .find(|c| still_fails(c, seed, oracle))
-        else {
+        let Some(next) = candidates(&current).into_iter().find(|c| fails(c)) else {
             break;
         };
         current = next;
     }
+    current
+}
+
+/// Shrinks a failing workload to a locally minimal one on which `oracle`
+/// still fails, returning it with the oracle's evidence there.
+pub fn shrink(w: &Workload, seed: u64, oracle: &str) -> (Workload, String) {
+    let current = shrink_with(w, |c| still_fails(c, seed, oracle));
     let detail = check_workload(&current, seed)
         .outcomes
         .into_iter()
@@ -331,6 +370,153 @@ mod tests {
         let (s, detail) = shrink(&w, 1, "systolic_exact_cycles");
         assert_eq!(s, w);
         assert!(detail.is_empty());
+    }
+
+    /// Satellite self-check: for every fuzz class, a shrunk reproducer
+    /// must still fail its originating predicate, and be locally minimal
+    /// (no one-step reduction of it fails). The synthetic predicates
+    /// stand in for failing oracles — every real oracle is green on the
+    /// engine, so this is the only way to exercise the descent.
+    #[test]
+    fn shrunk_reproducers_still_fail_and_are_locally_minimal() {
+        type Predicate = fn(&Workload) -> bool;
+        let starts: Vec<(Workload, Predicate)> = vec![
+            (
+                Workload::SystolicGemm {
+                    dim: 16,
+                    m: 48,
+                    n: 40,
+                    k: 64,
+                },
+                |w| matches!(w, Workload::SystolicGemm { k, .. } if *k >= 9),
+            ),
+            (
+                Workload::FlexibleGemm {
+                    ms: 128,
+                    m: 40,
+                    n: 32,
+                    k: 48,
+                },
+                |w| matches!(w, Workload::FlexibleGemm { ms, m, .. } if *ms >= 32 && *m >= 5),
+            ),
+            (
+                Workload::SparseSpmm {
+                    ms: 128,
+                    m: 30,
+                    n: 28,
+                    k: 56,
+                    sparsity_pct: 60,
+                },
+                |w| matches!(w, Workload::SparseSpmm { n, .. } if *n >= 7),
+            ),
+            (
+                Workload::SparseDenseEquiv {
+                    ms: 128,
+                    m: 30,
+                    n: 28,
+                    k: 40,
+                },
+                |w| matches!(w, Workload::SparseDenseEquiv { k, .. } if *k >= 10),
+            ),
+            (
+                Workload::CacheReplay {
+                    arch: 2,
+                    m: 30,
+                    n: 28,
+                    k: 40,
+                },
+                |w| matches!(w, Workload::CacheReplay { m, n, .. } if *m + *n >= 12),
+            ),
+            (
+                Workload::Pool {
+                    c: 8,
+                    hw: 15,
+                    window: 2,
+                    stride: 1,
+                },
+                |w| matches!(w, Workload::Pool { hw, .. } if *hw >= 5),
+            ),
+            (
+                Workload::IntraLayerParallel {
+                    ms: 64,
+                    m: 36,
+                    n: 24,
+                    k: 48,
+                    workers: 8,
+                },
+                |w| matches!(w, Workload::IntraLayerParallel { workers, .. } if *workers >= 3),
+            ),
+            (
+                Workload::ModelRun {
+                    model: stonne::models::ModelId::AlexNet,
+                    arch: 1,
+                },
+                |w| matches!(w, Workload::ModelRun { .. }),
+            ),
+            (
+                Workload::CheckpointResume {
+                    model: stonne::models::ModelId::Bert,
+                    arch: 2,
+                    every: 4,
+                },
+                |w| matches!(w, Workload::CheckpointResume { every, .. } if *every >= 2),
+            ),
+            (
+                Workload::ShardMerge {
+                    samples: 11,
+                    seed_offset: 3,
+                    shards: 4,
+                },
+                |w| matches!(w, Workload::ShardMerge { samples, .. } if *samples >= 5),
+            ),
+            (
+                Workload::ClusterScenario {
+                    arch_a: 2,
+                    arch_b: 0,
+                    model: 1,
+                    requests: 14,
+                    batch: 3,
+                    priority_policy: true,
+                    rate_deci: 20,
+                },
+                |w| matches!(w, Workload::ClusterScenario { requests, .. } if *requests >= 4),
+            ),
+        ];
+        let classes: std::collections::BTreeSet<&str> =
+            starts.iter().map(|(w, _)| w.class()).collect();
+        assert_eq!(classes.len(), starts.len(), "one start per fuzz class");
+        for (start, fails) in starts {
+            assert!(fails(&start), "predicate must fail the start: {start:?}");
+            let shrunk = shrink_with(&start, fails);
+            assert!(
+                fails(&shrunk),
+                "shrinking lost the failure: {start:?} -> {shrunk:?}"
+            );
+            assert!(
+                candidates(&shrunk).iter().all(|c| !fails(c)),
+                "not locally minimal: {shrunk:?}"
+            );
+        }
+    }
+
+    /// A predicate that never fails leaves the workload untouched, for
+    /// the new classes too.
+    #[test]
+    fn new_classes_pass_through_unchanged_when_green() {
+        for w in [
+            Workload::CheckpointResume {
+                model: stonne::models::ModelId::AlexNet,
+                arch: 0,
+                every: 3,
+            },
+            Workload::ShardMerge {
+                samples: 8,
+                seed_offset: 1,
+                shards: 2,
+            },
+        ] {
+            assert_eq!(shrink_with(&w, |_| false), w);
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Smoke-level fuzz campaign in the regular test suite: a small,
 //! fixed-seed slice of what CI's `verify` job runs at 200 samples (and
-//! the nightly schedule at 2000).
+//! the nightly schedule as a 4-shard matrix over 2000).
 
-use stonne_verify::{run_campaign, CampaignConfig, ORACLES};
+use stonne_verify::{
+    merge_shards, run_campaign, run_shard, CampaignConfig, SampleSpace, ShardReport, ORACLES,
+};
 
 #[test]
 fn fixed_seed_campaign_is_green() {
@@ -10,6 +12,7 @@ fn fixed_seed_campaign_is_green() {
         samples: 60,
         seed: 7,
         shrink: true,
+        space: SampleSpace::Full,
     });
     assert!(
         report.passed(),
@@ -42,6 +45,7 @@ fn report_is_byte_identical_minus_wall_time() {
         samples: 25,
         seed: 11,
         shrink: true,
+        space: SampleSpace::Full,
     };
     let a = run_campaign(cfg);
     let b = run_campaign(cfg);
@@ -54,9 +58,34 @@ fn report_round_trips_and_covers_the_roster() {
         samples: 10,
         seed: 5,
         shrink: false,
+        space: SampleSpace::Full,
     });
     let parsed: stonne_verify::VerifyReport =
         serde_json::from_str(&report.to_json()).expect("report parses back");
     assert_eq!(parsed, report);
     assert_eq!(report.oracles.len(), ORACLES.len());
+}
+
+/// The campaign-scale version of the shard/merge guarantee, over the
+/// full sample space with shrinking on — exactly the CLI protocol CI's
+/// nightly 4-shard matrix follows.
+#[test]
+fn four_shards_merge_byte_identical_to_the_monolithic_campaign() {
+    let cfg = CampaignConfig {
+        samples: 40,
+        seed: 7,
+        shrink: true,
+        space: SampleSpace::Full,
+    };
+    let mono = run_campaign(cfg);
+    let shards: Vec<ShardReport> = (0..4)
+        .map(|i| {
+            ShardReport::from_json(&run_shard(cfg, i, 4).to_json()).expect("artifact round-trips")
+        })
+        .collect();
+    let shard_runs: u64 = shards.iter().map(|s| s.runs.iter().sum::<u64>()).sum();
+    let mono_runs: u64 = mono.oracles.iter().map(|o| o.runs).sum();
+    assert_eq!(shard_runs, mono_runs, "shards partition the sample space");
+    let merged = merge_shards(&shards).expect("shards are consistent");
+    assert_eq!(merged.canonical_json(), mono.canonical_json());
 }

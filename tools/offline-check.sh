@@ -77,7 +77,22 @@ if [ "$1" = "ci" ]; then
     run cargo --offline test -q --workspace --no-fail-fast
     run cargo --offline test --release -p stonne-verify --test golden_fixtures
     run cargo --offline run --release -p stonne-verify -- --samples 200 --seed 7
+    # The nightly shard/merge protocol, at PR scale: two CLI shards of
+    # the seed-7 campaign must merge to the byte-identical report the
+    # single-process run above just wrote (minus wall_time_ms).
+    shard_dir=$(mktemp -d)
+    run cargo --offline run --release -p stonne-verify -- \
+        --samples 200 --seed 7 --shard 0/2 --out "$shard_dir/shard-0.json"
+    run cargo --offline run --release -p stonne-verify -- \
+        --samples 200 --seed 7 --shard 1/2 --out "$shard_dir/shard-1.json"
+    run cargo --offline run --release -p stonne-verify -- merge \
+        --out "$shard_dir/merged.json" "$shard_dir"/shard-*.json
+    jq 'del(.wall_time_ms)' verify_report.json >"$shard_dir/a.json"
+    jq 'del(.wall_time_ms)' "$shard_dir/merged.json" >"$shard_dir/b.json"
+    run diff -u "$shard_dir/a.json" "$shard_dir/b.json"
+    rm -rf "$shard_dir"
     run cargo --offline test --release -p stonne-serve --test server_roundtrip
+    run cargo --offline test --release -p stonne-serve --lib killed_server_resumes
     run cargo --offline test --release -p stonne-cluster
     exit 0
 fi
