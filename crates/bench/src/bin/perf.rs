@@ -21,7 +21,7 @@
 
 use std::process::ExitCode;
 use stonne_bench::perf::{
-    compare, merge_reports, run_basket, run_basket_shard, BenchReport, PerfConfig,
+    compare, merge_reports, parse_shard_spec, run_basket, run_basket_shard, BenchReport, PerfConfig,
 };
 
 fn run_merge(args: &[String]) -> ExitCode {
@@ -110,19 +110,13 @@ fn main() -> ExitCode {
     };
     let shard = match value_of("--shard") {
         None => None,
-        Some(spec) => {
-            let parsed = spec.split_once('/').and_then(|(i, n)| {
-                let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
-                (i < n).then_some((i, n))
-            });
-            match parsed {
-                Some(s) => Some(s),
-                None => {
-                    eprintln!("error: --shard needs I/N with I < N");
-                    return ExitCode::from(2);
-                }
+        Some(spec) => match parse_shard_spec(&spec) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
             }
-        }
+        },
     };
     let cfg = PerfConfig {
         reps,

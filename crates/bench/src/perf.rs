@@ -360,6 +360,35 @@ pub fn run_basket_shard(cfg: &PerfConfig, shard_index: usize, shard_count: usize
     )
 }
 
+/// Parses a `--shard I/N` spec, rejecting degenerate values with a
+/// human-readable message: `N` must be at least 1 and `I` must be a
+/// valid shard index (`I < N`).
+///
+/// # Errors
+///
+/// Returns a description of the problem when the spec is not of the
+/// form `I/N`, either side fails to parse, `N` is zero, or `I >= N`.
+pub fn parse_shard_spec(spec: &str) -> Result<(usize, usize), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects I/N (got {spec:?})"))?;
+    let index: usize = i
+        .parse()
+        .map_err(|_| format!("--shard index {i:?} is not a non-negative integer"))?;
+    let count: usize = n
+        .parse()
+        .map_err(|_| format!("--shard count {n:?} is not a non-negative integer"))?;
+    if count == 0 {
+        return Err("--shard count must be at least 1 (got 0)".to_owned());
+    }
+    if index >= count {
+        return Err(format!(
+            "--shard index {index} is out of range for {count} shard(s) (need I < N)"
+        ));
+    }
+    Ok((index, count))
+}
+
 /// Recombines shard reports into one report in canonical basket order.
 ///
 /// The merged report's [`BenchReport::canonical_json`] is byte-identical
@@ -438,6 +467,26 @@ pub fn compare(new: &BenchReport, old: &BenchReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_spec_parsing_rejects_degenerate_specs() {
+        assert_eq!(parse_shard_spec("0/1"), Ok((0, 1)));
+        assert_eq!(parse_shard_spec("3/4"), Ok((3, 4)));
+        for (spec, needle) in [
+            ("4/4", "out of range"),
+            ("9/2", "out of range"),
+            ("0/0", "at least 1"),
+            ("1/0", "at least 1"),
+            ("02", "expects I/N"),
+            ("", "expects I/N"),
+            ("a/4", "not a non-negative integer"),
+            ("1/b", "not a non-negative integer"),
+            ("-1/4", "not a non-negative integer"),
+        ] {
+            let err = parse_shard_spec(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec:?} -> {err:?}");
+        }
+    }
 
     #[test]
     fn quick_basket_round_trips_and_is_cycle_deterministic() {

@@ -69,6 +69,10 @@ fn usage() -> &'static str {
        --seed N                 RNG seed                  [default: 1]\n\
        --sim-cache on|off       layer-simulation memoization (model runs;\n\
                                 bitwise-identical results)  [default: on]\n\
+       --fidelity exact|fast    model/sweep runs: `fast` estimates cycles\n\
+                                with the committed predictor; sweeps then\n\
+                                re-score the Pareto frontier exactly\n\
+                                (see docs/PREDICT.md)    [default: exact]\n\
        --json                   print the JSON stats summary\n\
        --counters               print the counter file\n\
        --energy                 print the energy/area estimate\n\
@@ -324,10 +328,16 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         cfg.name
     );
     let trace_path = maybe_start_trace(args);
-    let options = match &sim_cache {
+    let mut options = match &sim_cache {
         Some(cache) => RunOptions::new().with_cache(cache.clone()),
         None => RunOptions::new().uncached(),
     };
+    if parse_fidelity_arg(args)? == "fast" {
+        options = options.with_predictor(stonne::predict::Model::committed());
+        eprintln!(
+            "fast fidelity: cycles are the committed predictor's estimates (docs/PREDICT.md)"
+        );
+    }
     let run = run_model_simulated_with(
         &model,
         &params,
@@ -366,6 +376,14 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         run.energy.rn_uj
     );
     Ok(())
+}
+
+/// Parses `--fidelity exact|fast` (the serve API's grammar), defaulting
+/// to exact.
+fn parse_fidelity_arg(args: &Args) -> Result<String, String> {
+    let fidelity = args.get_str("fidelity", "exact");
+    stonne_serve::parse_fidelity(&fidelity)?;
+    Ok(fidelity)
 }
 
 /// Parses the `--archs` / `--models` / `--sparsities` grid axes into a
@@ -408,6 +426,7 @@ fn build_sweep_request(args: &Args) -> Result<SweepRequest, String> {
         models,
         sparsities,
         seed: args.get_usize("seed", 1)? as u64,
+        fidelity: parse_fidelity_arg(args)?,
     })
 }
 

@@ -4,11 +4,15 @@
 use crate::cache::{CacheEntry, CacheKey, SimCache};
 use crate::config::{AcceleratorConfig, ConfigError, ControllerKind, DnKind};
 use crate::engine::flexible::{replay_dense, run_dense_with, DenseOperand};
-use crate::engine::sparse::{replay_spmm, run_spmm, NaturalOrder, RowSchedule, SparseRun};
+use crate::engine::sparse::{
+    dispatches_input_stationary, replay_spmm, run_spmm, NaturalOrder, RowSchedule, SparseRun,
+};
 use crate::engine::{conv_operand, pool, systolic};
 use crate::mapping::{LayerDims, Tile};
+use crate::predict::{predicted_stats, CyclePredictor, LayerFeatures};
 use crate::stats::SimStats;
 use crate::trace::{Component, Probe};
+use std::sync::Arc;
 use stonne_tensor::{
     col2im_output, gemm_reference, maxpool2d_reference, Conv2dGeom, CsrMatrix, Matrix, Tensor4,
 };
@@ -40,6 +44,7 @@ pub struct Stonne {
     config: AcceleratorConfig,
     history: Vec<SimStats>,
     cache: Option<SimCache>,
+    predictor: Option<Arc<dyn CyclePredictor>>,
     intra_workers: usize,
 }
 
@@ -55,6 +60,7 @@ impl Stonne {
             config,
             history: Vec::new(),
             cache: None,
+            predictor: None,
             intra_workers: 1,
         })
     }
@@ -80,6 +86,25 @@ impl Stonne {
     pub fn with_cache(mut self, cache: SimCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches a [`CyclePredictor`] (fast fidelity): engine invocations
+    /// are replaced by a learned cycle estimate over the operation's
+    /// [`LayerFeatures`]. Functional outputs come from the reference
+    /// kernels and DRAM stalls still apply; the stats invariants hold
+    /// (breakdown sums to `cycles`, `engine_invocations` is 0) but the
+    /// cycle counts are *approximations* — see `docs/PREDICT.md`. The
+    /// simulation cache is bypassed entirely: predicted results are
+    /// never memoized, so a cache attached alongside stays exact.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: Arc<dyn CyclePredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// The attached cycle predictor, if any (fast fidelity active).
+    pub fn predictor(&self) -> Option<&Arc<dyn CyclePredictor>> {
+        self.predictor.as_ref()
     }
 
     /// The attached simulation cache, if any.
@@ -153,6 +178,11 @@ impl Stonne {
     /// accumulation order (which equals the reference GEMM's — K is never
     /// tiled and each output accumulates k-ascending from zero).
     fn cached_systolic(&mut self, name: &str, a: &Matrix, b: &Matrix) -> (Matrix, SimStats) {
+        if let Some(p) = self.predictor.clone() {
+            let f = LayerFeatures::systolic(&self.config, a.rows(), b.cols(), a.cols());
+            let stats = predicted_stats(&self.config, name, p.predict_cycles(&f), f.macs);
+            return (gemm_reference(a, b), stats);
+        }
         let Some(cache) = self.cache.clone() else {
             let (out, mut stats) = systolic::run_gemm(&self.config, name, a, b);
             stats.engine_invocations = 1;
@@ -181,6 +211,13 @@ impl Stonne {
         operand: &DenseOperand,
     ) -> (Matrix, SimStats) {
         let workers = self.intra_workers;
+        if let Some(p) = self.predictor.clone() {
+            let f = LayerFeatures::dense(&self.config, layer, tile, operand);
+            let stats = predicted_stats(&self.config, name, p.predict_cycles(&f), f.macs);
+            // Replay in the engine's accumulation order, like a cache
+            // hit: fast and exact runs stay bitwise-identical.
+            return (replay_dense(&self.config, tile, operand), stats);
+        }
         let Some(cache) = self.cache.clone() else {
             let (out, mut stats) =
                 run_dense_with(&self.config, name, layer, tile, operand, workers);
@@ -209,6 +246,20 @@ impl Stonne {
         b: &Matrix,
         schedule: &dyn RowSchedule,
     ) -> SparseRun {
+        if let Some(p) = self.predictor.clone() {
+            let f = LayerFeatures::spmm(&self.config, a, b, schedule);
+            let stats = predicted_stats(&self.config, name, p.predict_cycles(&f), f.macs);
+            // Mirror the mapper's dataflow choice so the replayed output
+            // accumulates in the engine's order (bitwise-identical to an
+            // exact run), like a cache hit.
+            let is = dispatches_input_stationary(&self.config, a, b.cols(), schedule);
+            return SparseRun {
+                output: replay_spmm(&self.config, a, b, schedule, is),
+                stats,
+                iterations: Vec::new(),
+                input_stationary: is,
+            };
+        }
         let Some(cache) = self.cache.clone() else {
             let mut run = run_spmm(&self.config, name, a, b, schedule);
             run.stats.engine_invocations = 1;
@@ -245,6 +296,13 @@ impl Stonne {
         window: usize,
         stride: usize,
     ) -> (Tensor4, SimStats) {
+        if let Some(p) = self.predictor.clone() {
+            let f = LayerFeatures::pool(&self.config, input, window, stride);
+            // Pool performs comparisons, not MACs; the multiplier
+            // counter stays 0 like the engine's.
+            let stats = predicted_stats(&self.config, name, p.predict_cycles(&f), 0);
+            return (maxpool2d_reference(input, window, stride), stats);
+        }
         let Some(cache) = self.cache.clone() else {
             let (out, mut stats) = pool::run_maxpool(&self.config, name, input, window, stride);
             stats.engine_invocations = 1;
@@ -323,6 +381,9 @@ impl Stonne {
                     // Exploration probes bypass the cache: candidate tiles
                     // are evaluated once and must not pollute the store.
                     cache: None,
+                    // The predictor carries over: fast-fidelity instances
+                    // explore the tile space at predictor speed too.
+                    predictor: self.predictor.clone(),
                     intra_workers: self.intra_workers,
                 };
                 let (_, stats) = probe.run_gemm_tiled("tile-search", a, b, &tile);
@@ -950,6 +1011,93 @@ mod tests {
         assert_eq!(stats.engine_invocations, 1);
         assert_eq!(stats.sim_cache_hits, 3, "3 of 4 groups replay");
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Cycle-per-MAC toy predictor for the fast-fidelity tests.
+    #[derive(Debug)]
+    struct MacRate(u64);
+    impl crate::predict::CyclePredictor for MacRate {
+        fn predict_cycles(&self, f: &crate::predict::LayerFeatures) -> u64 {
+            f.macs / self.0 + 5
+        }
+    }
+
+    #[test]
+    fn predictor_bypasses_engine_and_cache_on_all_presets() {
+        use std::sync::Arc;
+        let mut rng = SeededRng::new(21);
+        let a = Matrix::random(10, 20, &mut rng);
+        let b = Matrix::random(20, 6, &mut rng);
+        let reference = gemm_reference(&a, &b);
+        for cfg in presets() {
+            let name = cfg.name.clone();
+            let cache = crate::cache::SimCache::new();
+            let mut sim = Stonne::new(cfg)
+                .unwrap()
+                .with_cache(cache.clone())
+                .with_predictor(Arc::new(MacRate(8)));
+            let (out, stats) = sim.run_gemm("fast", &a, &b);
+            assert_slices_close(out.as_slice(), reference.as_slice());
+            assert_eq!(stats.engine_invocations, 0, "{name}");
+            assert_eq!(stats.sim_cache_misses + stats.sim_cache_hits, 0, "{name}");
+            assert_eq!(cache.len(), 0, "{name}: predicted runs are not memoized");
+            assert_eq!(stats.breakdown.total(), stats.cycles, "{name}");
+            assert!(stats.cycles > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn predictor_covers_conv_pool_and_spmm() {
+        use std::sync::Arc;
+        let geom = Conv2dGeom::new(3, 5, 3, 3, 1, 1, 1);
+        let mut rng = SeededRng::new(22);
+        let input = Tensor4::random(1, 3, 6, 6, &mut rng);
+        let weights = Tensor4::random(5, 3, 3, 3, &mut rng);
+        let reference = conv2d_reference(&input, &weights, &geom);
+        for cfg in presets() {
+            let mut sim = Stonne::new(cfg)
+                .unwrap()
+                .with_predictor(Arc::new(MacRate(4)));
+            let (out, stats) = sim.run_conv("conv", &input, &weights, &geom, None);
+            assert_slices_close(out.as_slice(), reference.as_slice());
+            assert_eq!(stats.engine_invocations, 0);
+            let (pout, pstats) = sim.run_maxpool("pool", &input, 2, 2);
+            assert_eq!(pout.shape(), (1, 3, 3, 3));
+            assert_eq!(pstats.engine_invocations, 0);
+            assert_eq!(pstats.breakdown.total(), pstats.cycles);
+        }
+        let mut rng = SeededRng::new(23);
+        let a = CsrMatrix::from_dense(&Matrix::random(8, 8, &mut rng));
+        let b = Matrix::random(8, 4, &mut rng);
+        let mut sigma = Stonne::new(AcceleratorConfig::sigma_like(64, 64))
+            .unwrap()
+            .with_predictor(Arc::new(MacRate(4)));
+        let (out, stats) = sigma.run_spmm("spmm", &a, &b);
+        assert_slices_close(
+            out.as_slice(),
+            stonne_tensor::spmm_reference(&a, &b).as_slice(),
+        );
+        assert_eq!(stats.engine_invocations, 0);
+    }
+
+    #[test]
+    fn predictor_still_pays_dram_stalls() {
+        use std::sync::Arc;
+        let mut rng = SeededRng::new(24);
+        let a = Matrix::random(16, 16, &mut rng);
+        let b = Matrix::random(16, 16, &mut rng);
+        let mut slow = AcceleratorConfig::maeri_like(64, 64).with_dram_modeling(true);
+        slow.dram.bandwidth_gbps_per_channel = 0.5;
+        slow.dram.channels = 1;
+        let mut sim = Stonne::new(slow)
+            .unwrap()
+            .with_predictor(Arc::new(MacRate(64)));
+        let (_, stats) = sim.run_gemm("g", &a, &b);
+        assert!(
+            stats.dram_stall_cycles > 0,
+            "DRAM applies outside prediction"
+        );
+        assert_eq!(stats.breakdown.total(), stats.cycles);
     }
 
     #[test]

@@ -288,7 +288,7 @@ fn unique_inputs(
 /// Whether the address map is the identity permutation (the
 /// [`DenseOperand::from_gemm`] layout): every input element is a unique
 /// non-pad fetch, so window uniqueness needs no sorting.
-fn has_trivial_addrs(operand: &DenseOperand) -> bool {
+pub(crate) fn has_trivial_addrs(operand: &DenseOperand) -> bool {
     operand
         .addrs
         .iter()

@@ -179,6 +179,80 @@ fn pack_segments(
     iterations
 }
 
+/// Closed-form cycle count of the weight-stationary sparse run from the
+/// controller's packing metadata alone — the per-iteration walk of
+/// [`run_weight_stationary`] (stationary load, `n` uniform streaming
+/// steps, FAN drain) replayed without any functional compute. `None`
+/// when the mapping would take a path this mirror does not cover
+/// (activation-sparsity mode, the input-stationary GEMV path, or a
+/// cluster-incapable reduction network).
+///
+/// Mirrors the mapper's dataflow decision without running either
+/// engine: `true` when [`run_spmm`] would take the input-stationary
+/// GEMV path. The predictor fast path uses this to replay outputs in
+/// the accumulation order the engine would have produced.
+pub(crate) fn dispatches_input_stationary(
+    config: &AcceleratorConfig,
+    a: &CsrMatrix,
+    n: usize,
+    schedule: &dyn RowSchedule,
+) -> bool {
+    let row_nnz: Vec<usize> = (0..a.rows()).map(|r| a.row_nnz(r)).collect();
+    let order = schedule.order(&row_nnz);
+    estimate_input_stationary(config, &row_nnz, a.cols(), n)
+        < estimate_weight_stationary(config, &order, &row_nnz, n)
+}
+
+/// Feature extraction uses this as an exact analytical prior: it costs
+/// `O(nnz log nnz)` versus the engine's `O(nnz·n)`.
+pub(crate) fn ws_metadata_cycles(
+    config: &AcceleratorConfig,
+    a: &CsrMatrix,
+    n: usize,
+    schedule: &dyn RowSchedule,
+) -> Option<u64> {
+    if config.exploit_activation_sparsity {
+        return None;
+    }
+    let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
+    if !rn.supports_clusters() {
+        return None;
+    }
+    let m = a.rows();
+    let row_nnz: Vec<usize> = (0..m).map(|r| a.row_nnz(r)).collect();
+    let order = schedule.order(&row_nnz);
+    if estimate_input_stationary(config, &row_nnz, a.cols(), n)
+        < estimate_weight_stationary(config, &order, &row_nnz, n)
+    {
+        return None;
+    }
+    let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
+    let iterations = pack_segments(&order, &row_nnz, config.ms_size, schedule.allow_skip());
+    let mut cycles = 0u64;
+    let mut ks: Vec<usize> = Vec::new();
+    for segments in &iterations {
+        let occupied: usize = segments.iter().map(|s| s.len).sum();
+        cycles += dn.delivery_cycles(occupied).max(1);
+        ks.clear();
+        for s in segments {
+            ks.extend(
+                a.row_entries(s.row)
+                    .skip(s.start)
+                    .take(s.len)
+                    .map(|(k, _)| k),
+            );
+        }
+        ks.sort_unstable();
+        ks.dedup();
+        let collect = rn.collection_cycles(segments.len());
+        let step = dn.delivery_cycles(ks.len()).max(1).max(collect);
+        let max_cluster = segments.iter().map(|s| s.len).max().unwrap_or(1);
+        let drain = rn.reduce_uniform(max_cluster, segments.len()).latency + 1;
+        cycles += step * n as u64 + drain;
+    }
+    Some(cycles)
+}
+
 /// Runs `C = A_sparse (M×K) × B (K×N)` on the sparse composition.
 ///
 /// # Panics

@@ -9,6 +9,7 @@ use crate::params::ModelParams;
 use crate::value::Value;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use stonne_core::predict::CyclePredictor;
 use stonne_core::{
     AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimCache, SimStats, Stonne,
 };
@@ -104,6 +105,7 @@ pub struct RunOptions {
     intra_tiles: bool,
     checkpoint: Option<(usize, PathBuf)>,
     resume: Option<PathBuf>,
+    predictor: Option<Arc<dyn CyclePredictor>>,
 }
 
 impl Default for RunOptions {
@@ -114,6 +116,7 @@ impl Default for RunOptions {
             intra_tiles: false,
             checkpoint: None,
             resume: None,
+            predictor: None,
         }
     }
 }
@@ -194,6 +197,27 @@ impl RunOptions {
     pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
         self.resume = Some(dir.into());
         self
+    }
+
+    /// Runs every offloaded layer at fast fidelity: the predictor
+    /// estimates cycles instead of the cycle-level engines
+    /// (`stats.engine_invocations` stays 0), while layer outputs are
+    /// still computed exactly. Predicted stats are never memoized, so a
+    /// cache attached alongside keeps only exact entries.
+    ///
+    /// Checkpointed runs ([`RunOptions::checkpoint_every`] /
+    /// [`RunOptions::resume_from`]) ignore the predictor and stay exact:
+    /// a checkpoint's state hash certifies cycle-level simulation, and a
+    /// predicted prefix would make the resumed totals unverifiable.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: Arc<dyn CyclePredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// The attached cycle predictor, when fast fidelity is enabled.
+    pub fn predictor_handle(&self) -> Option<&Arc<dyn CyclePredictor>> {
+        self.predictor.as_ref()
     }
 
     /// The checkpoint cadence and directory, when enabled.
@@ -319,6 +343,9 @@ pub fn run_model_simulated_with(
     if let Some(cache) = options.cache {
         sim = sim.with_cache(cache);
     }
+    if let Some(predictor) = options.predictor {
+        sim = sim.with_predictor(predictor);
+    }
     let mut backend = SimBackend::new(sim).with_schedule(schedule);
     let outputs = execute_graph(model, params, input, &mut backend);
     let sim = backend.into_sim();
@@ -406,6 +433,7 @@ fn run_parallel_waves(
                 let config = config.clone();
                 let schedule = Arc::clone(&schedule);
                 let cache = options.cache.clone();
+                let predictor = options.predictor.clone();
                 let intra_workers = options.intra_worker_budget();
                 move || {
                     let mut sim = Stonne::new(config)
@@ -413,6 +441,9 @@ fn run_parallel_waves(
                         .with_intra_tiles(intra_workers);
                     if let Some(cache) = cache {
                         sim = sim.with_cache(cache);
+                    }
+                    if let Some(predictor) = predictor {
+                        sim = sim.with_predictor(predictor);
                     }
                     let mut backend = SimBackend::new(sim).with_schedule(schedule);
                     let out = execute_node(model, id, params, input, &ins, &mut backend);

@@ -1,0 +1,77 @@
+//! Fast-fidelity model runs: a [`CyclePredictor`] attached via
+//! [`RunOptions::with_predictor`] replaces every cycle-level engine
+//! invocation while layer outputs stay bitwise-exact, and the parallel
+//! dispatch path agrees with the sequential one.
+
+use std::sync::Arc;
+
+use stonne_core::predict::{CyclePredictor, LayerFeatures};
+use stonne_core::{AcceleratorConfig, NaturalOrder};
+use stonne_models::{zoo, ModelId, ModelScale};
+use stonne_nn::params::{generate_input, ModelParams};
+use stonne_nn::runner::{run_model_simulated_with, ModelRun, RunOptions};
+
+/// A deterministic toy predictor: one cycle per 8 MACs plus a constant.
+#[derive(Debug)]
+struct Flat;
+
+impl CyclePredictor for Flat {
+    fn predict_cycles(&self, f: &LayerFeatures) -> u64 {
+        f.macs / 8 + 5
+    }
+}
+
+fn run_bert(options: RunOptions) -> ModelRun {
+    let model = zoo::build(ModelId::Bert, ModelScale::Tiny);
+    let params = ModelParams::generate(&model, 17);
+    let input = generate_input(&model, 18);
+    run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        AcceleratorConfig::maeri_like(64, 16),
+        Arc::new(NaturalOrder),
+        options,
+    )
+    .expect("valid preset")
+}
+
+#[test]
+fn fast_run_skips_every_engine_invocation_but_keeps_exact_outputs() {
+    let exact = run_bert(RunOptions::new());
+    let fast = run_bert(RunOptions::new().with_predictor(Arc::new(Flat)));
+
+    assert_eq!(fast.total.engine_invocations, 0, "fast path fell through");
+    assert!(fast.total.cycles > 0);
+    assert_eq!(fast.layers.len(), exact.layers.len());
+    // Outputs are computed functionally, not predicted: bitwise equal.
+    assert_eq!(exact.outputs.len(), fast.outputs.len());
+    for (i, (a, b)) in exact.outputs.iter().zip(fast.outputs.iter()).enumerate() {
+        assert_eq!(a.as_slice(), b.as_slice(), "node {i} output drifted");
+    }
+    // Predicted stats are never memoized alongside exact cache entries.
+    assert_eq!(fast.total.sim_cache_inserts, 0);
+    assert_eq!(fast.total.sim_cache_hits, 0);
+}
+
+#[test]
+fn parallel_fast_run_matches_the_sequential_fast_run() {
+    let sequential = run_bert(RunOptions::new().with_predictor(Arc::new(Flat)));
+    let parallel = run_bert(RunOptions::new().with_predictor(Arc::new(Flat)).parallel());
+
+    assert_eq!(parallel.total.engine_invocations, 0);
+    assert_eq!(sequential.layers.len(), parallel.layers.len());
+    for (a, b) in sequential.layers.iter().zip(parallel.layers.iter()) {
+        assert_eq!(a.name, b.name, "layer order");
+        assert_eq!(a.stats, b.stats, "layer `{}` stats", a.name);
+    }
+    assert_eq!(sequential.total, parallel.total, "aggregate stats");
+    for (i, (a, b)) in sequential
+        .outputs
+        .iter()
+        .zip(parallel.outputs.iter())
+        .enumerate()
+    {
+        assert_eq!(a.as_slice(), b.as_slice(), "node {i} output drifted");
+    }
+}

@@ -1,0 +1,84 @@
+//! Trains the cycle predictor and writes the model + error-report
+//! artifacts — the command behind the CI `predict` job and
+//! `tools/offline-check.sh predict`.
+//!
+//! ```text
+//! train [--samples N] [--seed S] [--rounds R]
+//!       [--out PATH] [--report PATH]
+//! ```
+//!
+//! Defaults are the committed campaign (`TrainConfig::committed()`), so
+//! a bare `cargo run -p stonne-predict --bin train` reproduces
+//! `results/PREDICT_model.json` and `results/PREDICT_report.json`
+//! byte-for-byte. Exits non-zero when any workload class misses its
+//! held-out error bound, which is what gates merges.
+
+use stonne_predict::{train, TrainConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: train [--samples N] [--seed S] [--rounds R] \
+         [--out PATH] [--report PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = TrainConfig::committed();
+    let mut out = String::from("results/PREDICT_model.json");
+    let mut report_out = String::from("results/PREDICT_report.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| usage_msg(name));
+        match arg.as_str() {
+            "--samples" => cfg.samples = parse(&value("--samples")),
+            "--seed" => cfg.seed = parse(&value("--seed")),
+            "--rounds" => cfg.rounds = parse(&value("--rounds")),
+            "--out" => out = value("--out"),
+            "--report" => report_out = value("--report"),
+            _ => usage(),
+        }
+    }
+
+    let (model, report) = train(&cfg);
+    std::fs::write(&out, model.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    // The report is written canonically (wall time zeroed) so re-runs
+    // byte-diff clean without any jq postprocessing.
+    std::fs::write(&report_out, report.canonical_json())
+        .unwrap_or_else(|e| panic!("writing {report_out}: {e}"));
+
+    println!(
+        "trained {} stumps on {} samples ({} held out), wrote {out} and {report_out}",
+        model.stumps.len(),
+        report.train_count,
+        report.holdout_count
+    );
+    for c in &report.classes {
+        println!(
+            "  {:<10} n={:<3} median {:>5}cpct  p90 {:>5}cpct  max {:>6}cpct  bound {}cpct  {}",
+            c.name,
+            c.count,
+            c.median_err_cpct,
+            c.p90_err_cpct,
+            c.max_err_cpct,
+            c.bound_cpct,
+            if c.pass { "ok" } else { "FAIL" }
+        );
+    }
+    if !report.pass {
+        eprintln!("error: a workload class missed its held-out error bound");
+        std::process::exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: cannot parse {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn usage_msg(name: &str) -> ! {
+    eprintln!("error: {name} needs a value");
+    usage()
+}

@@ -1,0 +1,374 @@
+//! Feature-vector expansion and analytical cycle priors.
+//!
+//! The regressor does not learn absolute cycle counts: it learns the
+//! *log-residual* between the exact engine and a cheap analytical prior
+//! (`crates/analytical` — the SCALE-Sim, MAERI and SIGMA first-order
+//! models the repo already validates against the engines). The prior
+//! carries the bulk of the magnitude across many orders of magnitude of
+//! layer sizes; the boosted stumps only bend it where the cycle-level
+//! engines disagree with the first-order model (delivery conflicts,
+//! drain phases, tile quantization).
+
+use crate::math::det_ln;
+use stonne_analytical::maeri::MaeriWorkload;
+use stonne_analytical::{maeri_cycles, scalesim_os_cycles, sigma_cycles_uniform};
+use stonne_core::predict::{EngineKind, LayerFeatures};
+use stonne_core::Dataflow;
+
+/// Length of the expanded feature vector. Bump the model schema when
+/// this (or the layout of [`expand`]) changes.
+pub const FEATURE_LEN: usize = 31;
+
+/// Workload-class names, index-aligned with the engine one-hots at the
+/// head of the feature vector.
+pub const CLASSES: [&str; 4] = ["systolic", "flexible", "sparse", "pool"];
+
+/// Number of stump-scoping segments: each workload class splits into a
+/// *mirrored* segment (the analytical prior replays the engine's walk
+/// exactly, nothing to learn) and a *learner* segment (the prior is
+/// first-order, the boosted stumps carry the correction). Scoping stumps
+/// this finely keeps learner corrections from bleeding into predictions
+/// the prior already gets exactly right.
+pub const SEGMENTS: usize = CLASSES.len() * 2;
+
+/// Names of the expanded features, index-aligned with [`expand`]
+/// (documentation and error-analysis aid; the model stores indices).
+pub const FEATURE_NAMES: [&str; FEATURE_LEN] = [
+    "is_systolic",
+    "is_flexible_dense",
+    "is_sparse",
+    "is_pool",
+    "is_weight_stationary",
+    "is_output_stationary",
+    "is_input_stationary",
+    "ln_ms_size",
+    "ln_dn_bandwidth",
+    "ln_rn_bandwidth",
+    "ln_m",
+    "ln_n",
+    "ln_k",
+    "ln_macs",
+    "ln_cluster_size",
+    "ln_num_clusters",
+    "ln_folds",
+    "density",
+    "ln_nnz",
+    "row_imbalance",
+    "empty_row_frac",
+    "window",
+    "stride",
+    "ln_prior",
+    "ln_macs_per_ms",
+    "ln_outputs",
+    "ln_macs_per_dn_bw",
+    "ln_k_per_cluster",
+    "ln_dn_bw_per_cluster",
+    "ln_prior_minus_ln_macs",
+    "prior_mirrored",
+];
+
+fn ln1(v: u64) -> f64 {
+    det_ln(v as f64 + 1.0)
+}
+
+/// Expands a [`LayerFeatures`] record into the fixed-length numeric
+/// vector the stumps split on. Deterministic: pure IEEE arithmetic and
+/// [`det_ln`].
+pub fn expand(f: &LayerFeatures) -> [f64; FEATURE_LEN] {
+    let one_hot = |b: bool| if b { 1.0 } else { 0.0 };
+    let dense_cells = (f.m as u64).saturating_mul(f.k as u64);
+    let density = if f.engine == EngineKind::Sparse && dense_cells > 0 {
+        f.nnz as f64 / dense_cells as f64
+    } else {
+        1.0
+    };
+    let avg_row = if f.m > 0 {
+        f.nnz as f64 / f.m as f64
+    } else {
+        0.0
+    };
+    let imbalance = (f.row_nnz_max as f64 - f.row_nnz_min as f64) / (avg_row + 1.0);
+    let empty_frac = if f.m > 0 {
+        f.empty_rows as f64 / f.m as f64
+    } else {
+        0.0
+    };
+    [
+        one_hot(f.engine == EngineKind::Systolic),
+        one_hot(f.engine == EngineKind::FlexibleDense),
+        one_hot(f.engine == EngineKind::Sparse),
+        one_hot(f.engine == EngineKind::Pool),
+        one_hot(f.dataflow == Dataflow::WeightStationary),
+        one_hot(f.dataflow == Dataflow::OutputStationary),
+        one_hot(f.dataflow == Dataflow::InputStationary),
+        ln1(f.ms_size as u64),
+        ln1(f.dn_bandwidth as u64),
+        ln1(f.rn_bandwidth as u64),
+        ln1(f.m as u64),
+        ln1(f.n as u64),
+        ln1(f.k as u64),
+        ln1(f.macs),
+        ln1(f.cluster_size as u64),
+        ln1(f.num_clusters as u64),
+        ln1(f.folds as u64),
+        density,
+        ln1(f.nnz),
+        imbalance,
+        empty_frac,
+        f.window as f64,
+        f.stride as f64,
+        ln1(prior_cycles(f)),
+        ln1(f.macs / (f.ms_size as u64).max(1)),
+        ln1((f.m as u64).saturating_mul(f.n as u64)),
+        // Ratio features: stumps cannot combine coordinates, so the
+        // multiplicative interactions that drive delivery- and
+        // reduction-bound regimes are spelled out as log-ratios.
+        ln1(f.macs / (f.dn_bandwidth as u64).max(1)),
+        ln1((f.k / f.cluster_size.max(1)) as u64),
+        ln1((f.dn_bandwidth / f.num_clusters.max(1)) as u64),
+        ln1(prior_cycles(f)) - ln1(f.macs),
+        one_hot(prior_mirrored(f)),
+    ]
+}
+
+/// Whether [`prior_cycles`] replays the engine's exact cycle walk for
+/// this record (as opposed to a first-order analytical estimate). True
+/// for the systolic and pool closed forms, the weight-stationary
+/// flexible walk when the record carries a tile shape, and the sparse
+/// packing-metadata mirror when feature extraction could compute it.
+pub fn prior_mirrored(f: &LayerFeatures) -> bool {
+    match f.engine {
+        EngineKind::Systolic | EngineKind::Pool => true,
+        EngineKind::FlexibleDense => {
+            f.dataflow == Dataflow::WeightStationary && f.t_k > 0 && f.t_pos > 0 && f.trivial_addrs
+        }
+        EngineKind::Sparse => f.sparse_meta_cycles > 0,
+    }
+}
+
+/// Index of the workload class (into [`CLASSES`]) an expanded vector
+/// belongs to, read off the engine one-hots.
+pub fn class_index(x: &[f64; FEATURE_LEN]) -> usize {
+    x[..CLASSES.len()]
+        .iter()
+        .position(|&v| v == 1.0)
+        .unwrap_or(0)
+}
+
+/// Index of the stump-scoping segment (into `0..`[`SEGMENTS`]) an
+/// expanded vector belongs to: the class index, doubled, plus one for
+/// the learner (non-mirrored-prior) half.
+pub fn segment_index(x: &[f64; FEATURE_LEN]) -> usize {
+    class_index(x) * 2 + usize::from(x[FEATURE_LEN - 1] != 1.0)
+}
+
+/// First-order analytical cycle estimate for a layer, from the models in
+/// `crates/analytical`. Always ≥ 1.
+pub fn prior_cycles(f: &LayerFeatures) -> u64 {
+    let (m, n, k) = (f.m.max(1), f.n.max(1), f.k.max(1));
+    let prior = match f.engine {
+        EngineKind::Systolic => {
+            // The systolic engine is the analytical pipeline model plus a
+            // fixed 4-cycle control overhead per output tile.
+            let pe = f.cluster_size.max(1);
+            scalesim_os_cycles(pe, m, n, k) + 4 * f.folds as u64
+        }
+        EngineKind::FlexibleDense => flexible_ws_prior(f),
+        // The exact packing-metadata mirror when feature extraction could
+        // compute it; the first-order uniform SIGMA model otherwise
+        // (activation-sparsity mode, input-stationary GEMV dispatch).
+        EngineKind::Sparse if f.sparse_meta_cycles > 0 => f.sparse_meta_cycles,
+        EngineKind::Sparse => {
+            sigma_cycles_uniform(m, n, k, f.nnz, f.ms_size.max(1), f.dn_bandwidth.max(1))
+        }
+        EngineKind::Pool => {
+            // Mirror of the streaming pool engine's closed form: windows
+            // stream `ms/window²` at a time, each wave pays the max of
+            // delivery and collection, plus one tree-drain.
+            let window_elems = k as u64;
+            let num_windows = (m as u64).saturating_mul(n as u64);
+            let per_wave = (f.ms_size as u64 / window_elems.max(1)).max(1);
+            let waves = num_windows.div_ceil(per_wave);
+            let deliver = (per_wave * window_elems)
+                .div_ceil(f.dn_bandwidth.max(1) as u64)
+                .max(1);
+            let collect = per_wave.div_ceil(f.rn_bandwidth.max(1) as u64);
+            let drain = ceil_log2(window_elems) + 1;
+            deliver.max(collect) * waves + drain
+        }
+    };
+    prior.max(1)
+}
+
+/// `ceil(log2(x))` for `x ≥ 1` (0 for `x ≤ 1`) — the pipeline depth of a
+/// tree network over `x` leaves.
+fn ceil_log2(x: u64) -> u64 {
+    u64::from(x.max(1).next_power_of_two().trailing_zeros())
+}
+
+/// Closed-form mirror of the weight-stationary flexible engine's serial
+/// cycle walk for plain-GEMM operands.
+///
+/// Replays the engine's exact loop structure arithmetically — position
+/// chunking against the output-row length, accumulator-capacity blocking
+/// (with psum spill when the working set exceeds the RN accumulators),
+/// per-(block, fold) stationary weight reloads, and the per-step max of
+/// delivery and collection — assuming every streamed input element is a
+/// unique fetch. That assumption is exact for GEMM operands
+/// (`DenseOperand::from_gemm`); convolution operands reuse overlapping
+/// inputs and deliver fewer uniques, which the boosted stumps correct.
+/// Falls back to the first-order MAERI model when the record carries no
+/// tile shape.
+fn flexible_ws_prior(f: &LayerFeatures) -> u64 {
+    let (m, n, k_len) = (f.m.max(1), f.n.max(1), f.k.max(1));
+    if f.t_k == 0 || f.t_pos == 0 {
+        let w = MaeriWorkload::from_gemm(m, n, k_len, f.ms_size.max(1));
+        return maeri_cycles(&w, f.dn_bandwidth.max(1));
+    }
+    let cluster = f.cluster_size.max(1);
+    let (t_k, t_pos) = (f.t_k, f.t_pos);
+    let dn_bw = f.dn_bandwidth.max(1) as u64;
+    let rn_bw = f.rn_bandwidth.max(1) as u64;
+    let folds = k_len.div_ceil(cluster);
+
+    // Position-chunk sizes and multiplicities, mirroring
+    // `position_chunks`: at most three distinct sizes (full chunks, the
+    // tail of a full output row, the tail of the last partial row).
+    let row_len = f.yp.max(1);
+    let mut chunks: Vec<(usize, u64)> = Vec::new();
+    if t_pos >= row_len {
+        let size = (t_pos / row_len).max(1) * row_len;
+        if n / size > 0 {
+            chunks.push((size, (n / size) as u64));
+        }
+        if n % size > 0 {
+            chunks.push((n % size, 1));
+        }
+    } else {
+        let full_rows = (n / row_len) as u64;
+        let row_tail = n % row_len;
+        let per_row = (row_len / t_pos) as u64;
+        let full = full_rows * per_row + (row_tail / t_pos) as u64;
+        if full > 0 {
+            chunks.push((t_pos, full));
+        }
+        if row_len % t_pos > 0 && full_rows > 0 {
+            chunks.push((row_len % t_pos, full_rows));
+        }
+        if row_tail % t_pos > 0 {
+            chunks.push((row_tail % t_pos, 1));
+        }
+    }
+    let p: u64 = chunks.iter().map(|&(_, c)| c).sum::<u64>().max(1);
+
+    // Accumulator-capacity blocking and psum spill, as the engine decides
+    // them from the tile working set.
+    let acc_capacity = if f.rn_accumulators { f.ms_size } else { 0 };
+    let spill = t_k * t_pos > acc_capacity;
+    let block = if spill {
+        p
+    } else {
+        (((acc_capacity / t_k).max(t_pos) / t_pos) as u64).max(1)
+    };
+    let blocks = p.div_ceil(block);
+
+    let chunk_cycles = |cf: usize| -> u64 {
+        let mut cycles = 0u64;
+        for fold in 0..folds {
+            let last = fold + 1 == folds;
+            let fr = if last {
+                k_len - fold * cluster
+            } else {
+                cluster
+            };
+            // Stationary weight (re)load, once per (block, fold).
+            cycles += blocks * ((cf * fr) as u64).div_ceil(dn_bw).max(1);
+            for &(size, count) in &chunks {
+                let psums = (cf * size) as u64;
+                let mut needed = (fr * size) as u64;
+                if spill && fold > 0 {
+                    needed += psums;
+                }
+                let mut step = needed.div_ceil(dn_bw).max(1);
+                if last || spill {
+                    step = step.max(psums.div_ceil(rn_bw));
+                }
+                cycles += step * count;
+            }
+        }
+        // Reduction-tree pipeline drain per filter chunk.
+        cycles + ceil_log2(cluster as u64) + 1
+    };
+
+    let full_chunks = (m / t_k) as u64;
+    let mut total = full_chunks * chunk_cycles(t_k);
+    if m % t_k > 0 {
+        total += chunk_cycles(m % t_k);
+    }
+    total
+}
+
+/// The workload-class label a feature record reports under (the error
+/// bounds of the training report are tracked per class).
+pub fn class_name(f: &LayerFeatures) -> &'static str {
+    match f.engine {
+        EngineKind::Systolic => "systolic",
+        EngineKind::FlexibleDense => "flexible",
+        EngineKind::Sparse => "sparse",
+        EngineKind::Pool => "pool",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stonne_core::{gemm_features, AcceleratorConfig, Stonne};
+    use stonne_tensor::{Matrix, SeededRng};
+
+    #[test]
+    fn expansion_is_finite_and_fixed_length() {
+        let mut rng = SeededRng::new(5);
+        let a = Matrix::random(24, 48, &mut rng);
+        let b = Matrix::random(48, 12, &mut rng);
+        for cfg in [
+            AcceleratorConfig::tpu_like(8),
+            AcceleratorConfig::maeri_like(64, 16),
+            AcceleratorConfig::sigma_like(64, 64),
+        ] {
+            let f = gemm_features(&cfg, &a, &b);
+            let x = expand(&f);
+            assert_eq!(x.len(), FEATURE_LEN);
+            assert!(x.iter().all(|v| v.is_finite()), "{cfg:?}");
+            assert!(prior_cycles(&f) >= 1);
+        }
+    }
+
+    #[test]
+    fn priors_land_within_an_order_of_magnitude_of_the_engine() {
+        let mut rng = SeededRng::new(6);
+        let a = Matrix::random(32, 64, &mut rng);
+        let b = Matrix::random(64, 16, &mut rng);
+        for cfg in [
+            AcceleratorConfig::tpu_like(8),
+            AcceleratorConfig::maeri_like(64, 16),
+            AcceleratorConfig::sigma_like(64, 64),
+        ] {
+            let f = gemm_features(&cfg, &a, &b);
+            let prior = prior_cycles(&f) as f64;
+            let mut sim = Stonne::new(cfg.clone()).unwrap();
+            let (_, stats) = sim.run_gemm("g", &a, &b);
+            let exact = stats.cycles as f64;
+            let ratio = if prior > exact {
+                prior / exact
+            } else {
+                exact / prior
+            };
+            assert!(ratio < 10.0, "{}: prior {prior} vs exact {exact}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn feature_names_cover_the_vector() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_LEN);
+    }
+}

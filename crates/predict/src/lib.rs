@@ -1,0 +1,61 @@
+//! `stonne-predict`: a learned per-layer cycle predictor distilled from
+//! the cycle-level engines.
+//!
+//! Cycle-level fidelity is STONNE's value and its bottleneck: an
+//! uncached full-model run costs hundreds of milliseconds, which puts
+//! million-point design-space grids out of reach. Following the
+//! NeuroScalar observation that a cheap model distilled from cycle-level
+//! traces can stand in for the simulator — and the SCALE-Sim caveat
+//! that fast models are only trustworthy when validated against the
+//! detailed reference — this crate trains a small gradient-boosted-
+//! stumps regressor over *log*-cycles, using the engines themselves as
+//! the labeling oracle and `crates/analytical` as the priors it
+//! corrects.
+//!
+//! The contract, enforced by CI on every merge:
+//!
+//! * **Accuracy** — on a held-out fixed-seed sample set, median absolute
+//!   error ≤ 10% of exact cycles per workload class (the committed
+//!   [`ErrorReport`] records the achieved bounds).
+//! * **Determinism** — training is byte-deterministic: a fixed seed
+//!   yields a byte-identical `stonne-predict-model/1` artifact and
+//!   error report on every platform (pure-IEEE [`math`], no threads, no
+//!   hash-map iteration).
+//! * **Speed** — prediction is a feature expansion plus a few hundred
+//!   stump lookups: ≥ 100× faster than the uncached engine.
+//!
+//! The committed model ships in-repo (`results/PREDICT_model.json`,
+//! next to `results/BENCH_baseline.json`) and is what `--fidelity fast`
+//! runs; see `docs/PREDICT.md` for the feature schema, the artifact
+//! format and when *not* to trust fast mode.
+//!
+//! ```
+//! use stonne_core::{AcceleratorConfig, Stonne};
+//! use stonne_predict::Model;
+//! use stonne_tensor::{Matrix, SeededRng};
+//!
+//! let mut rng = SeededRng::new(1);
+//! let a = Matrix::random(32, 64, &mut rng);
+//! let b = Matrix::random(64, 16, &mut rng);
+//! let mut fast = Stonne::new(AcceleratorConfig::maeri_like(64, 16))
+//!     .unwrap()
+//!     .with_predictor(Model::committed());
+//! let (_, stats) = fast.run_gemm("g", &a, &b);
+//! assert_eq!(stats.engine_invocations, 0, "no cycle-level simulation");
+//! assert!(stats.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod math;
+pub mod model;
+pub mod train;
+
+pub use features::{
+    class_index, class_name, expand, prior_cycles, prior_mirrored, segment_index, CLASSES,
+    FEATURE_LEN, FEATURE_NAMES, SEGMENTS,
+};
+pub use math::{det_exp, det_ln};
+pub use model::{Model, Stump, MODEL_SCHEMA};
+pub use train::{train, ClassError, ErrorReport, TrainConfig, REPORT_SCHEMA};

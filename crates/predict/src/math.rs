@@ -1,0 +1,173 @@
+//! Bit-reproducible `ln`/`exp`.
+//!
+//! The predictor regresses *log*-cycles, and its training campaign and
+//! error report are byte-diffed across platforms in CI (x86-64 vs
+//! aarch64). `f64::ln`/`f64::exp` route to the platform libm, whose
+//! last-bit rounding differs between implementations — enough to flip
+//! a stump threshold and produce a different model on a different host.
+//! These replacements use only IEEE-754 `+ - * /` (correctly rounded on
+//! every conforming platform, and not subject to FMA contraction at the
+//! default `codegen-units`/opt settings Rust guarantees for explicit
+//! operations), so the same input bits give the same output bits
+//! everywhere.
+//!
+//! Accuracy is within a few ULP of libm over the predictor's working
+//! range (`ln` on [1, 2^63], `exp` on [-50, 50]) — plenty for a model
+//! whose error bound is percent-scale — and it is *consistency* across
+//! platforms, not agreement with libm, that the determinism contract
+//! needs.
+
+/// ln(2) split into a high part exact in 32 bits and the residual, so
+/// `k·LN2` subtracts exactly for moderate `k` (classic Cody–Waite).
+/// The literals keep the full decimal expansions of the intended bit
+/// patterns (they are the musl constants); truncating them would hide
+/// which exact values the split must reproduce.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f64 = 0.693_147_180_369_123_816_49;
+#[allow(clippy::excessive_precision)]
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+/// √2, the mantissa-range pivot for `det_ln`.
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// Deterministic natural logarithm.
+///
+/// Returns NaN for negative inputs, negative infinity at 0, and the
+/// input itself for NaN/+∞ — mirroring `f64::ln`.
+pub fn det_ln(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    // Normalize subnormals so the exponent extraction below is exact.
+    let (x, subnormal_shift) = if x < f64::MIN_POSITIVE {
+        (x * f64::from_bits(0x4330_0000_0000_0000), -52i64) // 2^52
+    } else {
+        (x, 0)
+    };
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023 + subnormal_shift;
+    // Mantissa in [1, 2).
+    let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    // Re-center to [√2/2, √2) so |z| stays ≤ √2−1 ≈ 0.1716 below.
+    if m > SQRT2 {
+        m *= 0.5;
+        e += 1;
+    }
+    // ln(m) = 2·atanh(z) with z = (m−1)/(m+1); |z| ≤ 0.172 so the odd
+    // series converges a digit per term pair — 13 terms reach 1e-19.
+    let z = (m - 1.0) / (m + 1.0);
+    let z2 = z * z;
+    let mut series = 0.0;
+    let mut zpow = 1.0; // z^(2i)
+    let mut denom = 1.0;
+    for _ in 0..13 {
+        series += zpow / denom;
+        zpow *= z2;
+        denom += 2.0;
+    }
+    let ln_m = 2.0 * z * series;
+    let k = e as f64;
+    k * LN2_HI + (k * LN2_LO + ln_m)
+}
+
+/// Deterministic natural exponential.
+///
+/// Saturates to +∞ / 0 outside the finite range, mirroring `f64::exp`.
+pub fn det_exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    if x > 709.8 {
+        return f64::INFINITY;
+    }
+    if x < -745.2 {
+        return 0.0;
+    }
+    // Range-reduce: x = k·ln2 + r with |r| ≤ ln2/2.
+    let k = (x * std::f64::consts::LOG2_E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // exp(r) by Taylor; |r| ≤ 0.347 so 17 terms overshoot double
+    // precision. Terms are accumulated smallest-last-free order: a plain
+    // ascending sum is fully determined by IEEE rounding either way.
+    let mut sum = 1.0;
+    let mut term = 1.0;
+    for i in 1..18 {
+        term = term * r / i as f64;
+        sum += term;
+    }
+    scalb(sum, k as i64)
+}
+
+/// `x · 2^k` via exponent arithmetic (two steps to survive the
+/// subnormal/overflow edges without rounding twice in the common case).
+fn scalb(x: f64, k: i64) -> f64 {
+    let pow2 = |k: i64| f64::from_bits(((k + 1023) as u64) << 52);
+    if (-1022..=1023).contains(&k) {
+        return x * pow2(k);
+    }
+    let half = k / 2;
+    x * pow2(half) * pow2(k - half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_tracks_libm_over_the_working_range() {
+        let mut x = 1e-3;
+        while x < 1e19 {
+            let got = det_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-14,
+                "ln({x}): {got} vs {want}"
+            );
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn exp_tracks_libm_over_the_working_range() {
+        let mut x = -50.0;
+        while x < 50.0 {
+            let got = det_exp(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-14,
+                "exp({x}): {got} vs {want}"
+            );
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn exp_inverts_ln() {
+        for c in [1u64, 7, 123, 45_678, 9_999_999, u64::from(u32::MAX)] {
+            let roundtrip = det_exp(det_ln(c as f64));
+            assert!(
+                (roundtrip - c as f64).abs() / c as f64 <= 1e-13,
+                "{c} -> {roundtrip}"
+            );
+        }
+    }
+
+    #[test]
+    fn edges_mirror_libm() {
+        assert_eq!(det_ln(0.0), f64::NEG_INFINITY);
+        assert!(det_ln(-1.0).is_nan());
+        assert_eq!(det_ln(f64::INFINITY), f64::INFINITY);
+        assert_eq!(det_exp(1000.0), f64::INFINITY);
+        assert_eq!(det_exp(-1000.0), 0.0);
+        assert!(det_exp(f64::NAN).is_nan());
+        // Subnormal inputs still work.
+        let tiny = f64::from_bits(1);
+        assert!(det_ln(tiny).is_finite());
+        assert!((det_ln(tiny) - tiny.ln()).abs() < 1e-9);
+    }
+}

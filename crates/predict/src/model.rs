@@ -1,0 +1,314 @@
+//! The gradient-boosted-stumps model: in-memory form, the
+//! `stonne-predict-model/1` JSON artifact, and the [`CyclePredictor`]
+//! implementation that plugs it into the accelerator's fast path.
+//!
+//! Every floating-point parameter is serialized as its IEEE-754 bit
+//! pattern (`u64`), never as a decimal float: the artifact is byte-pinned
+//! in CI and must not depend on any library's float-formatting choices,
+//! and parsing bits back is exact where a decimal round-trip might not
+//! be.
+
+use crate::features::{expand, prior_cycles, segment_index, FEATURE_LEN, SEGMENTS};
+use crate::math::{det_exp, det_ln};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+use stonne_core::predict::{CyclePredictor, LayerFeatures};
+
+/// Schema tag of the model artifact.
+pub const MODEL_SCHEMA: &str = "stonne-predict-model/1";
+
+/// One decision stump: `x[feature] <= threshold ? left : right`
+/// (shrinkage already folded into the leaves).
+///
+/// Stumps are segment-scoped: each only applies to samples of its
+/// (class, prior-kind) segment — see
+/// [`SEGMENTS`]. Depth-1 trees cannot
+/// condition on the one-hots themselves, so without the scope a large
+/// correction learned for one engine regime would bleed into
+/// predictions whose prior is already exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stump {
+    /// Scoping segment (index into `0..SEGMENTS`) this stump applies to.
+    pub segment: usize,
+    /// Index into the expanded feature vector.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// Leaf value added to the log-residual when `x[feature] <= threshold`.
+    pub left: f64,
+    /// Leaf value otherwise.
+    pub right: f64,
+}
+
+/// A trained cycle predictor: a log-residual correction on top of the
+/// analytical priors of [`crate::features::prior_cycles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Seed of the training campaign that produced this model.
+    pub seed: u64,
+    /// Sample count of the training campaign.
+    pub samples: u64,
+    /// Boosting rounds requested.
+    pub rounds: u64,
+    /// Shrinkage (learning rate) in percent.
+    pub shrinkage_pct: u64,
+    /// Per-segment constant log-residual (mean of the training targets
+    /// of each stump-scoping segment, indexed like
+    /// [`segment_index`]).
+    pub base: [f64; SEGMENTS],
+    /// The boosted stumps, in training order.
+    pub stumps: Vec<Stump>,
+}
+
+/// Serialized form: floats as bit patterns, plus the schema tag.
+#[derive(Serialize, Deserialize)]
+struct StumpRepr {
+    segment: u64,
+    feature: u64,
+    threshold_bits: u64,
+    left_bits: u64,
+    right_bits: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ModelRepr {
+    schema: String,
+    seed: u64,
+    samples: u64,
+    rounds: u64,
+    shrinkage_pct: u64,
+    feature_len: u64,
+    base_bits: Vec<u64>,
+    stumps: Vec<StumpRepr>,
+}
+
+impl Model {
+    /// The learned log-residual for an expanded feature vector: the
+    /// segment's base offset plus its segment-scoped stumps.
+    pub fn ln_residual(&self, x: &[f64; FEATURE_LEN]) -> f64 {
+        let segment = segment_index(x);
+        let mut r = self.base[segment];
+        for s in self.stumps.iter().filter(|s| s.segment == segment) {
+            r += if x[s.feature] <= s.threshold {
+                s.left
+            } else {
+                s.right
+            };
+        }
+        r
+    }
+
+    /// Predicted cycles from an already-expanded vector and its prior
+    /// (the trainer's evaluation path; [`CyclePredictor`] goes through
+    /// feature expansion first).
+    pub fn predict_from(&self, x: &[f64; FEATURE_LEN], prior: u64) -> u64 {
+        let ln_cycles = det_ln(prior.max(1) as f64) + self.ln_residual(x);
+        let cycles = det_exp(ln_cycles).round();
+        if cycles.is_finite() && cycles >= 1.0 {
+            cycles as u64
+        } else {
+            1
+        }
+    }
+
+    /// Serializes to the pretty-printed `stonne-predict-model/1` JSON
+    /// artifact. Deterministic: equal models produce equal bytes on
+    /// every platform.
+    pub fn to_json(&self) -> String {
+        let repr = ModelRepr {
+            schema: MODEL_SCHEMA.to_owned(),
+            seed: self.seed,
+            samples: self.samples,
+            rounds: self.rounds,
+            shrinkage_pct: self.shrinkage_pct,
+            feature_len: FEATURE_LEN as u64,
+            base_bits: self.base.iter().map(|b| b.to_bits()).collect(),
+            stumps: self
+                .stumps
+                .iter()
+                .map(|s| StumpRepr {
+                    segment: s.segment as u64,
+                    feature: s.feature as u64,
+                    threshold_bits: s.threshold.to_bits(),
+                    left_bits: s.left.to_bits(),
+                    right_bits: s.right.to_bits(),
+                })
+                .collect(),
+        };
+        let mut s = serde_json::to_string_pretty(&repr).expect("model serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a model artifact, rejecting unknown schemas and feature
+    /// layouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the JSON is malformed, the schema tag
+    /// is not [`MODEL_SCHEMA`], the feature length disagrees with this
+    /// build, or a stump indexes out of range.
+    pub fn from_json(json: &str) -> Result<Model, String> {
+        let repr: ModelRepr =
+            serde_json::from_str(json).map_err(|e| format!("malformed model artifact: {e}"))?;
+        if repr.schema != MODEL_SCHEMA {
+            return Err(format!(
+                "unsupported model schema {:?} (expected {MODEL_SCHEMA:?})",
+                repr.schema
+            ));
+        }
+        if repr.feature_len != FEATURE_LEN as u64 {
+            return Err(format!(
+                "model expects {} features, this build extracts {FEATURE_LEN}",
+                repr.feature_len
+            ));
+        }
+        if repr.base_bits.len() != SEGMENTS {
+            return Err(format!(
+                "model has {} segment bases, this build knows {SEGMENTS} segments",
+                repr.base_bits.len()
+            ));
+        }
+        let mut base = [0.0; SEGMENTS];
+        for (b, bits) in base.iter_mut().zip(&repr.base_bits) {
+            *b = f64::from_bits(*bits);
+        }
+        let stumps = repr
+            .stumps
+            .iter()
+            .map(|s| {
+                if s.feature >= FEATURE_LEN as u64 {
+                    return Err(format!("stump feature index {} out of range", s.feature));
+                }
+                if s.segment >= SEGMENTS as u64 {
+                    return Err(format!("stump segment index {} out of range", s.segment));
+                }
+                Ok(Stump {
+                    segment: s.segment as usize,
+                    feature: s.feature as usize,
+                    threshold: f64::from_bits(s.threshold_bits),
+                    left: f64::from_bits(s.left_bits),
+                    right: f64::from_bits(s.right_bits),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Model {
+            seed: repr.seed,
+            samples: repr.samples,
+            rounds: repr.rounds,
+            shrinkage_pct: repr.shrinkage_pct,
+            base,
+            stumps,
+        })
+    }
+
+    /// The model trained by the committed campaign and shipped in-repo
+    /// (`results/PREDICT_model.json`, like `results/BENCH_baseline.json`)
+    /// — what `--fidelity fast` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committed artifact is out of sync with this build's
+    /// feature schema — CI retrains and byte-diffs it, so a panic here
+    /// means the artifact was not re-blessed after a predictor change.
+    pub fn committed() -> Arc<Model> {
+        static COMMITTED: OnceLock<Arc<Model>> = OnceLock::new();
+        COMMITTED
+            .get_or_init(|| {
+                let json = include_str!("../../../results/PREDICT_model.json");
+                Arc::new(Model::from_json(json).expect("committed predictor model parses"))
+            })
+            .clone()
+    }
+}
+
+impl CyclePredictor for Model {
+    fn predict_cycles(&self, features: &LayerFeatures) -> u64 {
+        self.predict_from(&expand(features), prior_cycles(features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> Model {
+        Model {
+            seed: 7,
+            samples: 2,
+            rounds: 2,
+            shrinkage_pct: 30,
+            base: {
+                let mut b = [0.0; SEGMENTS];
+                b[0] = 0.125;
+                b
+            },
+            stumps: vec![
+                Stump {
+                    segment: 0,
+                    feature: 10,
+                    threshold: 3.5,
+                    left: -0.25,
+                    right: 0.0625,
+                },
+                Stump {
+                    segment: 0,
+                    feature: 17,
+                    threshold: 0.5,
+                    left: 0.5,
+                    right: -0.03125,
+                },
+                // Scoped to another segment: must not affect segment 0.
+                Stump {
+                    segment: 2,
+                    feature: 10,
+                    threshold: 0.0,
+                    left: 100.0,
+                    right: 100.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let m = sample_model();
+        let json = m.to_json();
+        let back = Model::from_json(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_bad_artifacts() {
+        let mut m = sample_model();
+        let wrong_schema = m.to_json().replace(MODEL_SCHEMA, "stonne-predict-model/9");
+        assert!(Model::from_json(&wrong_schema).is_err());
+        m.stumps[0].feature = FEATURE_LEN; // out of range
+        assert!(Model::from_json(&m.to_json()).is_err());
+        let mut m = sample_model();
+        m.stumps[0].segment = SEGMENTS; // out of range
+        assert!(Model::from_json(&m.to_json()).is_err());
+        assert!(Model::from_json("not json").is_err());
+        let wrong_len = sample_model().to_json().replace(
+            &format!("\"feature_len\": {FEATURE_LEN}"),
+            "\"feature_len\": 2",
+        );
+        assert!(Model::from_json(&wrong_len).is_err());
+    }
+
+    #[test]
+    fn prediction_applies_the_stump_path() {
+        let m = sample_model();
+        let mut x = [0.0; FEATURE_LEN];
+        x[FEATURE_LEN - 1] = 1.0; // prior-mirrored half of class 0 = segment 0
+        x[10] = 5.0; // right leaf of stump 0
+        x[17] = 0.25; // left leaf of stump 1
+        let expected = 0.125 + 0.0625 + 0.5;
+        assert!((m.ln_residual(&x) - expected).abs() < 1e-15);
+        // Prediction is exp(ln(prior) + residual) rounded, never 0.
+        let p = m.predict_from(&x, 100);
+        assert_eq!(p, (100.0_f64 * expected.exp()).round() as u64);
+        assert_eq!(m.predict_from(&x, 0), 2, "prior clamps to 1 cycle");
+    }
+}

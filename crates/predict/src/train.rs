@@ -1,0 +1,597 @@
+//! The `verify`-style training campaign: a seeded sample generator, the
+//! cycle-level engine as labeling oracle, deterministic boosting, and a
+//! held-out error report per workload class.
+//!
+//! Everything here is byte-deterministic: the same `(seed, samples,
+//! rounds)` produce the same model artifact and the same error report on
+//! every platform (pure-IEEE math via [`crate::math`], SplitMix64
+//! sampling, exhaustive first-best stump search — no hash-map iteration,
+//! no threads, no wall-clock inputs beyond the zeroed-out
+//! `wall_time_ms`).
+
+use crate::features::{expand, prior_cycles, segment_index, CLASSES, FEATURE_LEN, SEGMENTS};
+use crate::math::det_ln;
+use crate::model::{Model, Stump};
+use serde::{Deserialize, Serialize};
+use stonne_core::predict::LayerFeatures;
+use stonne_core::{pool_features, spmm_features, AcceleratorConfig, Stonne};
+use stonne_tensor::{CsrMatrix, Matrix, SeededRng, Tensor4};
+
+/// Schema tag of the error-report artifact.
+pub const REPORT_SCHEMA: &str = "stonne-predict-report/1";
+
+/// Training-campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of labeled samples to generate (split ~3:1 train:holdout
+    /// by feature-digest).
+    pub samples: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Boosting rounds per workload class (classes stop early once no
+    /// split reduces variance).
+    pub rounds: usize,
+    /// Shrinkage (learning rate) in percent.
+    pub shrinkage_pct: u64,
+    /// Per-class bound on the held-out *median* absolute error, in
+    /// centi-percent of the exact cycles (1000 = 10%).
+    pub bound_cpct: u64,
+}
+
+impl TrainConfig {
+    /// The committed campaign: what trains the in-repo model and what CI
+    /// retrains and byte-diffs.
+    pub fn committed() -> Self {
+        Self {
+            samples: 1280,
+            seed: 9,
+            rounds: 400,
+            shrinkage_pct: 30,
+            bound_cpct: 1000,
+        }
+    }
+
+    /// A miniature campaign for tests and the `verify` determinism
+    /// oracle: seconds, not minutes, and still exercises every stage.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            samples: 32,
+            seed,
+            rounds: 12,
+            shrinkage_pct: 30,
+            bound_cpct: u64::MAX, // tiny campaigns make no accuracy promise
+        }
+    }
+}
+
+/// Held-out error of one workload class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassError {
+    /// Class name (see [`CLASSES`]).
+    pub name: String,
+    /// Held-out samples of this class.
+    pub count: u64,
+    /// Median absolute error in centi-percent of exact cycles (lower
+    /// median for even counts).
+    pub median_err_cpct: u64,
+    /// 90th-percentile absolute error, centi-percent.
+    pub p90_err_cpct: u64,
+    /// Worst absolute error, centi-percent.
+    pub max_err_cpct: u64,
+    /// The bound the median is gated on.
+    pub bound_cpct: u64,
+    /// Whether `median_err_cpct <= bound_cpct` (and the class was
+    /// represented at all).
+    pub pass: bool,
+}
+
+/// The `stonne-predict-report/1` artifact: held-out error bounds per
+/// workload class for one training campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReport {
+    /// Schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Samples requested.
+    pub samples: u64,
+    /// Samples that landed in the training split.
+    pub train_count: u64,
+    /// Samples that landed in the held-out split.
+    pub holdout_count: u64,
+    /// Boosting rounds.
+    pub rounds: u64,
+    /// Per-class held-out errors, in [`CLASSES`] order.
+    pub classes: Vec<ClassError>,
+    /// Whether every class passed its bound.
+    pub pass: bool,
+    /// Wall-clock training time; zeroed by [`ErrorReport::canonical_json`].
+    pub wall_time_ms: u64,
+}
+
+impl ErrorReport {
+    /// Pretty JSON (includes the wall time).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Pretty JSON with `wall_time_ms` zeroed — byte-identical across
+    /// re-runs of the same campaign.
+    pub fn canonical_json(&self) -> String {
+        let mut canonical = self.clone();
+        canonical.wall_time_ms = 0;
+        canonical.to_json()
+    }
+
+    /// Parses a report artifact, rejecting unknown schemas.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the JSON is malformed or the schema
+    /// tag is not [`REPORT_SCHEMA`].
+    pub fn from_json(json: &str) -> Result<ErrorReport, String> {
+        let report: ErrorReport =
+            serde_json::from_str(json).map_err(|e| format!("malformed error report: {e}"))?;
+        if report.schema != REPORT_SCHEMA {
+            return Err(format!(
+                "unsupported report schema {:?} (expected {REPORT_SCHEMA:?})",
+                report.schema
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// One labeled sample: expanded features plus the engine's cycle count.
+struct Sample {
+    class: &'static str,
+    x: [f64; FEATURE_LEN],
+    prior: u64,
+    digest: u64,
+    label: u64,
+}
+
+/// SplitMix64 — the same generator the verify campaign seeds samples
+/// with; every sample derives an independent stream from `(seed, i)`.
+fn sample_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add((i.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Cheap per-sample roll stream.
+struct Rolls(u64);
+
+impl Rolls {
+    fn next(&mut self) -> u64 {
+        self.0 = sample_seed(self.0, 0x5eed);
+        self.0
+    }
+
+    /// Uniform-ish pick in `[lo, hi]`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo + 1) as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[(self.next() % options.len() as u64) as usize]
+    }
+}
+
+/// Log-skewed layer dimension in `[4, 128)`.
+fn dim(r: &mut Rolls) -> usize {
+    let base = 4usize << r.range(0, 4); // 4, 8, 16, 32, 64
+    base + r.range(0, base - 1)
+}
+
+/// Zeroes a fraction of `m`'s entries (deterministic pattern from the
+/// roll stream) so the sparse engine sees realistic CSR shapes.
+fn sparsify(m: &mut Matrix, zero_pct: usize, r: &mut Rolls) {
+    for row in 0..m.rows() {
+        for col in 0..m.cols() {
+            if r.range(0, 99) < zero_pct {
+                m.set(row, col, 0.0);
+            }
+        }
+    }
+}
+
+/// Generates and labels sample `i` of the campaign: builds a workload,
+/// runs it on the exact engine (no cache, no DRAM modeling — the
+/// predictor, like the simulation cache, estimates pre-DRAM cycles) and
+/// extracts the matching features.
+fn labeled_sample(seed: u64, i: u64) -> Sample {
+    let mut r = Rolls(sample_seed(seed, i));
+    let mut rng = SeededRng::new(r.next());
+    // Round-robin class assignment keeps every class populated at any
+    // campaign size: 30% systolic / 30% flexible / 30% sparse / 10% pool.
+    let class = CLASSES[match i % 10 {
+        0..=2 => 0,
+        3..=5 => 1,
+        6..=8 => 2,
+        _ => 3,
+    }];
+    let (config, features, label): (AcceleratorConfig, LayerFeatures, u64) = match class {
+        "systolic" => {
+            let pe = r.pick(&[4usize, 8, 16]);
+            let cfg = AcceleratorConfig::tpu_like(pe);
+            let (m, n, k) = (dim(&mut r), dim(&mut r), dim(&mut r));
+            let a = Matrix::random(m, k, &mut rng);
+            let b = Matrix::random(k, n, &mut rng);
+            let f = stonne_core::gemm_features(&cfg, &a, &b);
+            let mut sim = Stonne::new(cfg.clone()).expect("preset validates");
+            let (_, stats) = sim.run_gemm("label", &a, &b);
+            (cfg, f, stats.cycles)
+        }
+        "flexible" => {
+            let ms = r.pick(&[32usize, 64, 128, 256]);
+            let bw = r.pick(&[8usize, 16, 32]).min(ms);
+            let mut cfg = AcceleratorConfig::maeri_like(ms, bw);
+            // A third of the class runs output-stationary: the analytical
+            // prior mirrors the weight-stationary walk, so this slice is
+            // where the boosted stumps earn their keep.
+            if r.pick(&[0usize, 0, 1]) == 1 {
+                cfg.dataflow = stonne_core::Dataflow::OutputStationary;
+            }
+            let (m, n, k) = (dim(&mut r), dim(&mut r), dim(&mut r));
+            let a = Matrix::random(m, k, &mut rng);
+            let b = Matrix::random(k, n, &mut rng);
+            let f = stonne_core::gemm_features(&cfg, &a, &b);
+            let mut sim = Stonne::new(cfg.clone()).expect("preset validates");
+            let (_, stats) = sim.run_gemm("label", &a, &b);
+            (cfg, f, stats.cycles)
+        }
+        "sparse" => {
+            let ms = r.pick(&[64usize, 128, 256]);
+            let bw = r.pick(&[16usize, 32, 64]).min(ms);
+            let mut cfg = AcceleratorConfig::sigma_like(ms, bw);
+            // A third of the class enables activation-sparsity mode,
+            // where feature extraction cannot replay the packing walk
+            // (delivery depends on streamed values) and the prior falls
+            // back to the first-order SIGMA model — learner territory.
+            if r.pick(&[0usize, 0, 1]) == 1 {
+                cfg.exploit_activation_sparsity = true;
+            }
+            let (m, n, k) = (dim(&mut r), dim(&mut r), dim(&mut r));
+            let mut a = Matrix::random(m, k, &mut rng);
+            sparsify(&mut a, r.pick(&[0usize, 30, 60, 85]), &mut r);
+            let b = Matrix::random(k, n, &mut rng);
+            let csr = CsrMatrix::from_dense(&a);
+            let f = spmm_features(&cfg, &csr, &b);
+            let mut sim = Stonne::new(cfg.clone()).expect("preset validates");
+            let (_, stats) = sim.run_spmm("label", &csr, &b);
+            (cfg, f, stats.cycles)
+        }
+        _ => {
+            let ms = r.pick(&[64usize, 128, 256]);
+            let bw = r.pick(&[8usize, 16, 32]);
+            let cfg = AcceleratorConfig::maeri_like(ms, bw);
+            let window = r.pick(&[2usize, 3]);
+            let stride = r.pick(&[1usize, 2]);
+            let h = r.range(window.max(4), 32);
+            let input = Tensor4::random(r.range(1, 2), r.range(1, 8), h, h, &mut rng);
+            let f = pool_features(&cfg, &input, window, stride);
+            let mut sim = Stonne::new(cfg.clone()).expect("preset validates");
+            let (_, stats) = sim.run_maxpool("label", &input, window, stride);
+            (cfg, f, stats.cycles)
+        }
+    };
+    let _ = config;
+    Sample {
+        class,
+        x: expand(&features),
+        prior: prior_cycles(&features),
+        digest: features.key_digest,
+        label: label.max(1),
+    }
+}
+
+/// Candidate split thresholds for one feature: midpoints between up to
+/// 16 evenly-spaced consecutive distinct values.
+fn thresholds(train: &[&Sample], feature: usize) -> Vec<f64> {
+    let mut vals: Vec<f64> = train.iter().map(|s| s.x[feature]).collect();
+    vals.sort_by(f64::total_cmp);
+    vals.dedup();
+    if vals.len() < 2 {
+        return Vec::new();
+    }
+    let k = (vals.len() - 1).min(32);
+    let mut out = Vec::with_capacity(k);
+    for i in 1..=k {
+        let idx = i * (vals.len() - 1) / (k + 1);
+        let mid = (vals[idx] + vals[idx + 1]) * 0.5;
+        if out.last() != Some(&mid) {
+            out.push(mid);
+        }
+    }
+    out
+}
+
+/// Runs the campaign: generates and labels `cfg.samples` workloads,
+/// splits them train/holdout by feature-digest (`digest % 4 == 3` held
+/// out — shape-duplicates share a digest, so a held-out shape is never
+/// seen in training), boosts up to `cfg.rounds` class-scoped stumps per
+/// workload class on the log-residuals, and evaluates the held-out error
+/// per class.
+pub fn train(cfg: &TrainConfig) -> (Model, ErrorReport) {
+    let start = std::time::Instant::now();
+    let samples: Vec<Sample> = (0..cfg.samples as u64)
+        .map(|i| labeled_sample(cfg.seed, i))
+        .collect();
+    let (holdout, train): (Vec<&Sample>, Vec<&Sample>) =
+        samples.iter().partition(|s| s.digest % 4 == 3);
+
+    // Targets: ln(exact) − ln(prior), centered per stump-scoping segment
+    // so the stumps only model the shape-dependent remainder. Mirrored
+    // segments (prior replays the engine walk exactly) center to 0 and
+    // learn nothing.
+    let mut residuals: Vec<f64> = train
+        .iter()
+        .map(|s| det_ln(s.label as f64) - det_ln(s.prior.max(1) as f64))
+        .collect();
+    let mut base = [0.0f64; SEGMENTS];
+    let mut counts = [0u64; SEGMENTS];
+    for (s, &res) in train.iter().zip(&residuals) {
+        let seg = segment_index(&s.x);
+        base[seg] += res;
+        counts[seg] += 1;
+    }
+    for (b, &n) in base.iter_mut().zip(&counts) {
+        if n > 0 {
+            *b /= n as f64;
+        }
+    }
+    for (s, r) in train.iter().zip(&mut residuals) {
+        *r -= base[segment_index(&s.x)];
+    }
+
+    // Boost each segment independently: stumps are segment-scoped (see
+    // [`Stump`]), so corrections for a regime with a first-order prior
+    // never bleed into predictions whose prior replays the engine
+    // exactly. Mirrored segments converge in zero rounds.
+    let shrink = cfg.shrinkage_pct as f64 / 100.0;
+    let mut stumps = Vec::new();
+    for segment in 0..SEGMENTS {
+        let (class_train, mut res): (Vec<&Sample>, Vec<f64>) = train
+            .iter()
+            .zip(&residuals)
+            .filter(|(s, _)| segment_index(&s.x) == segment)
+            .map(|(s, &r)| (*s, r))
+            .unzip();
+        if class_train.is_empty() {
+            continue;
+        }
+        let candidate_thresholds: Vec<Vec<f64>> = (0..FEATURE_LEN)
+            .map(|j| thresholds(&class_train, j))
+            .collect();
+        for _ in 0..cfg.rounds {
+            // Exhaustive first-best stump search: strictly greater
+            // variance reduction wins, so ties resolve to the lowest
+            // (feature, threshold) pair — deterministic on every
+            // platform.
+            let mut best: Option<(f64, usize, f64)> = None;
+            for (j, cands) in candidate_thresholds.iter().enumerate() {
+                for &t in cands {
+                    let (mut ls, mut ln) = (0.0f64, 0u64);
+                    let (mut rs, mut rn) = (0.0f64, 0u64);
+                    for (s, &r) in class_train.iter().zip(&res) {
+                        if s.x[j] <= t {
+                            ls += r;
+                            ln += 1;
+                        } else {
+                            rs += r;
+                            rn += 1;
+                        }
+                    }
+                    if ln == 0 || rn == 0 {
+                        continue;
+                    }
+                    let gain = ls * ls / ln as f64 + rs * rs / rn as f64;
+                    if best.is_none_or(|(g, _, _)| gain > g) {
+                        best = Some((gain, j, t));
+                    }
+                }
+            }
+            let Some((gain, feature, threshold)) = best else {
+                break;
+            };
+            if gain < 1e-12 {
+                break;
+            }
+            let (mut ls, mut ln) = (0.0f64, 0u64);
+            let (mut rs, mut rn) = (0.0f64, 0u64);
+            for (s, &r) in class_train.iter().zip(&res) {
+                if s.x[feature] <= threshold {
+                    ls += r;
+                    ln += 1;
+                } else {
+                    rs += r;
+                    rn += 1;
+                }
+            }
+            let left = ls / ln as f64 * shrink;
+            let right = rs / rn as f64 * shrink;
+            for (s, r) in class_train.iter().zip(&mut res) {
+                *r -= if s.x[feature] <= threshold {
+                    left
+                } else {
+                    right
+                };
+            }
+            stumps.push(Stump {
+                segment,
+                feature,
+                threshold,
+                left,
+                right,
+            });
+        }
+    }
+
+    let model = Model {
+        seed: cfg.seed,
+        samples: cfg.samples as u64,
+        rounds: cfg.rounds as u64,
+        shrinkage_pct: cfg.shrinkage_pct,
+        base,
+        stumps,
+    };
+
+    // Held-out evaluation, per class.
+    let mut classes = Vec::with_capacity(CLASSES.len());
+    let mut pass = true;
+    for &name in &CLASSES {
+        let mut errs: Vec<u64> = holdout
+            .iter()
+            .filter(|s| s.class == name)
+            .map(|s| {
+                let pred = model.predict_from(&s.x, s.prior);
+                let diff = pred.abs_diff(s.label);
+                ((diff as f64 / s.label as f64) * 10_000.0).round() as u64
+            })
+            .collect();
+        errs.sort_unstable();
+        let count = errs.len() as u64;
+        let (median, p90, max) = if errs.is_empty() {
+            (0, 0, 0)
+        } else {
+            (
+                errs[(errs.len() - 1) / 2],
+                errs[(errs.len() * 9 / 10).min(errs.len() - 1)],
+                errs[errs.len() - 1],
+            )
+        };
+        let class_pass = count > 0 && median <= cfg.bound_cpct;
+        pass &= class_pass;
+        classes.push(ClassError {
+            name: name.to_owned(),
+            count,
+            median_err_cpct: median,
+            p90_err_cpct: p90,
+            max_err_cpct: max,
+            bound_cpct: cfg.bound_cpct,
+            pass: class_pass,
+        });
+    }
+
+    let report = ErrorReport {
+        schema: REPORT_SCHEMA.to_owned(),
+        seed: cfg.seed,
+        samples: cfg.samples as u64,
+        train_count: train.len() as u64,
+        holdout_count: holdout.len() as u64,
+        rounds: cfg.rounds as u64,
+        classes,
+        pass,
+        wall_time_ms: start.elapsed().as_millis() as u64,
+    };
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "diagnostic: prints prior-vs-label ratios for the committed campaign"]
+    fn debug_prior_quality() {
+        let mut per_class: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+        for i in 0..400u64 {
+            let s = labeled_sample(9, i);
+            let ratio = s.prior as f64 / s.label as f64;
+            per_class.entry(s.class).or_default().push(ratio);
+            if !(0.5..=2.0).contains(&ratio) {
+                println!(
+                    "  outlier {} i={i} prior={} label={} ratio={ratio:.3}",
+                    s.class, s.prior, s.label
+                );
+            }
+        }
+        for (class, mut rs) in per_class {
+            rs.sort_by(f64::total_cmp);
+            let med = rs[rs.len() / 2];
+            println!(
+                "{class}: n={} ratio min={:.3} med={med:.3} max={:.3}",
+                rs.len(),
+                rs[0],
+                rs[rs.len() - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_training_is_byte_deterministic() {
+        let cfg = TrainConfig::tiny(11);
+        let (m1, r1) = train(&cfg);
+        let (m2, r2) = train(&cfg);
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(r1.canonical_json(), r2.canonical_json());
+        // A different seed produces a different model.
+        let (m3, _) = train(&TrainConfig::tiny(12));
+        assert_ne!(m1.to_json(), m3.to_json());
+    }
+
+    #[test]
+    fn training_reduces_error_against_the_prior_alone() {
+        let cfg = TrainConfig {
+            samples: 60,
+            seed: 3,
+            rounds: 40,
+            shrinkage_pct: 30,
+            bound_cpct: u64::MAX,
+        };
+        let (model, report) = train(&cfg);
+        assert!(!model.stumps.is_empty());
+        assert_eq!(
+            report.train_count + report.holdout_count,
+            cfg.samples as u64
+        );
+        // The boosted model must beat the bare prior on the training
+        // campaign's own holdout (sum of squared log-residuals).
+        let naked = Model {
+            base: [0.0; SEGMENTS],
+            stumps: Vec::new(),
+            ..model.clone()
+        };
+        let mut model_sse = 0.0;
+        let mut prior_sse = 0.0;
+        for i in 0..cfg.samples as u64 {
+            let s = super::labeled_sample(cfg.seed, i);
+            if s.digest % 4 != 3 {
+                continue;
+            }
+            let e1 =
+                det_ln(model.predict_from(&s.x, s.prior).max(1) as f64) - det_ln(s.label as f64);
+            let e0 =
+                det_ln(naked.predict_from(&s.x, s.prior).max(1) as f64) - det_ln(s.label as f64);
+            model_sse += e1 * e1;
+            prior_sse += e0 * e0;
+        }
+        assert!(
+            model_sse < prior_sse,
+            "boosting must improve on the prior: {model_sse} vs {prior_sse}"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_and_rejects_other_schemas() {
+        let (_, report) = train(&TrainConfig::tiny(2));
+        let json = report.canonical_json();
+        let back = ErrorReport::from_json(&json).unwrap();
+        assert_eq!(back.canonical_json(), json);
+        let wrong = json.replace(REPORT_SCHEMA, "stonne-predict-report/9");
+        assert!(ErrorReport::from_json(&wrong).is_err());
+    }
+
+    #[test]
+    fn every_class_is_sampled() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..20 {
+            seen.insert(labeled_sample(4, i).class);
+        }
+        assert_eq!(seen.len(), CLASSES.len());
+    }
+}

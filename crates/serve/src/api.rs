@@ -63,6 +63,12 @@ pub struct SweepRequest {
     /// deterministically).
     #[serde(default)]
     pub seed: u64,
+    /// Run fidelity: `"exact"` (or empty, the default) simulates every
+    /// point cycle-level; `"fast"` runs the grid through the committed
+    /// cycle predictor and re-scores only the Pareto frontier with the
+    /// engine (see `docs/PREDICT.md`).
+    #[serde(default)]
+    pub fidelity: String,
 }
 
 /// One fully-resolved simulation point of an expanded sweep.
@@ -112,6 +118,15 @@ pub struct PointResult {
     pub breakdown: CycleBreakdown,
     /// Energy breakdown (µJ).
     pub energy: EnergyBreakdown,
+    /// `"exact"` when `cycles` comes from the cycle-level engines,
+    /// `"fast"` when it is the committed predictor's estimate.
+    #[serde(default)]
+    pub fidelity: String,
+    /// The predictor's estimate for this point (0 on a purely exact
+    /// run). On a re-scored Pareto-frontier point both fields are set:
+    /// `cycles` is exact, this is what fast mode had claimed.
+    #[serde(default)]
+    pub predicted_cycles: u64,
 }
 
 /// Parses an architecture spec into a validated configuration.
@@ -146,6 +161,20 @@ pub fn parse_scale(name: &str) -> Result<ModelScale, String> {
     stonne_cluster::spec::parse_scale(name)
 }
 
+/// Parses a request's fidelity string: empty and `"exact"` mean exact,
+/// `"fast"` selects the committed predictor.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown fidelity.
+pub fn parse_fidelity(fidelity: &str) -> Result<bool, String> {
+    match fidelity {
+        "" | "exact" => Ok(false),
+        "fast" => Ok(true),
+        other => Err(format!("unknown fidelity `{other}` (exact|fast)")),
+    }
+}
+
 /// An expanded sweep grid: the points to run plus how many raw grid
 /// cells were collapsed away by axis deduplication.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +199,7 @@ pub struct Expansion {
 /// Returns a message describing the first invalid axis value, an empty
 /// axis, or a (deduplicated) grid larger than [`MAX_POINTS`].
 pub fn expand(request: &SweepRequest) -> Result<Expansion, String> {
+    parse_fidelity(&request.fidelity)?;
     if request.archs.is_empty() {
         return Err("request needs at least one arch".to_owned());
     }
@@ -293,6 +323,56 @@ pub fn run_point(point: &SweepPoint, cache: &SimCache) -> Result<(PointResult, S
         layers: run.layers.len(),
         breakdown: total.breakdown,
         energy: run.energy,
+        fidelity: "exact".to_owned(),
+        predicted_cycles: 0,
+    };
+    Ok((result, total))
+}
+
+/// Runs one sweep point at fast fidelity: every offloaded layer's
+/// cycles come from the committed predictor instead of the engines.
+/// Runs uncached — predicted stats are not memoizable, and a fast point
+/// must never seed the exact result store.
+///
+/// # Errors
+///
+/// Returns a message when the point's configuration is invalid.
+pub fn run_point_fast(point: &SweepPoint) -> Result<(PointResult, SimStats), String> {
+    let id = parse_model(&point.model)?;
+    let scale = parse_scale(&point.scale)?;
+    let cfg = config_for(&ArchSpec {
+        arch: point.arch.clone(),
+        ms: point.ms,
+        bw: point.bw,
+    })?;
+    let model = zoo::build(id, scale);
+    let params = ModelParams::generate_with_sparsity(&model, point.seed, point.sparsity);
+    let input = generate_input(&model, point.seed ^ 1);
+    let options = RunOptions::new()
+        .uncached()
+        .with_predictor(stonne::predict::Model::committed());
+    let run = run_model_simulated_with(
+        &model,
+        &params,
+        &input,
+        cfg,
+        Arc::new(NaturalOrder),
+        options,
+    )
+    .map_err(|e| e.to_string())?;
+    let total = run.total;
+    let result = PointResult {
+        point: point.clone(),
+        cycles: total.cycles,
+        compute_cycles: total.compute_cycles,
+        dram_stall_cycles: total.dram_stall_cycles,
+        utilization: total.ms_utilization(),
+        multiplications: total.counters.multiplications,
+        layers: run.layers.len(),
+        breakdown: total.breakdown,
+        energy: run.energy,
+        fidelity: "fast".to_owned(),
+        predicted_cycles: total.cycles,
     };
     Ok((result, total))
 }
@@ -322,6 +402,7 @@ mod tests {
             }],
             sparsities: vec![0.0, 0.5],
             seed: 3,
+            fidelity: String::new(),
         }
     }
 

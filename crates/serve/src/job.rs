@@ -14,7 +14,9 @@
 //! cross-job reuse: a fully warm job shows `hits == unique layers` and
 //! zero engine invocations.
 
-use crate::api::{expand, run_point, PointResult, SweepPoint, SweepRequest};
+use crate::api::{
+    expand, parse_fidelity, run_point, run_point_fast, PointResult, SweepPoint, SweepRequest,
+};
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,6 +39,21 @@ pub struct JobCounters {
     /// even re-assembling from layer entries) the points it had already
     /// finished.
     pub resumed: u64,
+}
+
+/// One Pareto-frontier point of a fast-fidelity job after its exact
+/// re-score: the predictor's claim next to the engine's answer.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrontierPoint {
+    /// Grid index of the point.
+    pub index: usize,
+    /// What the committed predictor estimated.
+    pub predicted_cycles: u64,
+    /// What the cycle-level engine measured on the re-score.
+    pub exact_cycles: u64,
+    /// Signed predicted-vs-exact delta in centi-percent of the exact
+    /// cycles (`(predicted - exact) / exact`, x 10000).
+    pub delta_cpct: i64,
 }
 
 /// A snapshot of one job's externally visible state.
@@ -62,6 +79,11 @@ pub struct JobStatus {
     pub store: StoreCounters,
     /// The store namespace this server writes to.
     pub fingerprint: String,
+    /// Fast-fidelity jobs only: the Pareto frontier (min cycles x min
+    /// energy over the fast grid), each point re-scored by the exact
+    /// engine. Empty until the job is done, and always empty on exact
+    /// jobs.
+    pub frontier: Vec<FrontierPoint>,
 }
 
 /// Mutable progress shared between workers and readers.
@@ -76,6 +98,7 @@ struct Progress {
     /// Append-only `(event, json-data)` log driving the SSE endpoint.
     events: Vec<(String, String)>,
     counters: JobCounters,
+    frontier: Vec<FrontierPoint>,
     done: bool,
 }
 
@@ -96,6 +119,9 @@ pub struct Job {
     cache: SimCache,
     /// Scoped store handle whose counters are this job's alone.
     store: Option<DiskStore>,
+    /// Fast fidelity: points run through the committed predictor and
+    /// only the Pareto frontier is re-scored exactly.
+    fast: bool,
 }
 
 impl Job {
@@ -124,7 +150,13 @@ impl Job {
             changed: Condvar::new(),
             cache,
             store: scoped,
+            fast: parse_fidelity(&request.fidelity).unwrap_or(false),
         }
+    }
+
+    /// Whether this job runs at fast (predictor) fidelity.
+    pub fn is_fast(&self) -> bool {
+        self.fast
     }
 
     /// A snapshot of this job's status.
@@ -145,6 +177,7 @@ impl Job {
                 .map(DiskStore::counters)
                 .unwrap_or_default(),
             fingerprint: code_fingerprint().to_owned(),
+            frontier: p.frontier.clone(),
         }
     }
 
@@ -167,11 +200,15 @@ impl Job {
     pub fn result_at(&self, index: usize) -> Option<PointResult> {
         let mut p = self.progress.lock().unwrap();
         loop {
-            if let Some(r) = p.results.get(index)?.as_ref() {
-                return Some(r.clone());
+            // Fast jobs rewrite their Pareto frontier with exact re-scores
+            // just before `done`; hold the stream until results are final.
+            if !self.fast || p.done {
+                if let Some(r) = p.results.get(index)?.as_ref() {
+                    return Some(r.clone());
+                }
             }
             if p.done {
-                return None;
+                return p.results.get(index)?.as_ref().cloned();
             }
             p = self.changed.wait(p).unwrap();
         }
@@ -237,10 +274,10 @@ impl Job {
     }
 
     /// Records one finished point, emits its event, and — on the last
-    /// point — marks the job done and emits the `done` event carrying
-    /// the final status.
+    /// point — re-scores the Pareto frontier (fast jobs), marks the job
+    /// done and emits the `done` event carrying the final status.
     fn record(&self, index: usize, outcome: Result<(PointResult, stonne::core::SimStats), String>) {
-        let done = {
+        let finished = {
             let mut p = self.progress.lock().unwrap();
             match outcome {
                 Ok((result, stats)) => {
@@ -265,13 +302,18 @@ impl Job {
                     ));
                 }
             }
-            let finished = p.completed + p.failed == self.points.len();
-            if finished {
-                p.done = true;
-            }
-            finished
+            p.completed + p.failed == self.points.len() && !p.done
         };
-        if done {
+        if finished {
+            // The grid is fully accounted for, so no other worker will
+            // touch this job: the re-score runs outside the lock while
+            // readers keep seeing `running`.
+            if self.fast {
+                self.rescore_frontier();
+            }
+            let mut p = self.progress.lock().unwrap();
+            p.done = true;
+            drop(p);
             // Status is read outside the progress lock; the job is
             // already `done`, so the snapshot is final.
             let status = serde_json::to_string(&self.status())
@@ -283,6 +325,52 @@ impl Job {
                 .push(("done".to_owned(), status));
         }
         self.changed.notify_all();
+    }
+
+    /// Fast jobs' exact leg: picks the Pareto frontier (minimal cycles x
+    /// energy) of the fast grid and runs each frontier point through the
+    /// cycle-level engine, replacing its result (exact `cycles`,
+    /// predictor's claim kept in `predicted_cycles`) and recording the
+    /// deltas the report ships. Exact frontier results are persisted to
+    /// the store; the fast bulk never is.
+    fn rescore_frontier(&self) {
+        let snapshot: Vec<PointResult> = {
+            let p = self.progress.lock().unwrap();
+            p.results.iter().flatten().cloned().collect()
+        };
+        for grid_index in pareto_frontier(&snapshot) {
+            let point = &self.points[grid_index];
+            match run_point(point, &self.cache) {
+                Ok((mut exact, stats)) => {
+                    let predicted = snapshot
+                        .iter()
+                        .find(|r| r.point.index == grid_index)
+                        .map_or(0, |r| r.cycles);
+                    exact.predicted_cycles = predicted;
+                    self.persist_point(&exact);
+                    let entry = FrontierPoint {
+                        index: grid_index,
+                        predicted_cycles: predicted,
+                        exact_cycles: exact.cycles,
+                        delta_cpct: delta_cpct(predicted, exact.cycles),
+                    };
+                    let mut p = self.progress.lock().unwrap();
+                    p.counters.engine_invocations += stats.engine_invocations;
+                    p.counters.sim_cache_hits += stats.sim_cache_hits;
+                    p.counters.sim_cache_misses += stats.sim_cache_misses;
+                    let data = serde_json::to_string(&exact)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"));
+                    p.results[grid_index] = Some(exact);
+                    p.frontier.push(entry);
+                    p.events.push(("frontier".to_owned(), data));
+                }
+                Err(message) => {
+                    let mut p = self.progress.lock().unwrap();
+                    p.errors
+                        .push(format!("frontier re-score {grid_index}: {message}"));
+                }
+            }
+        }
     }
 }
 
@@ -412,28 +500,74 @@ fn worker_loop(inner: &ManagerInner) {
             }
         };
         let point = task.job.points[task.index].clone();
-        // Resume first: a previous process may have persisted this
-        // exact point already.
-        if let Some(result) = task.job.load_point(&point) {
-            task.job.record_resumed(task.index, result);
-            continue;
+        let fast = task.job.fast;
+        // Resume first: a previous process may have persisted this exact
+        // point already. Fast jobs skip the store both ways — a
+        // predicted result must never masquerade as a persisted exact
+        // one, and restoring exact blobs into a fast grid would make the
+        // frontier deltas meaningless.
+        if !fast {
+            if let Some(result) = task.job.load_point(&point) {
+                task.job.record_resumed(task.index, result);
+                continue;
+            }
         }
         let cache = task.job.cache.clone();
         // A panicking engine must fail the point, not kill the worker.
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| run_point(&point, &cache))).unwrap_or_else(|panic| {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "engine panicked".to_owned());
-                Err(format!("panic: {msg}"))
-            });
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fast {
+                run_point_fast(&point)
+            } else {
+                run_point(&point, &cache)
+            }
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "engine panicked".to_owned());
+            Err(format!("panic: {msg}"))
+        });
         if let Ok((result, _)) = &outcome {
-            task.job.persist_point(result);
+            if !fast {
+                task.job.persist_point(result);
+            }
         }
         task.job.record(task.index, outcome);
     }
+}
+
+/// Signed `(predicted - exact) / exact` in centi-percent, saturating at
+/// zero exact cycles.
+fn delta_cpct(predicted: u64, exact: u64) -> i64 {
+    if exact == 0 {
+        return 0;
+    }
+    let diff = predicted as i128 - exact as i128;
+    (diff * 10_000 / exact as i128) as i64
+}
+
+/// Grid indices of the Pareto frontier over (cycles, energy), both
+/// minimized: a point survives when no other result is at least as good
+/// on both axes and strictly better on one. Ascending index order.
+fn pareto_frontier(results: &[PointResult]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = Vec::new();
+    for a in results {
+        let ea = a.energy.total_uj();
+        let dominated = results.iter().any(|b| {
+            let eb = b.energy.total_uj();
+            b.point.index != a.point.index
+                && b.cycles <= a.cycles
+                && eb <= ea
+                && (b.cycles < a.cycles || eb < ea)
+        });
+        if !dominated {
+            frontier.push(a.point.index);
+        }
+    }
+    frontier.sort_unstable();
+    frontier
 }
 
 #[cfg(test)]
@@ -462,6 +596,7 @@ mod tests {
             }],
             sparsities: vec![0.0],
             seed: 11,
+            fidelity: String::new(),
         }
     }
 

@@ -63,8 +63,9 @@ pub mod job;
 pub mod server;
 
 pub use api::{
-    expand, run_point, ArchSpec, Expansion, ModelSel, PointResult, SweepPoint, SweepRequest,
+    expand, parse_fidelity, run_point, run_point_fast, ArchSpec, Expansion, ModelSel, PointResult,
+    SweepPoint, SweepRequest,
 };
 pub use client::Client;
-pub use job::{Job, JobManager, JobStatus};
+pub use job::{FrontierPoint, Job, JobManager, JobStatus};
 pub use server::{Server, ServerHandle};

@@ -77,6 +77,7 @@ struct Accumulator {
     /// one bit for bit.
     maeri_divs: Vec<(u64, u64)>,
     sigma_divs: Vec<(u64, u64)>,
+    predictor_divs: Vec<(u64, u64)>,
 }
 
 impl Accumulator {
@@ -88,6 +89,7 @@ impl Accumulator {
             failure_records: Vec::new(),
             maeri_divs: Vec::new(),
             sigma_divs: Vec::new(),
+            predictor_divs: Vec::new(),
         }
     }
 
@@ -101,6 +103,9 @@ impl Accumulator {
         }
         if let Some(d) = check.sigma_dense {
             self.sigma_divs.push((index, d.to_bits()));
+        }
+        if let Some(d) = check.predictor {
+            self.predictor_divs.push((index, d.to_bits()));
         }
         for outcome in &check.outcomes {
             let slot = ORACLES
@@ -149,6 +154,11 @@ impl Accumulator {
             .iter()
             .map(|(_, b)| f64::from_bits(*b))
             .collect();
+        let predictor: Vec<f64> = self
+            .predictor_divs
+            .iter()
+            .map(|(_, b)| f64::from_bits(*b))
+            .collect();
         let campaign = vec![
             average_check(
                 "maeri_full_bw_avg_divergence",
@@ -159,6 +169,11 @@ impl Accumulator {
                 "sigma_dense_avg_divergence",
                 &sigma,
                 tolerance::SIGMA_DENSE_AVG_MAX_PCT,
+            ),
+            average_check(
+                "predictor_avg_divergence",
+                &predictor,
+                tolerance::PREDICTOR_AVG_MAX_PCT,
             ),
         ];
 
@@ -237,6 +252,7 @@ pub fn run_shard(cfg: CampaignConfig, shard_index: u64, shard_count: u64) -> Sha
         worst_divergence_cpct: acc.worst_cpct,
         maeri_divergence_bits: acc.maeri_divs,
         sigma_divergence_bits: acc.sigma_divs,
+        predictor_divergence_bits: acc.predictor_divs,
         failure_records: acc.failure_records,
         wall_time_ms: start.elapsed().as_millis() as u64,
     }
@@ -292,6 +308,8 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<VerifyReport, String> {
         }
         acc.maeri_divs.extend_from_slice(&s.maeri_divergence_bits);
         acc.sigma_divs.extend_from_slice(&s.sigma_divergence_bits);
+        acc.predictor_divs
+            .extend_from_slice(&s.predictor_divergence_bits);
         acc.failure_records.extend_from_slice(&s.failure_records);
     }
     // Restore the monolithic walk order. Each sample lives wholly in one
@@ -299,6 +317,7 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<VerifyReport, String> {
     // the sample index reproduces the monolithic sequence exactly.
     acc.maeri_divs.sort_by_key(|(index, _)| *index);
     acc.sigma_divs.sort_by_key(|(index, _)| *index);
+    acc.predictor_divs.sort_by_key(|(index, _)| *index);
     acc.failure_records.sort_by_key(|f| f.sample_index);
 
     let cfg = CampaignConfig {
@@ -309,6 +328,35 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<VerifyReport, String> {
     };
     let wall: u64 = shards.iter().map(|s| s.wall_time_ms).sum();
     Ok(acc.into_report(&cfg, wall))
+}
+
+/// Parses a `--shard I/N` spec into `(shard_index, shard_count)`.
+///
+/// # Errors
+///
+/// Returns a clear description (suitable for direct CLI display) when
+/// the spec is not of the form `I/N`, either side is not an integer,
+/// `N == 0`, or `I >= N` — a misconfigured shard must fail loudly, not
+/// silently contribute an empty or overlapping slice to a merge.
+pub fn parse_shard_spec(spec: &str) -> Result<(u64, u64), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard expects I/N (got {spec:?})"))?;
+    let index: u64 = i
+        .parse()
+        .map_err(|_| format!("--shard index {i:?} is not a non-negative integer"))?;
+    let count: u64 = n
+        .parse()
+        .map_err(|_| format!("--shard count {n:?} is not a non-negative integer"))?;
+    if count == 0 {
+        return Err("--shard count must be at least 1 (got 0)".to_owned());
+    }
+    if index >= count {
+        return Err(format!(
+            "--shard index {index} is out of range for {count} shard(s) (need I < N)"
+        ));
+    }
+    Ok((index, count))
 }
 
 /// Builds a campaign check asserting the average |divergence| of a
@@ -438,6 +486,28 @@ mod tests {
             "foreign roster"
         );
         assert!(merge_shards(&[a, b]).is_ok());
+    }
+
+    /// Satellite regression: `--shard i/n` with `i >= n` or `n == 0`
+    /// must be refused with a clear error, never run as an empty or
+    /// overlapping slice.
+    #[test]
+    fn shard_spec_parsing_rejects_degenerate_specs() {
+        assert_eq!(parse_shard_spec("0/1"), Ok((0, 1)));
+        assert_eq!(parse_shard_spec("3/4"), Ok((3, 4)));
+        let reject = |spec: &str, needle: &str| {
+            let err = parse_shard_spec(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec:?} -> {err:?}");
+        };
+        reject("4/4", "out of range");
+        reject("9/2", "out of range");
+        reject("0/0", "at least 1");
+        reject("1/0", "at least 1");
+        reject("02", "expects I/N");
+        reject("", "expects I/N");
+        reject("a/4", "not a non-negative integer");
+        reject("1/b", "not a non-negative integer");
+        reject("-1/4", "not a non-negative integer");
     }
 
     #[test]

@@ -157,6 +157,33 @@ pub enum Workload {
         /// Number of shards to split into.
         shards: u64,
     },
+    /// One held-out workload for the committed cycle predictor
+    /// (`crates/predict`): the exact engine labels the sample and the
+    /// committed `stonne-predict-model/1` artifact must land within the
+    /// regime tolerance — plus a miniature re-train proving training is
+    /// byte-deterministic on this host.
+    PredictorHoldout {
+        /// Workload-class selector: 0 = systolic, 1 = flexible,
+        /// 2 = sparse.
+        class_sel: u8,
+        /// Multiplier count (the PE-array side for the systolic class).
+        ms: usize,
+        /// GEMM M.
+        m: usize,
+        /// GEMM N.
+        n: usize,
+        /// GEMM K.
+        k: usize,
+        /// Zero fraction of the stationary operand in percent (sparse
+        /// class only).
+        sparsity_pct: u32,
+        /// `true` selects the learner regime (output-stationary dataflow
+        /// for the flexible class, activation-sparsity mode for the
+        /// sparse one) where the predictor's prior is first-order and the
+        /// boosted stumps carry the correction; `false` stays in the
+        /// prior-mirrored regime the predictor must reproduce exactly.
+        learner: bool,
+    },
 }
 
 impl Workload {
@@ -174,6 +201,7 @@ impl Workload {
             Workload::IntraLayerParallel { .. } => "intra_layer_parallel",
             Workload::CheckpointResume { .. } => "checkpoint_resume",
             Workload::ShardMerge { .. } => "shard_merge",
+            Workload::PredictorHoldout { .. } => "predictor_holdout",
         }
     }
 }
@@ -204,7 +232,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
     // Class weights (out of 100). Full-model runs are the most expensive
     // class by two orders of magnitude, so they are deliberately rare.
     let roll = rng.index(100);
-    if roll < 22 {
+    if roll < 20 {
         let dims = [4, 8, 16];
         Workload::SystolicGemm {
             dim: dims[rng.index(dims.len())],
@@ -212,7 +240,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 1 + rng.index(64),
             k: 1 + rng.index(96),
         }
-    } else if roll < 42 {
+    } else if roll < 38 {
         let sizes = [16, 32, 64, 128];
         Workload::FlexibleGemm {
             ms: sizes[rng.index(sizes.len())],
@@ -220,7 +248,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 1 + rng.index(48),
             k: 1 + rng.index(64),
         }
-    } else if roll < 58 {
+    } else if roll < 54 {
         let sizes = [32, 64, 128];
         let sparsities = [0, 0, 30, 60, 90];
         let ms = sizes[rng.index(sizes.len())];
@@ -246,7 +274,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             k,
             sparsity_pct,
         }
-    } else if roll < 72 {
+    } else if roll < 66 {
         let sizes = [32, 64, 128];
         Workload::SparseDenseEquiv {
             ms: sizes[rng.index(sizes.len())],
@@ -254,14 +282,14 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 2 + rng.index(32),
             k: 4 + rng.index(48),
         }
-    } else if roll < 80 {
+    } else if roll < 74 {
         Workload::CacheReplay {
             arch: rng.index(3) as u8,
             m: 1 + rng.index(32),
             n: 1 + rng.index(32),
             k: 1 + rng.index(48),
         }
-    } else if roll < 86 {
+    } else if roll < 80 {
         // Sized so the auto tile yields several filter chunks — the
         // serial-vs-fanned comparison is vacuous on a single chunk.
         let sizes = [32, 64];
@@ -273,7 +301,7 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             k: 8 + rng.index(48),
             workers: worker_counts[rng.index(worker_counts.len())],
         }
-    } else if roll < 92 {
+    } else if roll < 86 {
         let window = 2 + rng.index(2);
         let stride = 1 + rng.index(2);
         Workload::Pool {
@@ -281,6 +309,31 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             hw: window + 2 + rng.index(14),
             window,
             stride,
+        }
+    } else if roll < 92 {
+        // Class mix mirrors the predictor's own training campaign:
+        // systolic is always prior-mirrored, flexible and sparse split
+        // 2:1 mirrored:learner, shapes stay inside the trained size band.
+        let class_sel = rng.index(3) as u8;
+        let ms = match class_sel {
+            0 => [4usize, 8, 16][rng.index(3)],
+            1 => [32usize, 64, 128][rng.index(3)],
+            _ => [64usize, 128][rng.index(2)],
+        };
+        let learner = class_sel > 0 && rng.index(3) == 2;
+        let sparsity_pct = if class_sel == 2 {
+            [0u32, 30, 60, 85][rng.index(4)]
+        } else {
+            0
+        };
+        Workload::PredictorHoldout {
+            class_sel,
+            ms,
+            m: 4 + rng.index(92),
+            n: 4 + rng.index(92),
+            k: 8 + rng.index(88),
+            sparsity_pct,
+            learner,
         }
     } else if roll < 94 {
         Workload::ModelRun {
@@ -393,6 +446,7 @@ mod tests {
             "intra_layer_parallel",
             "checkpoint_resume",
             "shard_merge",
+            "predictor_holdout",
         ] {
             assert!(seen.contains(class), "class {class} never generated");
         }

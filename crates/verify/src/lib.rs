@@ -34,12 +34,16 @@ pub mod golden;
 pub mod oracle;
 pub mod report;
 pub mod shrink;
+pub mod statehash;
 pub mod tolerance;
 
-pub use campaign::{merge_shards, run_campaign, run_shard, CampaignConfig, SampleSpace};
+pub use campaign::{
+    merge_shards, parse_shard_spec, run_campaign, run_shard, CampaignConfig, SampleSpace,
+};
 pub use gen::Workload;
 pub use oracle::{check_workload, OracleOutcome, SampleCheck, ORACLES};
 pub use report::{ShardReport, VerifyReport};
+pub use statehash::{state_hash_manifest, StateHashManifest, STATE_HASH_SCHEMA};
 pub use tolerance::{
     MAERI_FULL_BW_AVG_MAX_PCT, MAERI_LOW_BW_EXCESS_MIN_PCT, MAERI_LOW_BW_WORST_MIN_PCT,
     SIGMA_DENSE_AVG_MAX_PCT, SIGMA_SPARSE90_MIN_PCT, SYSTOLIC_VS_SCALESIM_MAX_PCT,

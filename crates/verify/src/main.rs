@@ -21,9 +21,9 @@
 
 use std::process::ExitCode;
 
-use stonne_verify::campaign::{merge_shards, run_shard, SampleSpace};
+use stonne_verify::campaign::{merge_shards, parse_shard_spec, run_shard, SampleSpace};
 use stonne_verify::report::ShardReport;
-use stonne_verify::{run_campaign, CampaignConfig, VerifyReport};
+use stonne_verify::{run_campaign, state_hash_manifest, CampaignConfig, VerifyReport};
 
 struct Args {
     samples: u64,
@@ -37,20 +37,18 @@ fn usage() -> ! {
     eprintln!(
         "usage: verify [--samples N] [--seed S] [--out PATH] [--no-shrink] [--shard I/N]\n\
          \x20      verify merge [--out PATH] SHARD.json...\n\
+         \x20      verify state-hash [--seed S] [--out PATH]\n\
          \n\
          Runs the differential fuzz campaign (default: 200 samples, seed 7)\n\
          and writes the report to PATH (default: verify_report.json).\n\
          With --shard I/N only samples with index % N == I are checked and\n\
          a shard artifact is written instead; `verify merge` recombines\n\
-         shard artifacts into the report the single-process run produces."
+         shard artifacts into the report the single-process run produces.\n\
+         `verify state-hash` writes the checkpoint state hashes of a fixed\n\
+         full-model roster (default: state_hash.json) — byte-diff it across\n\
+         architectures to prove cross-platform determinism."
     );
     std::process::exit(2);
-}
-
-fn parse_shard(spec: &str) -> Option<(u64, u64)> {
-    let (i, n) = spec.split_once('/')?;
-    let (i, n) = (i.parse().ok()?, n.parse().ok()?);
-    (i < n).then_some((i, n))
 }
 
 fn parse_args() -> Args {
@@ -81,12 +79,11 @@ fn parse_args() -> Args {
             }
             "--no-shrink" => args.shrink = false,
             "--shard" => {
-                args.shard = Some(
-                    it.next()
-                        .as_deref()
-                        .and_then(parse_shard)
-                        .unwrap_or_else(|| usage()),
-                );
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.shard = Some(parse_shard_spec(&spec).unwrap_or_else(|e| {
+                    eprintln!("verify: {e}");
+                    std::process::exit(2);
+                }));
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -221,6 +218,39 @@ fn run_one_shard(args: &Args, shard_index: u64, shard_count: u64) -> ExitCode {
     }
 }
 
+/// `verify state-hash`: writes the cross-platform determinism manifest.
+fn run_state_hash(mut argv: std::env::Args) -> ExitCode {
+    let mut out = "state_hash.json".to_owned();
+    let mut seed = 7u64;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--out" => out = argv.next().unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    eprintln!("verify: state-hash manifest, seed {seed}");
+    let manifest = state_hash_manifest(seed);
+    if let Err(e) = std::fs::write(&out, manifest.to_json()) {
+        eprintln!("verify: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    for e in &manifest.entries {
+        println!("  {:<12} {:<8} {}", e.model, e.arch, e.state_hash);
+    }
+    println!(
+        "verify: {} state hashes written to {out}",
+        manifest.entries.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut argv = std::env::args();
     argv.next(); // program name
@@ -228,6 +258,10 @@ fn main() -> ExitCode {
         if first == "merge" {
             argv.next(); // the subcommand itself
             return run_merge(argv);
+        }
+        if first == "state-hash" {
+            argv.next(); // the subcommand itself
+            return run_state_hash(argv);
         }
     }
 
