@@ -24,6 +24,13 @@ use stonne_bench::perf::{
     compare, merge_reports, parse_shard_spec, run_basket, run_basket_shard, BenchReport, PerfConfig,
 };
 
+// Count heap allocations so each entry can report a per-repetition
+// allocation figure alongside its wall-clock.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: stonne_bench::perf::alloc_counter::CountingAlloc =
+    stonne_bench::perf::alloc_counter::CountingAlloc;
+
 fn run_merge(args: &[String]) -> ExitCode {
     let mut out = None;
     let mut paths = Vec::new();

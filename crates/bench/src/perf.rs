@@ -39,6 +39,19 @@ pub struct BenchEntry {
     /// Engine invocations per repetition (cache is off everywhere, so
     /// this equals the offloaded-operation count).
     pub engine_invocations: u64,
+    /// Peak resident set size of the process (KiB, `VmHWM`) after this
+    /// entry's repetitions finished; 0 where the platform hides it.
+    /// Roughly monotone along the basket, modulo the kernel's lazy
+    /// split-RSS accounting (readings can lag by a few pages).
+    /// Nondeterministic, so canonically zeroed.
+    #[serde(default)]
+    pub peak_rss_kb: u64,
+    /// Median heap allocations per repetition, counted by the
+    /// `alloc-count` global allocator the `perf` bin installs; 0 when
+    /// the feature is off or the allocator is not installed (library
+    /// tests). Canonically zeroed (allocator internals may vary).
+    #[serde(default)]
+    pub alloc_count: u64,
 }
 
 /// The full benchmark report serialized to `BENCH.json`.
@@ -79,6 +92,8 @@ impl BenchReport {
             e.median_ms = 0.0;
             e.min_ms = 0.0;
             e.max_ms = 0.0;
+            e.peak_rss_kb = 0;
+            e.alloc_count = 0;
         }
         canonical.to_json()
     }
@@ -121,24 +136,83 @@ impl Default for PerfConfig {
     }
 }
 
+/// Heap-allocation counting for `bench perf`, behind the `alloc-count`
+/// feature. The `perf` bin installs [`alloc_counter::CountingAlloc`] as
+/// its global allocator; [`allocations_so_far`] then exposes a process
+/// allocation counter the basket turns into per-repetition deltas.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// A pass-through wrapper over [`System`] that counts every
+    /// allocation-producing call (`alloc`, `alloc_zeroed`, `realloc`).
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation verbatim to `System`; the counter
+    // is a relaxed atomic side effect.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    /// Allocations made by this process so far (0 until the counting
+    /// allocator is installed as the global allocator).
+    pub fn allocations_so_far() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Process allocation count so far; 0 when `alloc-count` is compiled out.
+pub fn allocations_so_far() -> u64 {
+    #[cfg(feature = "alloc-count")]
+    {
+        alloc_counter::allocations_so_far()
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        0
+    }
+}
+
 /// Times `body` `reps` times and folds the wall-clocks into an entry.
 ///
 /// `body` returns `(cycles, engine_invocations)`; both must be identical
 /// across repetitions (the simulator is deterministic) and the entry
-/// records the last repetition's values.
+/// records the last repetition's values, together with the median
+/// per-repetition allocation delta and the process peak RSS at the end.
 fn timed<F: FnMut() -> (u64, u64)>(name: &str, reps: usize, mut body: F) -> BenchEntry {
     assert!(reps > 0, "reps must be positive");
     let mut ms: Vec<f64> = Vec::with_capacity(reps);
+    let mut allocs: Vec<u64> = Vec::with_capacity(reps);
     let mut cycles = 0;
     let mut invocations = 0;
     for _ in 0..reps {
+        let allocs_before = allocations_so_far();
         let start = Instant::now();
         let (c, i) = body();
         ms.push(start.elapsed().as_secs_f64() * 1e3);
+        allocs.push(allocations_so_far() - allocs_before);
         cycles = c;
         invocations = i;
     }
     ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    allocs.sort_unstable();
     let median_ms = if reps % 2 == 1 {
         ms[reps / 2]
     } else {
@@ -152,6 +226,8 @@ fn timed<F: FnMut() -> (u64, u64)>(name: &str, reps: usize, mut body: F) -> Benc
         max_ms: ms[reps - 1],
         cycles,
         engine_invocations: invocations,
+        peak_rss_kb: peak_rss_kb(),
+        alloc_count: allocs[reps / 2],
     }
 }
 
@@ -456,8 +532,18 @@ pub fn compare(new: &BenchReport, old: &BenchReport) -> String {
         } else {
             "  ** CYCLES DRIFTED **"
         };
+        let allocs = if e.alloc_count > 0 && base.alloc_count > 0 {
+            format!(
+                "  allocs {} -> {} ({:.2}x)",
+                base.alloc_count,
+                e.alloc_count,
+                base.alloc_count as f64 / e.alloc_count.max(1) as f64
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{:<32} {:>10.2} ms -> {:>10.2} ms  ({speedup:.2}x){drift}\n",
+            "{:<32} {:>10.2} ms -> {:>10.2} ms  ({speedup:.2}x){allocs}{drift}\n",
             e.name, base.median_ms, e.median_ms
         ));
     }
@@ -596,6 +682,8 @@ mod tests {
                 max_ms: ms,
                 cycles,
                 engine_invocations: 1,
+                peak_rss_kb: 0,
+                alloc_count: 0,
             }],
         };
         let same = compare(&mk(50.0, 10), &mk(100.0, 10));

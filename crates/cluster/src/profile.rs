@@ -12,7 +12,7 @@
 use crate::spec::{parse_model, parse_scale, ClusterRequest};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use stonne::core::{NaturalOrder, SimCache, SimStats};
+use stonne::core::{NaturalOrder, SimCache, SimContext, SimStats};
 use stonne::models::zoo;
 use stonne::nn::params::{generate_input, ModelParams};
 use stonne::nn::runner::{run_model_simulated_with, RunOptions};
@@ -60,6 +60,9 @@ fn strip_volatile(stats: &mut SimStats) {
     stats.sim_cache_misses = 0;
     stats.sim_cache_inserts = 0;
     stats.engine_invocations = 0;
+    stats.tile_cache_hits = 0;
+    stats.tile_cache_misses = 0;
+    stats.tile_cache_assembled = 0;
 }
 
 /// Profiles one (instance, model) pair.
@@ -68,6 +71,7 @@ fn profile_one(
     instance: usize,
     model_index: usize,
     cache: &SimCache,
+    context: &SimContext,
     parallel: bool,
 ) -> Result<RequestProfile, String> {
     let spec = &request.instances[instance];
@@ -86,7 +90,9 @@ fn profile_one(
     let sparsity = request.sparsity.unwrap_or_else(|| model.weight_sparsity());
     let params = ModelParams::generate_with_sparsity(&model, request.seed, sparsity);
     let input = generate_input(&model, request.seed ^ 1);
-    let mut options = RunOptions::new().with_cache(cache.clone());
+    let mut options = RunOptions::new()
+        .with_context(context.clone())
+        .with_cache(cache.clone());
     if parallel {
         options = options.parallel();
     }
@@ -131,12 +137,18 @@ pub fn build_profiles(
 ) -> Result<Vec<Vec<RequestProfile>>, String> {
     let instances = request.instances.len();
     let models = request.models.len();
+    // One tile-record context for the whole profiling phase: every
+    // (instance, model) pair reuses per-tile timing records across runs
+    // instead of rebuilding scratch state per pair. Records replay exact
+    // stats, and `strip_volatile` drops the hit/miss bookkeeping, so the
+    // profiles stay a pure function of the request.
+    let context = SimContext::new();
     let flat: Vec<RequestProfile> = match mode {
         ExecMode::Serial => {
             let mut out = Vec::with_capacity(instances * models);
             for i in 0..instances {
                 for m in 0..models {
-                    out.push(profile_one(request, i, m, cache, false)?);
+                    out.push(profile_one(request, i, m, cache, &context, false)?);
                 }
             }
             out
@@ -146,7 +158,8 @@ pub fn build_profiles(
                 .map(|k| {
                     let request = request.clone();
                     let cache = cache.clone();
-                    move || profile_one(&request, k / models, k % models, &cache, true)
+                    let context = context.clone();
+                    move || profile_one(&request, k / models, k % models, &cache, &context, true)
                 })
                 .collect();
             stonne::nn::run_parallel(tasks)

@@ -27,6 +27,7 @@
 //! analytical models miss (Fig. 1b).
 
 use crate::config::{AcceleratorConfig, Dataflow};
+use crate::context::{EngineScratch as Scratch, SimContext, TileRecord};
 use crate::mapping::{LayerDims, Tile};
 use crate::networks::{DistributionNetwork, MultiplierNetwork, ReductionNetwork};
 use crate::stats::SimStats;
@@ -97,6 +98,33 @@ pub fn run_dense_with(
     operand: &DenseOperand,
     workers: usize,
 ) -> (Matrix, SimStats) {
+    run_dense_ctx(
+        config,
+        operation,
+        layer,
+        tile,
+        operand,
+        workers,
+        &SimContext::new(),
+    )
+}
+
+/// [`run_dense_with`] threaded through a shared [`SimContext`]: per-tile
+/// timing records are replayed from (and derived into) the context's tile
+/// cache, and scratch buffers come from its pool. The public wrappers use
+/// a fresh context per call (tile reuse still collapses a layer's
+/// identical filter chunks); [`crate::Stonne`] threads its own so records
+/// persist across layers, models, and sweep points.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_dense_ctx(
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    operand: &DenseOperand,
+    workers: usize,
+    sim: &SimContext,
+) -> (Matrix, SimStats) {
     let m = operand.weights.rows();
     let k_len = operand.weights.cols();
     let n = operand.inputs.cols();
@@ -107,13 +135,13 @@ pub fn run_dense_with(
 
     match config.dataflow {
         Dataflow::WeightStationary => run_weight_stationary(
-            config, operation, layer, tile, operand, m, k_len, n, workers,
+            config, operation, layer, tile, operand, m, k_len, n, workers, sim,
         ),
         Dataflow::OutputStationary => run_output_stationary(
-            config, operation, layer, tile, operand, m, k_len, n, workers,
+            config, operation, layer, tile, operand, m, k_len, n, workers, sim,
         ),
         Dataflow::InputStationary => {
-            run_input_stationary(config, operation, layer, tile, operand, m, n, workers)
+            run_input_stationary(config, operation, layer, tile, operand, m, n, workers, sim)
         }
     }
 }
@@ -135,6 +163,7 @@ fn run_input_stationary(
     m: usize,
     n: usize,
     workers: usize,
+    sim: &SimContext,
 ) -> (Matrix, SimStats) {
     let k_len = operand.inputs.rows();
     let swapped =
@@ -147,7 +176,7 @@ fn run_input_stationary(
     let mut cfg = config.clone();
     cfg.dataflow = Dataflow::WeightStationary;
     let (out_t, mut stats) = run_weight_stationary(
-        &cfg, operation, &t_layer, &t_tile, &swapped, n, k_len, m, workers,
+        &cfg, operation, &t_layer, &t_tile, &swapped, n, k_len, m, workers, sim,
     );
     stats.operation = format!("{operation} [IS]");
     (out_t.transposed(), stats)
@@ -206,17 +235,6 @@ fn replay_folded(operand: &DenseOperand, cluster: usize) -> Matrix {
         }
     }
     out
-}
-
-/// Reusable per-worker scratch buffers: every steady-state step of a run
-/// borrows these instead of allocating (the hot loops are
-/// allocation-free after warm-up).
-#[derive(Debug, Default)]
-struct Scratch {
-    /// Address workspace of [`unique_inputs`].
-    addrs: Vec<u32>,
-    /// Per-fold accumulator row of [`compute_chunk_output`].
-    acc: Vec<Elem>,
 }
 
 /// Computes a filter chunk's functional output (rows `k_lo..k_hi`, all
@@ -344,21 +362,21 @@ struct WsCtx<'a> {
     trivial_addrs: bool,
 }
 
-/// Simulates one stationary filter chunk (filters `k_lo..k_hi`) of a WS
-/// run: weight loads, input streaming, compute/reduce steps, and the
-/// chunk's pipeline drain. Writes the chunk's output rows into
-/// `out_rows` (rows `k_lo..k_hi` row-major, `ctx.n` columns each) and
-/// accumulates activity into `stats`. `cycles` is the absolute start
+/// Simulates the timing/activity of one stationary filter chunk
+/// (`chunk_filters` filters wide) of a WS run: weight loads, input
+/// streaming, compute/reduce steps, and the chunk's pipeline drain.
+/// Accumulates activity into `stats`; `cycles` is the absolute start
 /// cycle (trace spans are absolute); returns the cycle after the drain.
 ///
-/// Chunks touch disjoint output rows and carry no state between each
-/// other beyond the additive cycle/stat totals — the disjoint-tile
-/// invariant that makes intra-layer parallelism bitwise-safe.
-fn ws_filter_chunk(
+/// The walk depends only on the chunk's *width*, never on which filters
+/// it covers — every full-width chunk of a layer shares one accounting
+/// record, which is what makes the tile-grain cache exact. Chunks touch
+/// disjoint output rows and carry no state between each other beyond the
+/// additive cycle/stat totals — the disjoint-tile invariant that makes
+/// intra-layer parallelism (and record assembly) bitwise-safe.
+fn ws_chunk_accounting(
     ctx: &WsCtx<'_>,
-    k_lo: usize,
-    k_hi: usize,
-    out_rows: &mut [Elem],
+    chunk_filters: usize,
     stats: &mut SimStats,
     mut cycles: u64,
     scratch: &mut Scratch,
@@ -367,8 +385,6 @@ fn ws_filter_chunk(
     let dn_probe = Probe::new(Component::DistributionNetwork);
     let mn_probe = Probe::new(Component::MultiplierNetwork);
     let rn_probe = Probe::new(Component::ReductionNetwork);
-    let chunk_filters = k_hi - k_lo;
-    compute_chunk_output(ctx, k_lo, k_hi, out_rows, &mut scratch.acc);
 
     for block in ctx.pos_chunks.chunks(ctx.chunks_per_block) {
         for fold in 0..ctx.folds {
@@ -475,6 +491,7 @@ fn run_weight_stationary(
     k_len: usize,
     n: usize,
     workers: usize,
+    sim: &SimContext,
 ) -> (Matrix, SimStats) {
     let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
     let mn = MultiplierNetwork::new(config.mn, config.ms_size);
@@ -492,13 +509,6 @@ fn run_weight_stationary(
         0
     };
 
-    let mut out = Matrix::zeros(m, n);
-    let mut stats = SimStats {
-        accelerator: config.name.clone(),
-        operation: operation.to_owned(),
-        ms_size: config.ms_size,
-        ..SimStats::default()
-    };
     let pos_chunks = position_chunks(layer, n, t_pos);
 
     // Position-blocked schedule: the controller walks output positions in
@@ -529,14 +539,163 @@ fn run_weight_stationary(
         spill,
         trivial_addrs: has_trivial_addrs(operand),
     };
+    drive_filter_chunks(
+        "flex-ws",
+        config,
+        operation,
+        layer,
+        tile,
+        &ctx,
+        m,
+        workers,
+        sim,
+        ws_chunk_accounting,
+    )
+}
+
+/// Canonical tile-record key prefix of one flexible-engine invocation:
+/// everything the width-only accounting walk depends on — configuration
+/// (networks, bandwidths, dataflow), output-row extent (position
+/// chunking), dot length (folds), streamed positions, tile geometry, and
+/// the operand's address-reuse class (`id` for trivial GEMM maps, a
+/// base-normalized pattern hash otherwise). The filter count `m` is
+/// deliberately absent: layers differing only in filter count share
+/// records, chunk-width classes are keyed separately (`|w=`).
+fn flex_tile_key(
+    key: &mut String,
+    kind: &str,
+    config: &AcceleratorConfig,
+    layer: &LayerDims,
+    tile: &Tile,
+    ctx: &WsCtx<'_>,
+) {
+    use std::fmt::Write as _;
+    let _ = write!(key, "{kind}|");
+    config.write_cfg_string(key);
+    let _ = write!(
+        key,
+        "|yp={}|k={}|n={}|tile={:?}|addrs=",
+        layer.yp, ctx.k_len, ctx.n, tile,
+    );
+    if ctx.trivial_addrs {
+        key.push_str("id");
+    } else {
+        let _ = write!(
+            key,
+            "h{:016x}",
+            crate::cache::addrs_hash(&ctx.operand.addrs)
+        );
+    }
+}
+
+/// Shared chunk-walk driver of the WS and OS runs: computes every filter
+/// chunk's functional output, then accounts timing either through the
+/// tile-grain cache (one record per chunk-width class, replayed and
+/// assembled chunk-ascending) or the plain per-chunk walk. Tracing
+/// bypasses the cache — spans carry absolute cycles, so replay would drop
+/// them — which also keeps traces trivially identical with the cache on.
+#[allow(clippy::too_many_arguments)]
+fn drive_filter_chunks(
+    kind: &str,
+    config: &AcceleratorConfig,
+    operation: &str,
+    layer: &LayerDims,
+    tile: &Tile,
+    ctx: &WsCtx<'_>,
+    m: usize,
+    workers: usize,
+    sim: &SimContext,
+    chunk_accounting: fn(&WsCtx<'_>, usize, &mut SimStats, u64, &mut Scratch) -> u64,
+) -> (Matrix, SimStats) {
+    let t_k = tile.t_k * tile.t_g;
+    let n = ctx.n;
+    let mut out = Matrix::zeros(m, n);
+    let mut stats = SimStats {
+        accelerator: config.name.clone(),
+        operation: operation.to_owned(),
+        ms_size: config.ms_size,
+        ..SimStats::default()
+    };
     let k_chunks = m.div_ceil(t_k);
     let chunk_bounds = |kc: usize| (kc * t_k, (kc * t_k + t_k).min(m));
-    if parallel_over(workers, k_chunks) {
-        let blocks = out.as_mut_slice().chunks_mut(t_k * n);
-        let partials = run_chunks_parallel(workers, k_chunks, blocks, |kc, block, scratch| {
+
+    if sim.tile_cache_enabled() && !crate::trace::is_active() {
+        // Resolve the chunk-width classes first: all full-width chunks
+        // share one record, the ragged last chunk (if any) adds a second,
+        // so the context is consulted at most twice per invocation. The
+        // key lives in a pooled buffer (prefix once, truncate-and-append
+        // per class) so warm lookups are allocation-free.
+        use std::fmt::Write as _;
+        let mut key = sim.take_key_buf();
+        flex_tile_key(&mut key, kind, config, layer, tile, ctx);
+        let prefix_len = key.len();
+        let mut scratch = sim.take_scratch();
+        // At most two width classes exist (full and ragged), so the class
+        // table is a stack array — no heap allocation per invocation.
+        let mut classes: [Option<(usize, TileRecord)>; 2] = [None, None];
+        for kc in 0..k_chunks {
             let (k_lo, k_hi) = chunk_bounds(kc);
+            let w = k_hi - k_lo;
+            if classes.iter().flatten().any(|(cw, _)| *cw == w) {
+                continue;
+            }
+            key.truncate(prefix_len);
+            let _ = write!(key, "|w={w}");
+            let record = if let Some(r) = sim.tile_lookup(&key) {
+                stats.tile_cache_hits += 1;
+                r
+            } else {
+                stats.tile_cache_misses += 1;
+                let mut local = SimStats::default();
+                let end = chunk_accounting(ctx, w, &mut local, 0, &mut scratch);
+                local.cycles = end;
+                let r = TileRecord::new(local);
+                sim.tile_insert(&key, r.clone());
+                r
+            };
+            *classes
+                .iter_mut()
+                .find(|slot| slot.is_none())
+                .expect("a chunk grid has at most two width classes") = Some((w, record));
+        }
+        sim.put_key_buf(key);
+        // Functional outputs: the exact per-chunk kernel, fanned out when
+        // the worker budget allows (partial stats are not needed).
+        if parallel_over(workers, k_chunks) {
+            let blocks = out.as_mut_slice().chunks_mut(t_k * n);
+            run_chunks_parallel(workers, k_chunks, blocks, sim, |kc, block, scratch| {
+                let (k_lo, k_hi) = chunk_bounds(kc);
+                compute_chunk_output(ctx, k_lo, k_hi, block, &mut scratch.acc);
+                SimStats::default()
+            });
+        } else {
+            for (kc, block) in out.as_mut_slice().chunks_mut(t_k * n).enumerate() {
+                let (k_lo, k_hi) = chunk_bounds(kc);
+                compute_chunk_output(ctx, k_lo, k_hi, block, &mut scratch.acc);
+            }
+        }
+        sim.put_scratch(scratch);
+        // Assemble the layer from the records chunk-ascending — the same
+        // deterministic merge order the intra-layer parallel path uses,
+        // so cycles, counters, and breakdowns are bitwise-stable.
+        for kc in 0..k_chunks {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            let w = k_hi - k_lo;
+            let record = classes
+                .iter()
+                .flatten()
+                .find_map(|(cw, r)| (*cw == w).then_some(r))
+                .expect("every width class resolved above");
+            stats.merge(&record.stats);
+            stats.tile_cache_assembled += 1;
+        }
+    } else if parallel_over(workers, k_chunks) {
+        let blocks = out.as_mut_slice().chunks_mut(t_k * n);
+        let partials = run_chunks_parallel(workers, k_chunks, blocks, sim, |kc, block, scratch| {
+            let (k_lo, k_hi) = chunk_bounds(kc);
+            compute_chunk_output(ctx, k_lo, k_hi, block, &mut scratch.acc);
             let mut local = SimStats::default();
-            let cycles = ws_filter_chunk(&ctx, k_lo, k_hi, block, &mut local, 0, scratch);
+            let cycles = chunk_accounting(ctx, k_hi - k_lo, &mut local, 0, scratch);
             SimStats { cycles, ..local }
         });
         for partial in &partials {
@@ -544,11 +703,13 @@ fn run_weight_stationary(
         }
     } else {
         let mut cycles: u64 = 0;
-        let mut scratch = Scratch::default();
+        let mut scratch = sim.take_scratch();
         for (kc, block) in out.as_mut_slice().chunks_mut(t_k * n).enumerate() {
             let (k_lo, k_hi) = chunk_bounds(kc);
-            cycles = ws_filter_chunk(&ctx, k_lo, k_hi, block, &mut stats, cycles, &mut scratch);
+            compute_chunk_output(ctx, k_lo, k_hi, block, &mut scratch.acc);
+            cycles = chunk_accounting(ctx, k_hi - k_lo, &mut stats, cycles, &mut scratch);
         }
+        sim.put_scratch(scratch);
         stats.cycles = cycles;
     }
     (out, stats)
@@ -572,6 +733,7 @@ fn run_chunks_parallel<'e, F>(
     workers: usize,
     k_chunks: usize,
     blocks: std::slice::ChunksMut<'e, Elem>,
+    sim: &SimContext,
     chunk_fn: F,
 ) -> Vec<SimStats>
 where
@@ -590,11 +752,13 @@ where
             .into_iter()
             .map(|assignment| {
                 scope.spawn(|| {
-                    let mut scratch = Scratch::default();
-                    assignment
+                    let mut scratch = sim.take_scratch();
+                    let locals = assignment
                         .into_iter()
                         .map(|(kc, block)| (kc, chunk_fn(kc, block, &mut scratch)))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    sim.put_scratch(scratch);
+                    locals
                 })
             })
             .collect();
@@ -610,14 +774,13 @@ where
         .collect()
 }
 
-/// One filter chunk of an output-stationary run: outputs stay pinned in
-/// the accumulators while weights AND inputs stream per fold. Same
-/// disjoint-row contract as [`ws_filter_chunk`].
-fn os_filter_chunk(
+/// Timing/activity of one filter chunk of an output-stationary run:
+/// outputs stay pinned in the accumulators while weights AND inputs
+/// stream per fold. Same width-only/disjoint-row contract as
+/// [`ws_chunk_accounting`].
+fn os_chunk_accounting(
     ctx: &WsCtx<'_>,
-    k_lo: usize,
-    k_hi: usize,
-    out_rows: &mut [Elem],
+    chunk_filters: usize,
     stats: &mut SimStats,
     mut cycles: u64,
     scratch: &mut Scratch,
@@ -625,8 +788,6 @@ fn os_filter_chunk(
     let ctrl = Probe::new(Component::Controller);
     let mn_probe = Probe::new(Component::MultiplierNetwork);
     let rn_probe = Probe::new(Component::ReductionNetwork);
-    let chunk_filters = k_hi - k_lo;
-    compute_chunk_output(ctx, k_lo, k_hi, out_rows, &mut scratch.acc);
 
     for &(pos, pos_hi) in ctx.pos_chunks {
         let chunk_pos = pos_hi - pos;
@@ -698,23 +859,16 @@ fn run_output_stationary(
     k_len: usize,
     n: usize,
     workers: usize,
+    sim: &SimContext,
 ) -> (Matrix, SimStats) {
     let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
     let mn = MultiplierNetwork::new(config.mn, config.ms_size);
     let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
 
     let cluster = tile.cluster_size();
-    let t_k = tile.t_k * tile.t_g;
     let t_pos = tile.t_n * tile.t_xp * tile.t_yp;
     let folds = k_len.div_ceil(cluster);
 
-    let mut out = Matrix::zeros(m, n);
-    let mut stats = SimStats {
-        accelerator: config.name.clone(),
-        operation: operation.to_owned(),
-        ms_size: config.ms_size,
-        ..SimStats::default()
-    };
     let pos_chunks = position_chunks(layer, n, t_pos);
     let ctx = WsCtx {
         operand,
@@ -730,29 +884,18 @@ fn run_output_stationary(
         spill: false,        // outputs never spill: they are pinned
         trivial_addrs: has_trivial_addrs(operand),
     };
-    let k_chunks = m.div_ceil(t_k);
-    let chunk_bounds = |kc: usize| (kc * t_k, (kc * t_k + t_k).min(m));
-    if parallel_over(workers, k_chunks) {
-        let blocks = out.as_mut_slice().chunks_mut(t_k * n);
-        let partials = run_chunks_parallel(workers, k_chunks, blocks, |kc, block, scratch| {
-            let (k_lo, k_hi) = chunk_bounds(kc);
-            let mut local = SimStats::default();
-            let cycles = os_filter_chunk(&ctx, k_lo, k_hi, block, &mut local, 0, scratch);
-            SimStats { cycles, ..local }
-        });
-        for partial in &partials {
-            stats.merge(partial);
-        }
-    } else {
-        let mut cycles: u64 = 0;
-        let mut scratch = Scratch::default();
-        for (kc, block) in out.as_mut_slice().chunks_mut(t_k * n).enumerate() {
-            let (k_lo, k_hi) = chunk_bounds(kc);
-            cycles = os_filter_chunk(&ctx, k_lo, k_hi, block, &mut stats, cycles, &mut scratch);
-        }
-        stats.cycles = cycles;
-    }
-    (out, stats)
+    drive_filter_chunks(
+        "flex-os",
+        config,
+        operation,
+        layer,
+        tile,
+        &ctx,
+        m,
+        workers,
+        sim,
+        os_chunk_accounting,
+    )
 }
 
 #[cfg(test)]
@@ -928,6 +1071,45 @@ mod tests {
                 );
                 assert_eq!(serial, par, "{dataflow:?} x{workers}: stats must match");
             }
+        }
+    }
+
+    #[test]
+    fn tile_cache_is_bitwise_invisible_and_collapses_width_classes() {
+        // On-vs-off must agree on output bits and every stat except the
+        // tile counters themselves; a shared context must then replay the
+        // records (zero misses) on a second identical invocation.
+        for (seed, dataflow) in [
+            (51, Dataflow::WeightStationary),
+            (52, Dataflow::OutputStationary),
+            (53, Dataflow::InputStationary),
+        ] {
+            let (_, _, op) = gemm_setup(24, 13, 40, seed);
+            let layer = LayerDims::from_gemm(24, 13, 40);
+            let tile = Tile::auto(&layer, 32); // several k-chunks
+            let mut cfg = AcceleratorConfig::maeri_like(32, 8);
+            cfg.dataflow = dataflow;
+            let (off_out, off) =
+                run_dense_ctx(&cfg, "g", &layer, &tile, &op, 1, &SimContext::disabled());
+            let shared = SimContext::new();
+            let (on_out, on) = run_dense_ctx(&cfg, "g", &layer, &tile, &op, 1, &shared);
+            assert_eq!(off_out.as_slice(), on_out.as_slice(), "{dataflow:?}");
+            let mut stripped = on.clone();
+            stripped.tile_cache_hits = 0;
+            stripped.tile_cache_misses = 0;
+            stripped.tile_cache_assembled = 0;
+            assert_eq!(off, stripped, "{dataflow:?}: only tile counters differ");
+            // Many chunks collapse onto at most two width-class records.
+            assert!(
+                (1..=2).contains(&on.tile_cache_misses),
+                "{dataflow:?}: misses {}",
+                on.tile_cache_misses
+            );
+            assert!(on.tile_cache_assembled > u64::from(on.tile_cache_misses > 0));
+            let (re_out, re) = run_dense_ctx(&cfg, "g", &layer, &tile, &op, 1, &shared);
+            assert_eq!(re_out.as_slice(), on_out.as_slice(), "{dataflow:?}");
+            assert_eq!(re.tile_cache_misses, 0, "{dataflow:?}: warm context");
+            assert!(re.tile_cache_hits >= 1, "{dataflow:?}");
         }
     }
 

@@ -23,6 +23,7 @@
 //! estimate wins, as SIGMA's flexible substrate allows.
 
 use crate::config::{AcceleratorConfig, SparseFormat};
+use crate::context::{SimContext, TileRecord};
 use crate::networks::{ceil_log2, DistributionNetwork, ReductionNetwork};
 use crate::stats::SimStats;
 use crate::trace::{Component, Probe};
@@ -266,6 +267,24 @@ pub fn run_spmm(
     b: &Matrix,
     schedule: &dyn RowSchedule,
 ) -> SparseRun {
+    run_spmm_ctx(config, operation, a, b, schedule, &SimContext::new())
+}
+
+/// [`run_spmm`] threaded through a shared [`SimContext`]: on the
+/// weight-stationary path without activation sparsity, each packing
+/// iteration's timing/activity (and its expensive distinct-k union) is
+/// one record keyed on (configuration, streamed columns, CSR sparsity
+/// pattern, packed-segment signature). The activation-sparsity mode and
+/// the GEMV input-stationary path read streaming values per column and
+/// are exempt. The functional SpMM always runs.
+pub(crate) fn run_spmm_ctx(
+    config: &AcceleratorConfig,
+    operation: &str,
+    a: &CsrMatrix,
+    b: &Matrix,
+    schedule: &dyn RowSchedule,
+    sim: &SimContext,
+) -> SparseRun {
     assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
     let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
     assert!(
@@ -283,7 +302,7 @@ pub fn run_spmm(
     if is_estimate < ws_estimate {
         run_input_stationary(config, operation, a, b, &row_nnz)
     } else {
-        run_weight_stationary(config, operation, a, b, &order, &row_nnz, schedule)
+        run_weight_stationary(config, operation, a, b, &order, &row_nnz, schedule, sim)
     }
 }
 
@@ -313,6 +332,7 @@ fn estimate_input_stationary(
     (k as u64).div_ceil(config.dn_bandwidth as u64) + dispatches + ceil_log2(config.ms_size) as u64
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_weight_stationary(
     config: &AcceleratorConfig,
     operation: &str,
@@ -321,6 +341,7 @@ fn run_weight_stationary(
     order: &[usize],
     row_nnz: &[usize],
     schedule: &dyn RowSchedule,
+    sim: &SimContext,
 ) -> SparseRun {
     let dn = DistributionNetwork::new(config.dn, config.ms_size, config.dn_bandwidth);
     let rn = ReductionNetwork::new(config.rn, config.ms_size, config.rn_bandwidth);
@@ -346,8 +367,80 @@ fn run_weight_stationary(
     let rows: Vec<Vec<(usize, Elem)>> = (0..m).map(|r| a.row_entries(r).collect()).collect();
     let bt = b.transposed();
 
+    // Tile-grain memoization applies only to the uniform branch: the
+    // activation-sparsity mode reads streaming values per column, so its
+    // accounting is not a function of the packing pattern alone. Tracing
+    // bypasses the cache (spans carry absolute cycles).
+    let dual = config.exploit_activation_sparsity;
+    // The key lives in a pooled buffer (prefix once, truncate-and-append
+    // per segment pack) so warm lookups are allocation-free.
+    let mut tile_key =
+        (!dual && sim.tile_cache_enabled() && !crate::trace::is_active()).then(|| {
+            use std::fmt::Write as _;
+            let mut key = sim.take_key_buf();
+            let _ = write!(key, "spmm-ws|");
+            config.write_cfg_string(&mut key);
+            let _ = write!(
+                key,
+                "|n={n}|pat=h{:016x}",
+                crate::cache::csr_pattern_hash(a)
+            );
+            let prefix_len = key.len();
+            (key, prefix_len)
+        });
+
     for segments in &iterations {
         let occupied: usize = segments.iter().map(|s| s.len).sum();
+
+        if let Some((key, prefix_len)) = &mut tile_key {
+            // Functional outputs in the exact engine order (always).
+            uniform_functional(&mut out, &bt, &rows, segments, n);
+            use std::fmt::Write as _;
+            key.truncate(*prefix_len);
+            let _ = write!(key, "|seg=h{:016x}", segments_signature(segments));
+            let record = if let Some(r) = sim.tile_lookup(key) {
+                stats.tile_cache_hits += 1;
+                r
+            } else {
+                stats.tile_cache_misses += 1;
+                let mut local = SimStats::default();
+                let (end, distinct_k) =
+                    ws_iteration_accounting(&dn, &rn, &rows, segments, occupied, n, &mut local, 0);
+                local.cycles = end;
+                let r = TileRecord {
+                    stats: local,
+                    distinct_k: distinct_k as u64,
+                };
+                sim.tile_insert(key, r.clone());
+                r
+            };
+            iter_infos.push(IterationInfo {
+                segments: segments.len(),
+                ms_occupied: occupied,
+                distinct_k: record.distinct_k as usize,
+            });
+            stats.merge(&record.stats);
+            stats.tile_cache_assembled += 1;
+            continue;
+        }
+
+        if !dual {
+            // Uncached uniform walk: functional compute plus the same
+            // accounting the records memoize, at absolute trace cycles.
+            uniform_functional(&mut out, &bt, &rows, segments, n);
+            let (end, distinct_k) =
+                ws_iteration_accounting(&dn, &rn, &rows, segments, occupied, n, &mut stats, cycles);
+            cycles = end;
+            iter_infos.push(IterationInfo {
+                segments: segments.len(),
+                ms_occupied: occupied,
+                distinct_k,
+            });
+            continue;
+        }
+
+        // Activation-sparsity (dual) mode: per-column delivery depends on
+        // the streaming values, so the walk stays fully inline.
         // Stationary load: every non-zero weight is a distinct value.
         let load_cycles = dn.delivery_cycles(occupied).max(1);
         ctrl.span("load-weights", cycles, cycles + load_cycles);
@@ -380,12 +473,11 @@ fn run_weight_stationary(
         let outcome = rn.reduce(&cluster_sizes);
         let collect = rn.collection_cycles(segments.len());
 
-        // Streaming phase: one pipelined step per KN column. With
-        // activation-sparsity support, only the column's non-zero inputs
-        // among the stationary indices are delivered and multiplied.
-        let dual = config.exploit_activation_sparsity;
+        // Streaming phase: one pipelined step per KN column; only the
+        // column's non-zero inputs among the stationary indices are
+        // delivered and multiplied.
         let stream_start = cycles;
-        if dual {
+        {
             for col in 0..n {
                 let bcol = bt.row(col);
                 let delivered = ks.iter().filter(|&&k| bcol[k] != 0.0).count();
@@ -422,43 +514,6 @@ fn run_weight_stationary(
                 stats.compute_cycles += 1;
                 stats.bandwidth_stall_cycles += step.saturating_sub(1);
             }
-        } else {
-            // Without activation sparsity every column delivers the same
-            // `distinct_k` inputs and multiplies every mapped non-zero,
-            // so the per-column accounting is uniform: compute the f32
-            // outputs column by column (exact engine order) and add the
-            // n identical step costs in bulk.
-            for col in 0..n {
-                let bcol = bt.row(col);
-                for seg in segments {
-                    let mut acc: Elem = 0.0;
-                    for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
-                        acc += w * bcol[k];
-                    }
-                    let cur = out.get(seg.row, col);
-                    out.set(seg.row, col, cur + acc);
-                }
-            }
-            let n64 = n as u64;
-            let step = dn.delivery_cycles(distinct_k).max(1).max(collect);
-            let deliver_floor = dn.delivery_cycles(distinct_k).max(1);
-            let accumulating = segments.iter().filter(|s| s.accumulate).count() as u64;
-            stats.counters.accumulator_updates += accumulating * n64;
-            stats.counters.multiplications += occupied as u64 * n64;
-            stats.ms_busy_cycles += occupied as u64 * n64;
-            stats.counters.rn_adder_ops += outcome.adder_ops * n64;
-            stats.counters.rn_collections += segments.len() as u64 * n64;
-            stats.counters.gb_writes += segments.len() as u64 * n64;
-            // The DN activity formulas are linear in (unique, dests), so
-            // one bulk call equals n per-column calls.
-            dn.account(&mut stats.counters, distinct_k * n, occupied * n);
-            stats.counters.gb_reads += distinct_k as u64 * n64;
-            stats.breakdown.steady_cycles += n64;
-            stats.breakdown.fifo_stall_cycles += deliver_floor.saturating_sub(1) * n64;
-            stats.breakdown.reduction_stall_cycles += (step - deliver_floor) * n64;
-            cycles += step * n64;
-            stats.compute_cycles += n64;
-            stats.bandwidth_stall_cycles += step.saturating_sub(1) * n64;
         }
         ctrl.span("stream", stream_start, cycles);
         mn_probe.span("compute", stream_start, cycles);
@@ -473,13 +528,141 @@ fn run_weight_stationary(
         stats.iterations += 1;
     }
 
-    stats.cycles = cycles;
+    if let Some((key, _)) = tile_key {
+        sim.put_key_buf(key);
+    } else {
+        stats.cycles = cycles;
+    }
     SparseRun {
         output: out,
         stats,
         iterations: iter_infos,
         input_stationary: false,
     }
+}
+
+/// Functional outputs of one uniform-branch packing iteration, column by
+/// column in the exact engine accumulation order (segment partial sums
+/// applied in packing order) — shared by the cached and uncached walks.
+fn uniform_functional(
+    out: &mut Matrix,
+    bt: &Matrix,
+    rows: &[Vec<(usize, Elem)>],
+    segments: &[Segment],
+    n: usize,
+) {
+    for col in 0..n {
+        let bcol = bt.row(col);
+        for seg in segments {
+            let mut acc: Elem = 0.0;
+            for &(k, w) in &rows[seg.row][seg.start..seg.start + seg.len] {
+                acc += w * bcol[k];
+            }
+            let cur = out.get(seg.row, col);
+            out.set(seg.row, col, cur + acc);
+        }
+    }
+}
+
+/// Stable signature of a packed iteration: which row segments were mapped
+/// and whether each accumulates. Combined with the CSR pattern hash in
+/// the tile key, it pins everything the uniform accounting (and its
+/// distinct-k union) depends on.
+fn segments_signature(segments: &[Segment]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    segments.len().hash(&mut h);
+    for s in segments {
+        (s.row, s.start, s.len, s.accumulate).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Timing/activity of one uniform-branch packing iteration: stationary
+/// load, the distinct-k union, `n` identical streaming steps charged in
+/// bulk, and the FAN drain. Starts at absolute cycle `cycles` (trace
+/// spans are absolute); returns `(end_cycle, distinct_k)`. Never reads
+/// streaming values — the property that makes the per-iteration records
+/// exact.
+#[allow(clippy::too_many_arguments)]
+fn ws_iteration_accounting(
+    dn: &DistributionNetwork,
+    rn: &ReductionNetwork,
+    rows: &[Vec<(usize, Elem)>],
+    segments: &[Segment],
+    occupied: usize,
+    n: usize,
+    stats: &mut SimStats,
+    mut cycles: u64,
+) -> (u64, usize) {
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
+
+    // Stationary load: every non-zero weight is a distinct value.
+    let load_cycles = dn.delivery_cycles(occupied).max(1);
+    ctrl.span("load-weights", cycles, cycles + load_cycles);
+    dn_probe.span("weights", cycles, cycles + load_cycles);
+    stats.breakdown.fill_cycles += load_cycles;
+    cycles += load_cycles;
+    dn.account(&mut stats.counters, occupied, occupied);
+    stats.counters.gb_reads += occupied as u64;
+    stats.counters.metadata_reads += segments.len() as u64 + occupied as u64;
+
+    // Union of stationary column indices = streaming fetch width.
+    let mut ks: Vec<usize> = segments
+        .iter()
+        .flat_map(|s| {
+            rows[s.row][s.start..s.start + s.len]
+                .iter()
+                .map(|(k, _)| *k)
+        })
+        .collect();
+    ks.sort_unstable();
+    ks.dedup();
+    let distinct_k = ks.len();
+
+    let cluster_sizes: Vec<usize> = segments.iter().map(|s| s.len).collect();
+    let outcome = rn.reduce(&cluster_sizes);
+    let collect = rn.collection_cycles(segments.len());
+
+    // Every column delivers the same `distinct_k` inputs and multiplies
+    // every mapped non-zero, so the per-column accounting is uniform: add
+    // the n identical step costs in bulk.
+    let stream_start = cycles;
+    let n64 = n as u64;
+    let step = dn.delivery_cycles(distinct_k).max(1).max(collect);
+    let deliver_floor = dn.delivery_cycles(distinct_k).max(1);
+    let accumulating = segments.iter().filter(|s| s.accumulate).count() as u64;
+    stats.counters.accumulator_updates += accumulating * n64;
+    stats.counters.multiplications += occupied as u64 * n64;
+    stats.ms_busy_cycles += occupied as u64 * n64;
+    stats.counters.rn_adder_ops += outcome.adder_ops * n64;
+    stats.counters.rn_collections += segments.len() as u64 * n64;
+    stats.counters.gb_writes += segments.len() as u64 * n64;
+    // The DN activity formulas are linear in (unique, dests), so one bulk
+    // call equals n per-column calls.
+    dn.account(&mut stats.counters, distinct_k * n, occupied * n);
+    stats.counters.gb_reads += distinct_k as u64 * n64;
+    stats.breakdown.steady_cycles += n64;
+    stats.breakdown.fifo_stall_cycles += deliver_floor.saturating_sub(1) * n64;
+    stats.breakdown.reduction_stall_cycles += (step - deliver_floor) * n64;
+    cycles += step * n64;
+    stats.compute_cycles += n64;
+    stats.bandwidth_stall_cycles += step.saturating_sub(1) * n64;
+    ctrl.span("stream", stream_start, cycles);
+    mn_probe.span("compute", stream_start, cycles);
+
+    // FAN pipeline fill/drain between reconfigurations (same reduce
+    // outcome as the streaming steps — memoized above).
+    let drain = outcome.latency + 1;
+    ctrl.span("drain", cycles, cycles + drain);
+    rn_probe.span("drain", cycles, cycles + drain);
+    stats.breakdown.drain_cycles += drain;
+    cycles += drain;
+    stats.iterations += 1;
+    (cycles, distinct_k)
 }
 
 fn run_input_stationary(
@@ -665,6 +848,42 @@ mod tests {
         let csr = CsrMatrix::from_dense(&a);
         let run = run_spmm(&cfg, "spmm", &csr, &b, &NaturalOrder);
         assert_slices_close(run.output.as_slice(), spmm_reference(&csr, &b).as_slice());
+    }
+
+    #[test]
+    fn tile_cache_matches_uncached_bitwise() {
+        let a = sparse_a(24, 40, 0.6, 7);
+        let mut rng = SeededRng::new(8);
+        let b = Matrix::random(40, 9, &mut rng);
+        let cfg = AcceleratorConfig::sigma_like(16, 16);
+        let csr = CsrMatrix::from_dense(&a);
+        let off = run_spmm_ctx(
+            &cfg,
+            "spmm",
+            &csr,
+            &b,
+            &NaturalOrder,
+            &SimContext::disabled(),
+        );
+        let shared = SimContext::new();
+        let on = run_spmm_ctx(&cfg, "spmm", &csr, &b, &NaturalOrder, &shared);
+        assert_eq!(off.output, on.output);
+        assert_eq!(off.iterations, on.iterations);
+        let mut stripped = on.stats.clone();
+        stripped.tile_cache_hits = 0;
+        stripped.tile_cache_misses = 0;
+        stripped.tile_cache_assembled = 0;
+        assert_eq!(off.stats, stripped, "only the tile counters may differ");
+        assert!(on.stats.tile_cache_misses > 0);
+        assert_eq!(
+            on.stats.tile_cache_assembled,
+            on.iterations.len() as u64,
+            "one record merge per packing iteration"
+        );
+        let warm = run_spmm_ctx(&cfg, "spmm", &csr, &b, &NaturalOrder, &shared);
+        assert_eq!(warm.stats.tile_cache_misses, 0);
+        assert_eq!(warm.stats.tile_cache_hits, on.stats.tile_cache_assembled);
+        assert_eq!(warm.output, off.output);
     }
 
     #[test]

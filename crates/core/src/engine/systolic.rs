@@ -17,6 +17,7 @@
 //! cycle stretches by the shortfall ratio (recorded as bandwidth stalls).
 
 use crate::config::AcceleratorConfig;
+use crate::context::{SimContext, TileRecord};
 use crate::networks::{DistributionNetwork, MultiplierNetwork, ReductionNetwork};
 use crate::stats::SimStats;
 use crate::trace::{Component, Probe};
@@ -41,6 +42,23 @@ pub fn run_gemm(
     a: &Matrix,
     b: &Matrix,
 ) -> (Matrix, SimStats) {
+    run_gemm_ctx(config, operation, a, b, &SimContext::new())
+}
+
+/// [`run_gemm`] threaded through a shared [`SimContext`]: the per-tile
+/// closed-form timing is replayed from (and derived into) the context's
+/// tile cache — a `⌈M/dim⌉·⌈N/dim⌉` grid has at most four distinct
+/// `(tm, tn)` tile classes (full, right-ragged, bottom-ragged, corner),
+/// so warm runs account each tile with one record merge. The functional
+/// GEMM always runs; tracing bypasses the cache (spans carry absolute
+/// cycles).
+pub(crate) fn run_gemm_ctx(
+    config: &AcceleratorConfig,
+    operation: &str,
+    a: &Matrix,
+    b: &Matrix,
+    sim: &SimContext,
+) -> (Matrix, SimStats) {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
     let dim = config.pe_dim();
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -60,10 +78,27 @@ pub fn run_gemm(
     // Column-contiguous view of B: every PE column's operand stream is a
     // slice, so each PE's MAC sequence is a contiguous dot product.
     let bt = b.transposed();
-    let ctrl = Probe::new(Component::Controller);
-    let dn_probe = Probe::new(Component::DistributionNetwork);
-    let mn_probe = Probe::new(Component::MultiplierNetwork);
-    let rn_probe = Probe::new(Component::ReductionNetwork);
+
+    // Tile-grain memoization: the closed-form timing of a tile depends
+    // only on its `(tm, tn)` class (plus K and the configuration), so a
+    // grid has at most four records. Tracing bypasses the cache — spans
+    // carry absolute cycles.
+    let use_tiles = sim.tile_cache_enabled() && !crate::trace::is_active();
+    // Key construction uses a pooled buffer (prefix once, then
+    // truncate-and-append per `(tm, tn)` class) so warm lookups are
+    // allocation-free.
+    let mut tile_key = use_tiles.then(|| {
+        use std::fmt::Write as _;
+        let mut key = sim.take_key_buf();
+        let _ = write!(key, "sysarr|");
+        config.write_cfg_string(&mut key);
+        let _ = write!(key, "|k={k}");
+        let prefix_len = key.len();
+        (key, prefix_len)
+    });
+    // A tile grid has at most four `(tm, tn)` classes (interior, ragged
+    // right, ragged bottom, corner), so the class table is a stack array.
+    let mut classes: [Option<(usize, usize, TileRecord)>; 4] = [None, None, None, None];
 
     for tile_i in 0..m.div_ceil(dim) {
         for tile_j in 0..n.div_ceil(dim) {
@@ -74,19 +109,15 @@ pub fn run_gemm(
             let tm = i_hi - i_lo;
             let tn = j_hi - j_lo;
 
-            // Edge injection demand vs configured bandwidth.
-            let stretch = ((tm + tn) as u64)
-                .div_ceil(config.dn_bandwidth as u64)
-                .max(1);
-
             // Functional model: on the wavefront (PE (i,j) fires its MAC
             // for inner index kk at cycle fill + i + j + kk) every PE
             // accumulates its psum in ascending-kk order — exactly a
             // straight dot product per output, computed here directly
             // instead of sweeping the grid cycle by cycle. Timing and
-            // activity below are the wavefront's closed forms: every PE
-            // is busy for exactly K MACs (busy_total = tm·tn·K) and the
-            // front needs K + tm + tn - 2 streaming cycles.
+            // activity are the wavefront's closed forms (see
+            // [`tile_accounting`]): every PE is busy for exactly K MACs
+            // (busy_total = tm·tn·K) and the front needs K + tm + tn - 2
+            // streaming cycles.
             for i in 0..tm {
                 let arow = a.row(i_lo + i);
                 let orow = out.row_mut(i_lo + i);
@@ -99,56 +130,135 @@ pub fn run_gemm(
                     orow[j_lo + j] = acc;
                 }
             }
-            let wave_cycles = (k + tm + tn - 2) as u64;
-            let busy_total = (tm * tn * k) as u64;
-            // Operands shift one hop right/down per streaming cycle.
-            stats.counters.mn_forwards += 2 * busy_total;
-            stats.ms_busy_cycles += busy_total;
-            stats.counters.accumulator_updates += busy_total;
-            mn.account(&mut stats.counters, busy_total, 0);
 
-            // Timing: fill + (possibly stretched) wavefront + drain.
-            let stream_cycles = wave_cycles * stretch;
-            let tile_cycles = FILL_CYCLES + stream_cycles + DRAIN_CYCLES;
-            stats.compute_cycles += wave_cycles;
-            stats.bandwidth_stall_cycles += wave_cycles * (stretch - 1);
-            stats.breakdown.fill_cycles += FILL_CYCLES;
-            stats.breakdown.steady_cycles += wave_cycles;
-            stats.breakdown.fifo_stall_cycles += wave_cycles * (stretch - 1);
-            stats.breakdown.drain_cycles += DRAIN_CYCLES;
-
-            let fill_end = cycles + FILL_CYCLES;
-            let stream_end = fill_end + stream_cycles;
-            ctrl.span("fill", cycles, fill_end);
-            ctrl.span("stream", fill_end, stream_end);
-            ctrl.span("drain", stream_end, stream_end + DRAIN_CYCLES);
-            dn_probe.span_with(
-                || format!("deliver t({tile_i},{tile_j})"),
-                cycles,
-                stream_end,
-            );
-            mn_probe.span("wavefront", fill_end, stream_end);
-            rn_probe.span("collect", stream_end, stream_end + DRAIN_CYCLES);
-            cycles += tile_cycles;
-
-            // Operand traffic: each tile streams tm·K + tn·K elements.
-            let streamed = (tm * k + tn * k) as u64;
-            stats.counters.gb_reads += streamed;
-            dn.account(&mut stats.counters, streamed as usize, streamed as usize);
-            stats.counters.fifo_pushes += streamed;
-            stats.counters.fifo_pops += streamed;
-
-            // Drain: outputs leave through the linear reduction lanes.
-            let outs = (tm * tn) as u64;
-            let outcome = rn.reduce(&[1]);
-            rn.account(&mut stats.counters, outcome, outs);
-            stats.counters.gb_writes += outs;
-            stats.iterations += 1;
+            if let Some((key, prefix_len)) = &mut tile_key {
+                let record = match classes
+                    .iter()
+                    .flatten()
+                    .find_map(|(cm, cn, r)| (*cm == tm && *cn == tn).then_some(r))
+                {
+                    Some(r) => r.clone(),
+                    None => {
+                        use std::fmt::Write as _;
+                        key.truncate(*prefix_len);
+                        let _ = write!(key, "|tm={tm}|tn={tn}");
+                        let record = if let Some(r) = sim.tile_lookup(key) {
+                            stats.tile_cache_hits += 1;
+                            r
+                        } else {
+                            stats.tile_cache_misses += 1;
+                            let mut local = SimStats::default();
+                            let end = tile_accounting(
+                                config, &dn, &mn, &rn, k, tm, tn, 0, 0, &mut local, 0,
+                            );
+                            local.cycles = end;
+                            let r = TileRecord::new(local);
+                            sim.tile_insert(key, r.clone());
+                            r
+                        };
+                        *classes
+                            .iter_mut()
+                            .find(|slot| slot.is_none())
+                            .expect("a tile grid has at most four (tm, tn) classes") =
+                            Some((tm, tn, record.clone()));
+                        record
+                    }
+                };
+                // Tiles are serialized, so merging duration records in
+                // grid order reproduces the serial walk bitwise.
+                stats.merge(&record.stats);
+                stats.tile_cache_assembled += 1;
+            } else {
+                cycles = tile_accounting(
+                    config, &dn, &mn, &rn, k, tm, tn, tile_i, tile_j, &mut stats, cycles,
+                );
+            }
         }
     }
 
-    stats.cycles = cycles;
+    if let Some((key, _)) = tile_key {
+        sim.put_key_buf(key);
+    } else {
+        stats.cycles = cycles;
+    }
     (out, stats)
+}
+
+/// Closed-form timing/activity of one `(tm, tn)` output tile, starting at
+/// absolute cycle `cycles` (trace spans are absolute); returns the cycle
+/// after the tile's drain. Depends only on the tile class, K, and the
+/// configuration — never on the tile's grid position — which is what
+/// makes the per-class tile records exact.
+#[allow(clippy::too_many_arguments)]
+fn tile_accounting(
+    config: &AcceleratorConfig,
+    dn: &DistributionNetwork,
+    mn: &MultiplierNetwork,
+    rn: &ReductionNetwork,
+    k: usize,
+    tm: usize,
+    tn: usize,
+    tile_i: usize,
+    tile_j: usize,
+    stats: &mut SimStats,
+    mut cycles: u64,
+) -> u64 {
+    let ctrl = Probe::new(Component::Controller);
+    let dn_probe = Probe::new(Component::DistributionNetwork);
+    let mn_probe = Probe::new(Component::MultiplierNetwork);
+    let rn_probe = Probe::new(Component::ReductionNetwork);
+
+    // Edge injection demand vs configured bandwidth.
+    let stretch = ((tm + tn) as u64)
+        .div_ceil(config.dn_bandwidth as u64)
+        .max(1);
+
+    let wave_cycles = (k + tm + tn - 2) as u64;
+    let busy_total = (tm * tn * k) as u64;
+    // Operands shift one hop right/down per streaming cycle.
+    stats.counters.mn_forwards += 2 * busy_total;
+    stats.ms_busy_cycles += busy_total;
+    stats.counters.accumulator_updates += busy_total;
+    mn.account(&mut stats.counters, busy_total, 0);
+
+    // Timing: fill + (possibly stretched) wavefront + drain.
+    let stream_cycles = wave_cycles * stretch;
+    let tile_cycles = FILL_CYCLES + stream_cycles + DRAIN_CYCLES;
+    stats.compute_cycles += wave_cycles;
+    stats.bandwidth_stall_cycles += wave_cycles * (stretch - 1);
+    stats.breakdown.fill_cycles += FILL_CYCLES;
+    stats.breakdown.steady_cycles += wave_cycles;
+    stats.breakdown.fifo_stall_cycles += wave_cycles * (stretch - 1);
+    stats.breakdown.drain_cycles += DRAIN_CYCLES;
+
+    let fill_end = cycles + FILL_CYCLES;
+    let stream_end = fill_end + stream_cycles;
+    ctrl.span("fill", cycles, fill_end);
+    ctrl.span("stream", fill_end, stream_end);
+    ctrl.span("drain", stream_end, stream_end + DRAIN_CYCLES);
+    dn_probe.span_with(
+        || format!("deliver t({tile_i},{tile_j})"),
+        cycles,
+        stream_end,
+    );
+    mn_probe.span("wavefront", fill_end, stream_end);
+    rn_probe.span("collect", stream_end, stream_end + DRAIN_CYCLES);
+    cycles += tile_cycles;
+
+    // Operand traffic: each tile streams tm·K + tn·K elements.
+    let streamed = (tm * k + tn * k) as u64;
+    stats.counters.gb_reads += streamed;
+    dn.account(&mut stats.counters, streamed as usize, streamed as usize);
+    stats.counters.fifo_pushes += streamed;
+    stats.counters.fifo_pops += streamed;
+
+    // Drain: outputs leave through the linear reduction lanes.
+    let outs = (tm * tn) as u64;
+    let outcome = rn.reduce(&[1]);
+    rn.account(&mut stats.counters, outcome, outs);
+    stats.counters.gb_writes += outs;
+    stats.iterations += 1;
+    cycles
 }
 
 /// Closed-form cycle count of the engine above for a full-bandwidth array
@@ -212,6 +322,29 @@ mod tests {
             );
             assert_eq!(stats.cycles, expected_cycles(16, m, n, k));
         }
+    }
+
+    #[test]
+    fn tile_cache_matches_uncached_bitwise() {
+        let mut rng = SeededRng::new(10);
+        let a = Matrix::random(7, 21, &mut rng);
+        let b = Matrix::random(21, 9, &mut rng);
+        let cfg = AcceleratorConfig::tpu_like(4);
+        let (off_out, off) = run_gemm_ctx(&cfg, "g", &a, &b, &SimContext::disabled());
+        let shared = SimContext::new();
+        let (on_out, on) = run_gemm_ctx(&cfg, "g", &a, &b, &shared);
+        assert_eq!(off_out.as_slice(), on_out.as_slice());
+        let mut stripped = on.clone();
+        stripped.tile_cache_hits = 0;
+        stripped.tile_cache_misses = 0;
+        stripped.tile_cache_assembled = 0;
+        assert_eq!(off, stripped, "only the tile counters may differ");
+        // A 2×3 ragged grid has exactly four (tm, tn) classes.
+        assert_eq!(on.tile_cache_misses, 4);
+        assert_eq!(on.tile_cache_assembled, 6);
+        let (_, warm) = run_gemm_ctx(&cfg, "g", &a, &b, &shared);
+        assert_eq!(warm.tile_cache_misses, 0, "warm context replays");
+        assert_eq!(warm.tile_cache_hits, 4);
     }
 
     #[test]

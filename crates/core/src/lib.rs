@@ -40,6 +40,8 @@
 //! * [`engine`] — the systolic, flexible and sparse cycle-level engines.
 //! * [`accelerator`] — the composed simulator instance ([`Stonne`]).
 //! * [`cache`] — the layer-simulation memoization cache ([`SimCache`]).
+//! * [`context`] — the tile-grain result cache and pooled engine
+//!   scratch threaded through workers ([`SimContext`]).
 //! * [`predict`] — per-layer feature extraction and the
 //!   [`CyclePredictor`] interface behind the fast-fidelity mode.
 //! * [`store`] — the disk-persistent, content-addressed result store
@@ -60,6 +62,7 @@ pub mod api;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
+pub mod context;
 pub mod engine;
 pub mod fifo;
 pub mod mapping;
@@ -77,6 +80,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, StateHash, CHECKPOINT_SCHEMA};
 pub use config::{
     AcceleratorConfig, ConfigError, ControllerKind, Dataflow, DnKind, MnKind, RnKind, SparseFormat,
 };
+pub use context::SimContext;
 pub use engine::flexible::{DenseOperand, PAD_ADDR};
 pub use engine::sparse::{IterationInfo, NaturalOrder, RowSchedule, SparseRun};
 pub use engine::systolic::expected_cycles as systolic_expected_cycles;

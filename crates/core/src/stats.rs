@@ -181,6 +181,19 @@ pub struct SimStats {
     /// single-instance runs). Defaults so older summaries still parse.
     #[serde(default)]
     pub dram_contention_cycles: u64,
+    /// Tile-cache hits: per-tile timing records replayed from the
+    /// tile-grain cache ([`crate::SimContext`]) instead of re-derived.
+    #[serde(default)]
+    pub tile_cache_hits: u64,
+    /// Tile-cache misses: per-tile timing records the engine had to
+    /// derive while tile caching was enabled.
+    #[serde(default)]
+    pub tile_cache_misses: u64,
+    /// Tiles whose timing was assembled from a memoized record (hits and
+    /// misses both feed assembly; this counts the tiles, the other two
+    /// count the distinct records).
+    #[serde(default)]
+    pub tile_cache_assembled: u64,
 }
 
 impl SimStats {
@@ -209,6 +222,9 @@ impl SimStats {
         self.sim_cache_inserts += other.sim_cache_inserts;
         self.engine_invocations += other.engine_invocations;
         self.dram_contention_cycles += other.dram_contention_cycles;
+        self.tile_cache_hits += other.tile_cache_hits;
+        self.tile_cache_misses += other.tile_cache_misses;
+        self.tile_cache_assembled += other.tile_cache_assembled;
         if self.ms_size == 0 {
             self.ms_size = other.ms_size;
         }
@@ -234,6 +250,9 @@ impl SimStats {
         s.sim_cache_inserts *= count;
         s.engine_invocations *= count;
         s.dram_contention_cycles *= count;
+        s.tile_cache_hits *= count;
+        s.tile_cache_misses *= count;
+        s.tile_cache_assembled *= count;
         let c = &mut s.counters;
         let k = count;
         c.multiplications *= k;

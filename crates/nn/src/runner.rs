@@ -11,7 +11,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use stonne_core::predict::CyclePredictor;
 use stonne_core::{
-    AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimCache, SimStats, Stonne,
+    AcceleratorConfig, ConfigError, NaturalOrder, RowSchedule, SimCache, SimContext, SimStats,
+    Stonne,
 };
 use stonne_energy::{EnergyBreakdown, EnergyModel};
 
@@ -106,6 +107,7 @@ pub struct RunOptions {
     checkpoint: Option<(usize, PathBuf)>,
     resume: Option<PathBuf>,
     predictor: Option<Arc<dyn CyclePredictor>>,
+    context: Option<SimContext>,
 }
 
 impl Default for RunOptions {
@@ -117,6 +119,7 @@ impl Default for RunOptions {
             checkpoint: None,
             resume: None,
             predictor: None,
+            context: None,
         }
     }
 }
@@ -218,6 +221,29 @@ impl RunOptions {
     /// The attached cycle predictor, when fast fidelity is enabled.
     pub fn predictor_handle(&self) -> Option<&Arc<dyn CyclePredictor>> {
         self.predictor.as_ref()
+    }
+
+    /// Uses an explicit (possibly shared) [`SimContext`] — tile-grain
+    /// records and pooled scratch buffers survive across runs that share
+    /// it (e.g. every sweep point of a worker). Without this, each run
+    /// creates one context and shares it across all of its own simulator
+    /// instances. Contexts never change results — only how much work is
+    /// re-derived.
+    #[must_use]
+    pub fn with_context(mut self, context: SimContext) -> Self {
+        self.context = Some(context);
+        self
+    }
+
+    /// The simulation context these options run with, if explicitly set.
+    pub fn context_handle(&self) -> Option<&SimContext> {
+        self.context.as_ref()
+    }
+
+    /// The context threaded through this run's simulator instances: the
+    /// explicit one when set, else a fresh per-run context.
+    pub(crate) fn run_context(&self) -> SimContext {
+        self.context.clone().unwrap_or_default()
     }
 
     /// The checkpoint cadence and directory, when enabled.
@@ -339,7 +365,11 @@ pub fn run_model_simulated_with(
             energy_model,
         );
     }
-    let mut sim = Stonne::new(config)?.with_intra_tiles(options.intra_worker_budget());
+    // Context before cache: `with_cache` backs the instance's context
+    // with the cache's disk store (when it has one).
+    let mut sim = Stonne::new(config)?
+        .with_intra_tiles(options.intra_worker_budget())
+        .with_context(options.run_context());
     if let Some(cache) = options.cache {
         sim = sim.with_cache(cache);
     }
@@ -390,6 +420,9 @@ fn run_parallel_waves(
         .infer_shapes()
         .unwrap_or_else(|e| panic!("invalid graph: {e}"));
     let n = model.nodes().len();
+    // One context for the whole run: every per-op instance below shares
+    // its tile records and scratch pool instead of rebuilding them.
+    let context = options.run_context();
     let mut values: Vec<Option<Value>> = vec![None; n];
     let mut node_stats: Vec<Vec<SimStats>> = vec![Vec::new(); n];
     let mut remaining = n;
@@ -434,11 +467,13 @@ fn run_parallel_waves(
                 let schedule = Arc::clone(&schedule);
                 let cache = options.cache.clone();
                 let predictor = options.predictor.clone();
+                let context = context.clone();
                 let intra_workers = options.intra_worker_budget();
                 move || {
                     let mut sim = Stonne::new(config)
                         .expect("config validated above")
-                        .with_intra_tiles(intra_workers);
+                        .with_intra_tiles(intra_workers)
+                        .with_context(context);
                     if let Some(cache) = cache {
                         sim = sim.with_cache(cache);
                     }

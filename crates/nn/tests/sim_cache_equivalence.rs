@@ -15,6 +15,9 @@ fn strip_cache_counters(mut s: SimStats) -> SimStats {
     s.sim_cache_misses = 0;
     s.sim_cache_inserts = 0;
     s.engine_invocations = 0;
+    s.tile_cache_hits = 0;
+    s.tile_cache_misses = 0;
+    s.tile_cache_assembled = 0;
     s
 }
 

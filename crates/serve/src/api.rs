@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use stonne::core::{AcceleratorConfig, CycleBreakdown, NaturalOrder, SimCache, SimStats};
+use stonne::core::{
+    AcceleratorConfig, CycleBreakdown, NaturalOrder, SimCache, SimContext, SimStats,
+};
 use stonne::energy::EnergyBreakdown;
 use stonne::models::{zoo, ModelId, ModelScale};
 use stonne::nn::params::{generate_input, ModelParams};
@@ -292,6 +294,22 @@ pub fn expand(request: &SweepRequest) -> Result<Expansion, String> {
 /// Returns a message when the point's configuration is invalid (only
 /// possible for points constructed outside [`expand`]).
 pub fn run_point(point: &SweepPoint, cache: &SimCache) -> Result<(PointResult, SimStats), String> {
+    run_point_ctx(point, cache, &SimContext::new())
+}
+
+/// [`run_point`] threaded through a shared [`SimContext`]: the job
+/// executor passes its per-job context so tile-grain records and pooled
+/// engine scratch survive across the points of a sweep instead of being
+/// torn down with each point's simulator instances.
+///
+/// # Errors
+///
+/// Returns a message when the point's configuration is invalid.
+pub fn run_point_ctx(
+    point: &SweepPoint,
+    cache: &SimCache,
+    context: &SimContext,
+) -> Result<(PointResult, SimStats), String> {
     let id = parse_model(&point.model)?;
     let scale = parse_scale(&point.scale)?;
     let cfg = config_for(&ArchSpec {
@@ -302,7 +320,9 @@ pub fn run_point(point: &SweepPoint, cache: &SimCache) -> Result<(PointResult, S
     let model = zoo::build(id, scale);
     let params = ModelParams::generate_with_sparsity(&model, point.seed, point.sparsity);
     let input = generate_input(&model, point.seed ^ 1);
-    let options = RunOptions::new().with_cache(cache.clone());
+    let options = RunOptions::new()
+        .with_cache(cache.clone())
+        .with_context(context.clone());
     let run = run_model_simulated_with(
         &model,
         &params,

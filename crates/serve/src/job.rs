@@ -15,7 +15,7 @@
 //! zero engine invocations.
 
 use crate::api::{
-    expand, parse_fidelity, run_point, run_point_fast, PointResult, SweepPoint, SweepRequest,
+    expand, parse_fidelity, run_point_ctx, run_point_fast, PointResult, SweepPoint, SweepRequest,
 };
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -23,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use stonne::core::{code_fingerprint, DiskStore, SimCache, StoreCounters};
+use stonne::core::{code_fingerprint, DiskStore, SimCache, SimContext, StoreCounters};
 
 /// Aggregate simulation-cache activity of one job.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
@@ -117,6 +117,10 @@ pub struct Job {
     changed: Condvar,
     /// Per-job cache: fresh memory, shared disk (see module docs).
     cache: SimCache,
+    /// Per-job simulation context: tile-grain records and pooled engine
+    /// scratch shared by every worker running this job's points (and by
+    /// the frontier re-score), instead of being torn down per point.
+    context: SimContext,
     /// Scoped store handle whose counters are this job's alone.
     store: Option<DiskStore>,
     /// Fast fidelity: points run through the committed predictor and
@@ -134,8 +138,12 @@ impl Job {
         let crate::api::Expansion { points, collapsed } = expansion;
         let scoped = store.map(DiskStore::scoped);
         let mut cache = SimCache::new();
+        let context = SimContext::new();
         if let Some(s) = &scoped {
             cache = cache.backed_by(s.clone());
+            // Tile records share the job's scoped store (blob channel
+            // `tiles`), so warm sweeps reuse them across processes.
+            context.attach_store(s);
         }
         let progress = Progress {
             results: vec![None; points.len()],
@@ -149,6 +157,7 @@ impl Job {
             progress: Mutex::new(progress),
             changed: Condvar::new(),
             cache,
+            context,
             store: scoped,
             fast: parse_fidelity(&request.fidelity).unwrap_or(false),
         }
@@ -340,7 +349,7 @@ impl Job {
         };
         for grid_index in pareto_frontier(&snapshot) {
             let point = &self.points[grid_index];
-            match run_point(point, &self.cache) {
+            match run_point_ctx(point, &self.cache, &self.context) {
                 Ok((mut exact, stats)) => {
                     let predicted = snapshot
                         .iter()
@@ -513,12 +522,13 @@ fn worker_loop(inner: &ManagerInner) {
             }
         }
         let cache = task.job.cache.clone();
+        let context = task.job.context.clone();
         // A panicking engine must fail the point, not kill the worker.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if fast {
                 run_point_fast(&point)
             } else {
-                run_point(&point, &cache)
+                run_point_ctx(&point, &cache, &context)
             }
         }))
         .unwrap_or_else(|panic| {

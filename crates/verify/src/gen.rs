@@ -79,6 +79,20 @@ pub enum Workload {
         /// GEMM K.
         k: usize,
     },
+    /// Tile-cache ON vs OFF on one architecture: outputs, statistics
+    /// (tile bookkeeping stripped), cycle breakdown, and the cycle-level
+    /// trace must be byte-identical, and a warm shared context must
+    /// replay tiles without re-deriving them.
+    TileCacheBitwise {
+        /// Architecture selector, as in [`Workload::CacheReplay`].
+        arch: u8,
+        /// GEMM M.
+        m: usize,
+        /// GEMM N.
+        n: usize,
+        /// GEMM K.
+        k: usize,
+    },
     /// Max-pooling on the streaming pool engine vs the CPU reference.
     Pool {
         /// Input channels.
@@ -195,6 +209,7 @@ impl Workload {
             Workload::SparseSpmm { .. } => "sparse_spmm",
             Workload::SparseDenseEquiv { .. } => "sparse_dense_equiv",
             Workload::CacheReplay { .. } => "cache_replay",
+            Workload::TileCacheBitwise { .. } => "tile_cache_bitwise",
             Workload::Pool { .. } => "pool",
             Workload::ModelRun { .. } => "model_run",
             Workload::ClusterScenario { .. } => "cluster_scenario",
@@ -282,8 +297,17 @@ pub fn generate(campaign_seed: u64, index: u64) -> Workload {
             n: 2 + rng.index(32),
             k: 4 + rng.index(48),
         }
-    } else if roll < 74 {
+    } else if roll < 70 {
         Workload::CacheReplay {
+            arch: rng.index(3) as u8,
+            m: 1 + rng.index(32),
+            n: 1 + rng.index(32),
+            k: 1 + rng.index(48),
+        }
+    } else if roll < 74 {
+        // Sized like the cache-replay band: the tile cache must be
+        // invisible on every architecture at every small shape.
+        Workload::TileCacheBitwise {
             arch: rng.index(3) as u8,
             m: 1 + rng.index(32),
             n: 1 + rng.index(32),
@@ -440,6 +464,7 @@ mod tests {
             "sparse_spmm",
             "sparse_dense_equiv",
             "cache_replay",
+            "tile_cache_bitwise",
             "pool",
             "model_run",
             "cluster_scenario",

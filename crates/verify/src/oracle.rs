@@ -22,7 +22,8 @@ use stonne::analytical::band::divergence_pct;
 use stonne::analytical::maeri::MaeriWorkload;
 use stonne::analytical::{maeri_cycles, scalesim_os_cycles, sigma_cycles};
 use stonne::core::{
-    systolic_expected_cycles, AcceleratorConfig, NaturalOrder, SimCache, SimStats, Stonne,
+    systolic_expected_cycles, AcceleratorConfig, NaturalOrder, SimCache, SimContext, SimStats,
+    Stonne,
 };
 use stonne::energy::EnergyModel;
 use stonne::models::{zoo, ModelScale};
@@ -67,13 +68,14 @@ pub struct SampleCheck {
 }
 
 /// The fixed oracle roster, in report order.
-pub const ORACLES: [&str; 17] = [
+pub const ORACLES: [&str; 18] = [
     "systolic_exact_cycles",
     "flexible_maeri_band",
     "sigma_dense_band",
     "sparse_dense_outputs",
     "sparse_dense_cycle_envelope",
     "cache_replay_bitwise",
+    "tile_cache_bitwise",
     "serial_parallel_equal",
     "state_hash_stable",
     "intra_serial_parallel_bitwise",
@@ -374,6 +376,9 @@ fn strip_cache_counters(stats: &SimStats) -> SimStats {
     s.sim_cache_misses = 0;
     s.sim_cache_inserts = 0;
     s.engine_invocations = 0;
+    s.tile_cache_hits = 0;
+    s.tile_cache_misses = 0;
+    s.tile_cache_assembled = 0;
     s
 }
 
@@ -408,6 +413,94 @@ fn check_cache_replay(arch: u8, m: usize, n: usize, k: usize, seed: u64) -> Samp
         ),
     );
     structural_checks(&mut outcomes, &cfg, &stats_fresh);
+    SampleCheck {
+        outcomes,
+        maeri_full_bw: None,
+        sigma_dense: None,
+        predictor: None,
+    }
+}
+
+/// Tile-grain memoization must be invisible: a run with the tile cache
+/// enabled and a run with it disabled must produce byte-identical
+/// outputs, statistics (tile bookkeeping stripped), cycle breakdowns,
+/// and — under tracing — identical cycle-level span streams. A second
+/// run on the warm shared context must replay tiles (hits observed,
+/// nothing re-derived) without changing a byte.
+fn check_tile_cache_bitwise(arch: u8, m: usize, n: usize, k: usize, seed: u64) -> SampleCheck {
+    use stonne::core::trace;
+
+    let mut outcomes = Vec::new();
+    let (a, b) = operands(m, n, k, seed);
+    let cfg = arch_config(arch);
+
+    let run = |context: SimContext| {
+        let mut sim = Stonne::new(cfg.clone())
+            .expect("preset is valid")
+            .with_context(context);
+        sim.run_gemm("fuzz_tile", &a, &b)
+    };
+    let traced = |context: SimContext| {
+        let mut sim = Stonne::new(cfg.clone())
+            .expect("preset is valid")
+            .with_context(context);
+        trace::start(trace::DEFAULT_CAPACITY);
+        let _ = sim.run_gemm("fuzz_tile", &a, &b);
+        trace::finish().expect("trace was started")
+    };
+
+    let shared = SimContext::new();
+    let (out_on, stats_on) = run(shared.clone());
+    let (out_off, stats_off) = run(SimContext::disabled());
+    let (out_warm, stats_warm) = run(shared);
+
+    let outputs_bitwise =
+        out_on.as_slice() == out_off.as_slice() && out_on.as_slice() == out_warm.as_slice();
+    let stats_equal = strip_cache_counters(&stats_on) == strip_cache_counters(&stats_off)
+        && strip_cache_counters(&stats_on) == strip_cache_counters(&stats_warm);
+    let breakdown_equal =
+        stats_on.breakdown == stats_off.breakdown && stats_on.cycles == stats_off.cycles;
+    // Cold run derives records; the warm context replays them all.
+    let records_flow = stats_on.tile_cache_misses > 0
+        && stats_off.tile_cache_misses == 0
+        && stats_off.tile_cache_hits == 0
+        && stats_warm.tile_cache_hits > 0
+        && stats_warm.tile_cache_misses == 0;
+    // Tracing bypasses record replay (spans carry absolute cycles), so
+    // the span streams must agree event-for-event either way.
+    let trace_on = traced(SimContext::new());
+    let trace_off = traced(SimContext::disabled());
+    let traces_equal =
+        trace_on.events() == trace_off.events() && trace_on.dropped() == trace_off.dropped();
+
+    push(
+        &mut outcomes,
+        "tile_cache_bitwise",
+        outputs_bitwise && stats_equal && breakdown_equal && records_flow && traces_equal,
+        None,
+        format!(
+            "outputs_bitwise {} stats_equal {} breakdown_equal {} records_flow {} traces_equal {} \
+             ({} cycles, {} cold misses, {} warm hits)",
+            outputs_bitwise,
+            stats_equal,
+            breakdown_equal,
+            records_flow,
+            traces_equal,
+            stats_on.cycles,
+            stats_on.tile_cache_misses,
+            stats_warm.tile_cache_hits
+        ),
+    );
+
+    let reference = gemm_reference(&a, &b);
+    push(
+        &mut outcomes,
+        "functional_outputs",
+        slices_approx_equal(out_on.as_slice(), reference.as_slice()),
+        None,
+        format!("{}x{} output vs gemm_reference", m, n),
+    );
+    structural_checks(&mut outcomes, &cfg, &stats_on);
     SampleCheck {
         outcomes,
         maeri_full_bw: None,
@@ -957,6 +1050,9 @@ pub fn check_workload(workload: &Workload, seed: u64) -> SampleCheck {
         } => check_sparse_spmm(ms, m, n, k, sparsity_pct, seed),
         Workload::SparseDenseEquiv { ms, m, n, k } => check_sparse_dense_equiv(ms, m, n, k, seed),
         Workload::CacheReplay { arch, m, n, k } => check_cache_replay(arch, m, n, k, seed),
+        Workload::TileCacheBitwise { arch, m, n, k } => {
+            check_tile_cache_bitwise(arch, m, n, k, seed)
+        }
         Workload::Pool {
             c,
             hw,
@@ -1036,6 +1132,24 @@ mod tests {
             };
             let r = check_workload(&w, 0x77);
             assert!(r.outcomes.iter().all(|o| o.passed), "{:?}", r.outcomes);
+        }
+    }
+
+    #[test]
+    fn tile_cache_oracle_accepts_the_engine() {
+        for arch in 0..3u8 {
+            let w = Workload::TileCacheBitwise {
+                arch,
+                m: 11,
+                n: 9,
+                k: 21,
+            };
+            let r = check_workload(&w, 0x711e);
+            assert!(
+                r.outcomes.iter().all(|o| o.passed),
+                "arch {arch}: {:?}",
+                r.outcomes
+            );
         }
     }
 

@@ -123,6 +123,17 @@ pub fn candidates(w: &Workload) -> Vec<Workload> {
                 out.push(Workload::CacheReplay { arch, m, n, k: v });
             }
         }
+        Workload::TileCacheBitwise { arch, m, n, k } => {
+            if let Some(v) = halved(m, 1) {
+                out.push(Workload::TileCacheBitwise { arch, m: v, n, k });
+            }
+            if let Some(v) = halved(n, 1) {
+                out.push(Workload::TileCacheBitwise { arch, m, n: v, k });
+            }
+            if let Some(v) = halved(k, 1) {
+                out.push(Workload::TileCacheBitwise { arch, m, n, k: v });
+            }
+        }
         Workload::Pool {
             c,
             hw,
@@ -465,6 +476,15 @@ mod tests {
                     k: 40,
                 },
                 |w| matches!(w, Workload::CacheReplay { m, n, .. } if *m + *n >= 12),
+            ),
+            (
+                Workload::TileCacheBitwise {
+                    arch: 1,
+                    m: 28,
+                    n: 24,
+                    k: 36,
+                },
+                |w| matches!(w, Workload::TileCacheBitwise { m, k, .. } if *m >= 4 && *k >= 9),
             ),
             (
                 Workload::Pool {

@@ -80,6 +80,9 @@ if [ "$1" = "ci" ]; then
     run cargo --offline build --release --workspace
     run cargo --offline test -q --workspace --no-fail-fast
     run cargo --offline test --release -p stonne-verify --test golden_fixtures
+    # Tile-grain memoization must be invisible: the golden fixtures have
+    # to reproduce byte-identically with the tile cache forced off too.
+    run env STONNE_TILE_CACHE=0 cargo --offline test --release -p stonne-verify --test golden_fixtures
     run cargo --offline run --release -p stonne-verify -- --samples 200 --seed 7
     # The nightly shard/merge protocol, at PR scale: two CLI shards of
     # the seed-7 campaign must merge to the byte-identical report the
